@@ -1,0 +1,33 @@
+"""Table emission for the benchmark harness.
+
+Every bench computes the series a paper claim predicts, prints it, and
+persists it under benchmarks/results/ so EXPERIMENTS.md can cite the
+numbers.  pytest-benchmark handles the wall-clock side; these tables are
+the round-complexity side (the paper's own metric).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [list(r) for r in rows]
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return text

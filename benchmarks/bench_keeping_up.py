@@ -1,0 +1,48 @@
+"""The title question: how fast can you update your MST?
+
+Sweeps the stream arrival rate (updates per communication round) against
+the batch-dynamic maintainer and reports the steady-state backlog — the
+throughput ceiling of Θ(k) per O(1) rounds appears as a sharp phase
+transition, and the ceiling scales with k (more machines = more stream).
+"""
+
+import numpy as np
+
+from _tables import emit_table
+from repro.core import DynamicMST
+from repro.core.stream_driver import OnlineChurn, StreamDriver
+from repro.graphs import random_weighted_graph
+
+
+def _run(rate, k, n=200, seed=0, total_rounds=10_000):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, 3 * n, rng)
+    dm = DynamicMST.build(g, k, rng=rng, init="free")
+    src = OnlineChurn(g, rng=rng)
+    return StreamDriver(dm, src, rate=rate).run(total_rounds)
+
+
+def test_keeping_up_table(benchmark):
+    rows = []
+    for k in (8, 32):
+        for rate in (0.02, 0.05, 0.1, 0.2, 0.4):
+            tr = _run(rate, k)
+            rows.append(
+                (k, rate, tr.applied, tr.peak_backlog, tr.final_backlog,
+                 "DIVERGES" if tr.diverged() else "keeps up")
+            )
+    emit_table(
+        "keeping_up",
+        "Can the cluster keep up?  Backlog vs stream rate "
+        "(updates per round; ceiling = Θ(k) per O(1) rounds)",
+        ["k", "rate", "applied", "peak_backlog", "final_backlog", "verdict"],
+        rows,
+    )
+    by = {(r[0], r[1]): r[5] for r in rows}
+    assert by[(8, 0.02)] == "keeps up"
+    assert by[(8, 0.4)] == "DIVERGES"
+    # More machines push the ceiling up: a rate that sinks k=8 is
+    # sustainable at k=32.
+    k8_diverge_rates = [r for (kk, r), v in by.items() if kk == 8 and v == "DIVERGES"]
+    assert any(by[(32, r)] == "keeps up" for r in k8_diverge_rates), by
+    benchmark(_run, 0.05, 8, 100, 0, 600)

@@ -1,0 +1,61 @@
+"""Process-parallel machine-local computation (GIL workaround demo).
+
+The DESIGN.md substitution notes Python's GIL blocks faithful
+shared-memory parallelism; the *local* phases are still parallelizable
+across processes.  This measures the fork-pool speedup of the heaviest
+local step (per-machine cycle deletion) at sizes where it pays.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _tables import emit_table
+from repro.sim.executor import parallel_local_map
+
+
+def _local_msf_size(edge_list):
+    from repro.graphs.dsu import DisjointSet
+
+    dsu = DisjointSet()
+    kept = 0
+    for (w, u, v) in sorted(edge_list):
+        if dsu.union(u, v):
+            kept += 1
+    return kept
+
+
+def _inputs(k, m, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            (float(rng.random()), int(rng.integers(0, 500)), int(rng.integers(500, 1000)))
+            for _ in range(m)
+        ]
+        for _ in range(k)
+    ]
+
+
+def test_parallel_local_table(benchmark):
+    rows = []
+    for k, m in ((8, 2_000), (8, 40_000)):
+        inputs = _inputs(k, m)
+        t0 = time.perf_counter()
+        seq = [_local_msf_size(x) for x in inputs]
+        t_seq = time.perf_counter() - t0
+        workers = min(4, os.cpu_count() or 1)
+        t0 = time.perf_counter()
+        par = parallel_local_map(_local_msf_size, inputs, workers=workers)
+        t_par = time.perf_counter() - t0
+        assert par == seq
+        rows.append((k, m, workers, f"{t_seq*1e3:.0f}ms", f"{t_par*1e3:.0f}ms",
+                     round(t_seq / max(t_par, 1e-9), 2)))
+    emit_table(
+        "parallel_local",
+        "Machine-local cycle deletion: sequential vs fork-pool",
+        ["machines", "edges_per_machine", "workers", "sequential", "parallel",
+         "speedup"],
+        rows,
+    )
+    benchmark(parallel_local_map, _local_msf_size, _inputs(4, 2000), 2)

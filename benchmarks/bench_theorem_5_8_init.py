@@ -1,0 +1,34 @@
+"""T5.8 — MST construction + Euler init in O(n/k + log n) rounds.
+
+Series: init rounds vs n at fixed k (linear), vs k at fixed n (inverse).
+"""
+
+import numpy as np
+
+from _tables import emit_table
+from repro.core import DynamicMST
+from repro.graphs import random_weighted_graph
+
+
+def _init_rounds(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, 3 * n, rng)
+    dm = DynamicMST.build(g, k, rng=rng, init="distributed")
+    return dm.init_rounds
+
+
+def test_init_round_table(benchmark):
+    rows = []
+    for n, k in ((128, 8), (256, 8), (512, 8), (1024, 8), (512, 4), (512, 16), (512, 32)):
+        r = _init_rounds(n, k)
+        rows.append((n, k, n // k, r, round(r / (n / k), 2)))
+    emit_table(
+        "theorem_5_8_init",
+        "Theorem 5.8 — initialisation rounds (claim: O(n/k + log n))",
+        ["n", "k", "n/k", "rounds", "rounds_per_(n/k)"],
+        rows,
+    )
+    # Linear in n at fixed k; inverse in k at fixed n.
+    per_unit = [r[4] for r in rows]
+    assert max(per_unit) <= 3 * min(per_unit)
+    benchmark(_init_rounds, 128, 8)

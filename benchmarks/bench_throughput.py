@@ -1,0 +1,52 @@
+"""Wall-clock throughput of the simulator (updates/second).
+
+The round counts are the reproduction; this tracks how fast the
+simulator itself processes updates, against the single-machine
+sequential oracle — the price of simulating k machines faithfully.
+"""
+
+import time
+
+import numpy as np
+
+from _tables import emit_table
+from repro.baselines import SequentialDynamicMST
+from repro.core import DynamicMST
+from repro.graphs import churn_stream, random_weighted_graph
+
+
+def _throughput(n, k, batch, n_batches=6, seed=0):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, 3 * n, rng)
+    stream = list(churn_stream(g, batch, n_batches, rng=rng))
+    n_updates = sum(len(b) for b in stream)
+
+    dm = DynamicMST.build(g, k, rng=rng, init="free")
+    t0 = time.perf_counter()
+    for b in stream:
+        dm.apply_batch(b)
+    t_dm = time.perf_counter() - t0
+
+    seq = SequentialDynamicMST(g)
+    t0 = time.perf_counter()
+    for b in stream:
+        seq.apply_batch(b)
+    t_seq = time.perf_counter() - t0
+    return n_updates / max(t_dm, 1e-9), n_updates / max(t_seq, 1e-9)
+
+
+def test_throughput_table(benchmark):
+    rows = []
+    for n, k in ((300, 8), (1000, 8), (1000, 32), (3000, 16)):
+        sim_ups, seq_ups = _throughput(n, k, k)
+        rows.append((n, k, round(sim_ups), round(seq_ups),
+                     round(seq_ups / sim_ups, 1)))
+    emit_table(
+        "throughput",
+        "Simulator throughput: batch-dynamic updates/second (wall clock)",
+        ["n", "k", "simulated_cluster_ups", "sequential_oracle_ups",
+         "sim_overhead_x"],
+        rows,
+    )
+    assert all(r[2] > 20 for r in rows)  # usable scale for experiments
+    benchmark(_throughput, 200, 8, 8, 2)

@@ -1,0 +1,37 @@
+"""k-machine vs MPC on one workload: same MSF, different cost scaling.
+
+The k-machine model's bandwidth grows with k; the MPC model's grows with
+per-machine space S.  This example runs the identical churn stream on
+both and shows (a) bit-identical forests, (b) the differing round
+profiles, (c) the differing initialisation behaviour (O(n/k) vs O(log n)).
+
+Run:  python examples/model_comparison.py
+"""
+
+import numpy as np
+
+from repro.core import DynamicMST
+from repro.graphs import churn_stream, random_weighted_graph
+from repro.graphs.mst import msf_key_multiset
+from repro.mpc import MPCDynamicMST
+
+rng = np.random.default_rng(11)
+g = random_weighted_graph(400, 1200, rng)
+stream = list(churn_stream(g, 8, 6, rng=rng))
+
+km = DynamicMST.build(g, 8, rng=rng, init="distributed")
+mpc = MPCDynamicMST.build(g, 8, rng=rng)
+print(f"init rounds:  k-machine={km.init_rounds} (O(n/k))   "
+      f"MPC={mpc.init_rounds} (O(log n))\n")
+print(f"{'batch':>5} {'k-machine rounds':>16} {'MPC rounds':>10} {'forests equal':>13}")
+
+for i, batch in enumerate(stream):
+    a = km.apply_batch(batch)
+    b = mpc.apply_batch(batch)
+    same = msf_key_multiset(km.msf_edges()) == msf_key_multiset(mpc.msf_edges())
+    print(f"{i:>5} {a.rounds:>16} {b.rounds:>10} {str(same):>13}")
+
+km.check()
+mpc.check()
+print("\nboth models maintain the identical exact MSF; the MPC run pays "
+      "fewer rounds per batch because S > k words move per machine-round.")

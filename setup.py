@@ -1,0 +1,6 @@
+"""Shim so `python setup.py develop` works on offline machines without
+the wheel package (pip's editable path needs bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

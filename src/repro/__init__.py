@@ -1,0 +1,22 @@
+"""repro — batch-dynamic exact MST for cluster computing.
+
+A production-quality reproduction of *"How fast can you update your MST?
+(Dynamic algorithms for cluster computing)"* by Seth Gilbert and Lawrence
+Li Er Lu (SPAA 2020).
+
+The public entry points are:
+
+* :class:`repro.core.DynamicMST` — the batch-dynamic MST maintained over a
+  simulated k-machine cluster (Theorems 5.1 and 6.1);
+* :class:`repro.mpc.MPCDynamicMST` — the MPC-model variant (Theorem 8.1);
+* :mod:`repro.graphs` — graph substrate, generators and update streams;
+* :mod:`repro.lowerbound` — the Theorem 7.1 adversary and bit-flow meter;
+* :mod:`repro.baselines` — recompute / one-at-a-time / sequential oracles.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-theorem reproduction results.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""The per-update dynamic baseline (Italiano-et-al. style).
+
+Processes each update of a batch individually with the §5.4 algorithms:
+O(1) rounds per update, hence Θ(b) rounds per size-b batch.  A thin
+wrapper around :meth:`DynamicMST.apply_one_at_a_time` so the benchmark
+harness can treat all engines uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.api import DynamicMST
+from repro.graphs.generators import RngLike
+from repro.graphs.graph import Edge, WeightedGraph
+from repro.graphs.streams import Update
+from repro.sim.partition import VertexPartition
+
+
+class OneAtATimeBaseline:
+    """Single-update processing of batches over the k-machine cluster."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        k: int,
+        rng: RngLike = None,
+        init: str = "free",
+        vp: Optional[VertexPartition] = None,
+    ) -> None:
+        self.dm = DynamicMST.build(graph, k, rng=rng, init=init, vp=vp)
+        self.batch_rounds: List[int] = []
+
+    def apply_batch(self, batch: Sequence[Update]) -> Set[Edge]:
+        report = self.dm.apply_one_at_a_time(batch)
+        self.batch_rounds.append(report.rounds)
+        return self.dm.msf_edges()
+
+    def msf_edges(self) -> Set[Edge]:
+        return self.dm.msf_edges()
+
+    @property
+    def rounds(self) -> int:
+        return self.dm.rounds

@@ -1,0 +1,61 @@
+"""The static-per-batch baseline: rebuild the MST after every batch.
+
+This is what a cluster without dynamic algorithms does: apply the edge
+churn to the distributed storage (free — updates arrive at their hosting
+machines) and rerun the full Theorem 5.8 construction.  Per-batch cost is
+Θ(n/k + log n) rounds no matter how small the batch, which is the curve
+the batch-dynamic algorithm beats (bench `bench_baseline_comparison`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.init_build import distributed_init, make_states
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import Edge, WeightedGraph
+from repro.graphs.streams import Update, apply_updates
+from repro.sim.network import KMachineNetwork
+from repro.sim.partition import VertexPartition, random_vertex_partition
+
+
+class RecomputeBaseline:
+    """Distributed full-recompute per batch."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        k: int,
+        rng: RngLike = None,
+        vp: Optional[VertexPartition] = None,
+    ) -> None:
+        self.k = k
+        self.rng = as_rng(rng)
+        self.graph = graph.copy()
+        self.net = KMachineNetwork(k)
+        self.vp = vp if vp is not None else random_vertex_partition(
+            sorted(graph.vertices()), k, self.rng
+        )
+        self._msf: Set[Edge] = set()
+        self.batch_rounds: List[int] = []
+        self._rebuild()
+
+    def _rebuild(self) -> int:
+        before = self.net.ledger.snapshot()
+        states, tid = make_states(self.graph, self.vp, self.net)
+        self._msf, _ = distributed_init(
+            self.net, self.vp, states, sorted(self.graph.vertices()), tid
+        )
+        return self.net.ledger.since(before).rounds
+
+    def apply_batch(self, batch: Sequence[Update]) -> Set[Edge]:
+        apply_updates(self.graph, batch)
+        self.batch_rounds.append(self._rebuild())
+        return set(self._msf)
+
+    def msf_edges(self) -> Set[Edge]:
+        return set(self._msf)
+
+    @property
+    def rounds(self) -> int:
+        return self.net.ledger.rounds

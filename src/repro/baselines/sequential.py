@@ -1,0 +1,74 @@
+"""Sequential dynamic-MST oracle.
+
+Maintains the evolving graph and recomputes the unique MSF per batch with
+Kruskal over an incrementally maintained sorted edge list.  This is the
+correctness oracle for every distributed engine and the single-machine
+wall-clock baseline for the throughput benches.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Sequence, Set, Tuple
+
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.graph import Edge, WeightedGraph, normalize
+from repro.graphs.streams import Update
+
+
+class SequentialDynamicMST:
+    """Single-machine batched dynamic MSF (sorted-list Kruskal)."""
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph.copy()
+        self._sorted: List[Tuple[Tuple[float, int, int], Edge]] = sorted(
+            (e.key(), e) for e in graph.edges()
+        )
+        self._msf: Set[Edge] = set()
+        self._recompute()
+
+    def _recompute(self) -> None:
+        dsu = DisjointSet(self.graph.vertices())
+        msf: Set[Edge] = set()
+        for _key, e in self._sorted:
+            if dsu.union(e.u, e.v):
+                msf.add(e)
+        self._msf = msf
+
+    def apply_batch(self, batch: Sequence[Update]) -> Set[Edge]:
+        """Apply the batch and return the new MSF."""
+        for upd in batch:
+            u, v = upd.endpoints
+            if upd.kind == "add":
+                self.graph.add_edge(u, v, upd.weight)
+                e = Edge(u, v, upd.weight)
+                insort(self._sorted, (e.key(), e))
+            else:
+                e = self.graph.remove_edge(u, v)
+                idx = self._index_of(e)
+                self._sorted.pop(idx)
+        self._recompute()
+        return set(self._msf)
+
+    def _index_of(self, e: Edge) -> int:
+        lo, hi = 0, len(self._sorted)
+        key = e.key()
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sorted[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(self._sorted) or self._sorted[lo][0] != key:
+            raise KeyError(f"edge {e} not in sorted list")
+        return lo
+
+    def msf_edges(self) -> Set[Edge]:
+        return set(self._msf)
+
+    def total_weight(self) -> float:
+        return sum(e.weight for e in self._msf)
+
+    def in_mst(self, u: int, v: int) -> bool:
+        u, v = normalize(u, v)
+        return any((e.u, e.v) == (u, v) for e in self._msf)

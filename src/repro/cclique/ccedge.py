@@ -1,0 +1,38 @@
+"""Super-vertex edges for the contracted MST instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class CCEdge:
+    """An edge between super-vertices (components).
+
+    ``key`` is the global total-order key of the underlying graph edge
+    (weight, u, v), so contracted instances inherit the unique-MSF
+    property.  ``data`` carries whatever the caller needs back (for the
+    §6.2 reduction: the original Edge).  Ordering is by (key, cu, cv) so
+    sorted CCEdge lists are deterministic.
+    """
+
+    key: Tuple[float, int, int]
+    cu: int
+    cv: int
+    data: Any = None
+
+    def __post_init__(self) -> None:
+        if self.cu == self.cv:
+            raise ValueError("super self-loop")
+        if self.cu > self.cv:
+            raise ValueError("use CCEdge.make: endpoints must be canonical (cu < cv)")
+
+    @staticmethod
+    def make(cu: int, cv: int, key: Tuple[float, int, int], data: Any = None) -> "CCEdge":
+        a, b = (cu, cv) if cu < cv else (cv, cu)
+        return CCEdge(key, a, b, data)
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.cu, self.cv)

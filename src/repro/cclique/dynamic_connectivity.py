@@ -1,0 +1,107 @@
+"""Batch-dynamic connectivity with AGM sketches (Dhulipala et al. style).
+
+The related-work comparator: where the paper maintains an *exact MST*
+with Euler labels, the sketching line of work maintains *connectivity*
+with linear sketches — updates are O(polylog) sketch-cell changes and a
+spanning forest is recoverable per batch by sketch-Borůvka.
+
+This is a faithful-in-spirit single-structure implementation (the
+sketches are real linear sketches; the per-batch recovery is the
+standard summed-sketch Borůvka).  It exists for the comparison bench and
+tests — the exact-MST reproduction does not depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cclique.sketches import AGMSketch
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.streams import Update
+
+
+class SketchDynamicConnectivity:
+    """Maintains per-vertex sketch families under edge updates.
+
+    ``columns`` independent sketch families support that many Borůvka
+    rounds per recovery; O(log n) suffices w.h.p., and recovery falls
+    back to reporting possibly-unmerged components if the budget runs
+    out (detected by the tests against the DSU ground truth).
+    """
+
+    def __init__(self, graph: WeightedGraph, columns: Optional[int] = None,
+                 rng: RngLike = None) -> None:
+        rng = as_rng(rng)
+        self.n = max(graph.vertices(), default=0) + 1
+        self.vertices = sorted(graph.vertices())
+        if columns is None:
+            columns = 2 * int(np.ceil(np.log2(max(self.n, 2)))) + 4
+        self.columns = columns
+        self._seeds = [int(rng.integers(0, 2**62)) for _ in range(columns)]
+        self._sketches: List[Dict[int, AGMSketch]] = [
+            {v: AGMSketch(max(self.n, 2), seed) for v in self.vertices}
+            for seed in self._seeds
+        ]
+        self.words_updated = 0
+        self._edges = set()
+        for e in graph.edges():
+            self._apply(e.u, e.v, +1)
+            self._edges.add((e.u, e.v))
+
+    def _apply(self, u: int, v: int, delta: int) -> None:
+        for fam in self._sketches:
+            fam[u].update_for(u, u, v, delta)
+            fam[v].update_for(v, u, v, delta)
+            # Each endpoint touches O(levels) cells of one sampler.
+            self.words_updated += fam[u].words // len(fam[u].sampler.cells) * 2
+        # (coarse words metric: 2 cell-columns per family)
+
+    def apply_batch(self, batch: Sequence[Update]) -> None:
+        for upd in batch:
+            pair = upd.endpoints
+            if upd.kind == "add":
+                if pair in self._edges:
+                    raise ValueError(f"edge {pair} already present")
+                self._edges.add(pair)
+                self._apply(*pair, +1)
+            else:
+                if pair not in self._edges:
+                    raise ValueError(f"edge {pair} not present")
+                self._edges.discard(pair)
+                self._apply(*pair, -1)
+
+    def components(self) -> DisjointSet:
+        """Sketch-Borůvka over the maintained sketches (one-shot copies)."""
+        import copy
+
+        dsu = DisjointSet(self.vertices)
+        for fam in self._sketches:
+            # Sum each current component's sketches and try to merge.
+            comp: Dict[object, AGMSketch] = {}
+            for v in self.vertices:
+                root = dsu.find(v)
+                sk = copy.deepcopy(fam[v])
+                if root in comp:
+                    comp[root].merge(sk)
+                else:
+                    comp[root] = sk
+            merged = False
+            for root in sorted(comp, key=repr):
+                got = comp[root].sample_edge()
+                if got is not None and got in self._edges and dsu.union(*got):
+                    merged = True
+            if not merged and dsu.n_components == len(
+                {dsu.find(v) for v in self.vertices}
+            ):
+                # Keep scanning remaining families only if progress may
+                # still be possible; cheap early-exit heuristic:
+                continue
+        return dsu
+
+    def connected(self, u: int, v: int) -> bool:
+        d = self.components()
+        return d.connected(u, v)

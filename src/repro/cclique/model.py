@@ -1,0 +1,61 @@
+"""The CONGESTED CLIQUE as a first-class model (§3).
+
+The paper treats the CONGESTED CLIQUE as "the special case of the
+k-machine model where k = n": machine i *is* vertex i and holds exactly
+its incident edges.  :class:`CongestedClique` packages that convention
+plus a static MST entry point, so the engines in
+:mod:`repro.cclique.engines` can also be used standalone (they are the
+§6.2 subroutine, but they solve any instance).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.cclique.ccedge import CCEdge
+from repro.cclique.engines import cc_msf
+from repro.errors import ModelViolation
+from repro.graphs.generators import RngLike
+from repro.graphs.graph import Edge, WeightedGraph
+from repro.sim.metrics import Ledger
+from repro.sim.network import KMachineNetwork
+
+
+class CongestedClique:
+    """n machines, one vertex each, Θ(log n)-bit links."""
+
+    def __init__(self, graph: WeightedGraph, words_per_round: int = 1) -> None:
+        verts = sorted(graph.vertices())
+        if verts != list(range(len(verts))):
+            raise ModelViolation(
+                "CONGESTED CLIQUE requires vertices 0..n-1 (machine i = vertex i)"
+            )
+        self.graph = graph.copy()
+        self.n = len(verts)
+        self.net = KMachineNetwork(max(self.n, 1), words_per_round=words_per_round)
+
+    @property
+    def ledger(self) -> Ledger:
+        return self.net.ledger
+
+    def local_edges(self) -> List[List[CCEdge]]:
+        """Machine i's view: all edges incident to vertex i.
+
+        Each edge appears on both endpoint machines, as in the model.
+        """
+        local: List[List[CCEdge]] = [[] for _ in range(self.n)]
+        for e in self.graph.edges():
+            cc = CCEdge.make(e.u, e.v, e.key(), data=(e.u, e.v, e.weight))
+            local[e.u].append(cc)
+            local[e.v].append(cc)
+        return local
+
+    def mst(self, engine: str = "sample_gather", rng: RngLike = None) -> Set[Edge]:
+        """Compute the MSF; every machine ends up knowing it.
+
+        Returns the edge set; rounds are measured on :attr:`ledger`.
+        """
+        if self.n == 0:
+            return set()
+        got = cc_msf(self.net, self.n, self.local_edges(), engine=engine, rng=rng)
+        return {Edge(*e.data) for e in got}

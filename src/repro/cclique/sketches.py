@@ -1,0 +1,216 @@
+"""AGM linear graph sketches and sketch-based connectivity.
+
+Ahn–Guha–McGregor (PODS '12) sketches are the standard substrate of the
+related batch-dynamic *connectivity* work the paper cites (Dhulipala et
+al.); the deletion-case MST subroutine of Jurdziński–Nowicki also relies
+on sparse-recovery sketches.  We implement the classic construction:
+
+* an :class:`L0Sampler` over a coordinate universe: per level, a hashed
+  subsample with (count, index-sum, fingerprint) cells; recovery succeeds
+  when some level isolates exactly one nonzero coordinate;
+* :class:`AGMSketch` — per-vertex sketch of its edge-incidence vector
+  (+1 on edges where the vertex is the min endpoint, -1 otherwise), so
+  sketches of a vertex set *sum* to a sketch of its outgoing edges;
+* :class:`SketchConnectivity` — Borůvka over summed sketches, using one
+  fresh sketch copy per round (sketches are one-shot once queried).
+
+Sketches here are used by the comparison bench (sketching vs Euler-tour
+approaches) and as a self-contained substrate; the exact-MST path of the
+reproduction does not depend on them, mirroring the paper's remark that
+its contributions avoid sketching except inside the deletion subroutine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph, normalize
+
+_FP_PRIME = (1 << 61) - 1  # Mersenne prime for fingerprint arithmetic
+
+
+def _edge_id(u: int, v: int, n: int) -> int:
+    u, v = normalize(u, v)
+    return u * n + v
+
+
+def _id_edge(eid: int, n: int) -> Tuple[int, int]:
+    return divmod(eid, n)
+
+
+@dataclass
+class _Cell:
+    count: int = 0
+    index_sum: int = 0
+    fingerprint: int = 0
+
+
+class L0Sampler:
+    """One-shot L0 sampler of a dynamic vector with ±1 updates.
+
+    ``seed`` fixes both the level hashes and the fingerprint base, so two
+    samplers built with the same seed are *linear*: adding their cells
+    gives the sampler of the summed vector.
+    """
+
+    def __init__(self, universe: int, seed: int) -> None:
+        self.universe = universe
+        self.levels = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 2)
+        rng = np.random.default_rng(seed)
+        # Pairwise-independent-ish level hash: h(i) = (a*i + b mod p) mod 2^l.
+        self._a = int(rng.integers(1, _FP_PRIME))
+        self._b = int(rng.integers(0, _FP_PRIME))
+        self._r = int(rng.integers(2, _FP_PRIME))
+        self.cells = [_Cell() for _ in range(self.levels)]
+
+    def _level_of(self, idx: int) -> int:
+        h = (self._a * idx + self._b) % _FP_PRIME
+        # Number of trailing-zero-style successes: idx survives to level l
+        # with probability 2^-l.
+        lvl = 0
+        while lvl + 1 < self.levels and (h >> lvl) & 1 == 0:
+            lvl += 1
+        return lvl
+
+    def update(self, idx: int, delta: int) -> None:
+        """Add ``delta`` (±1) to coordinate ``idx``."""
+        if not 0 <= idx < self.universe:
+            raise ValueError("index outside universe")
+        lvl = self._level_of(idx)
+        fp = delta * pow(self._r, idx + 1, _FP_PRIME) % _FP_PRIME
+        for l in range(lvl + 1):
+            c = self.cells[l]
+            c.count += delta
+            c.index_sum += delta * idx
+            c.fingerprint = (c.fingerprint + fp) % _FP_PRIME
+
+    def merge(self, other: "L0Sampler") -> None:
+        """Linear combination: absorb another sampler with the same seed."""
+        if (self._a, self._b, self._r, self.universe) != (
+            other._a,
+            other._b,
+            other._r,
+            other.universe,
+        ):
+            raise ValueError("samplers built with different seeds cannot merge")
+        for c, oc in zip(self.cells, other.cells):
+            c.count += oc.count
+            c.index_sum += oc.index_sum
+            c.fingerprint = (c.fingerprint + oc.fingerprint) % _FP_PRIME
+
+    def sample(self) -> Optional[Tuple[int, int]]:
+        """Return (index, sign) of some nonzero coordinate, or None."""
+        for c in self.cells:
+            if c.count in (1, -1):
+                idx = c.index_sum * c.count
+                if 0 <= idx < self.universe:
+                    expect = c.count * pow(self._r, idx + 1, _FP_PRIME) % _FP_PRIME
+                    if expect == c.fingerprint:
+                        return (idx, c.count)
+        return None
+
+    @property
+    def words(self) -> int:
+        """Sketch size in model words (3 cells' worth per level)."""
+        return 3 * self.levels
+
+
+class AGMSketch:
+    """Per-vertex sketch of the edge-incidence vector of a graph snapshot."""
+
+    def __init__(self, n: int, seed: int) -> None:
+        self.n = n
+        self.seed = seed
+        self.sampler = L0Sampler(n * n, seed)
+
+    def update_for(self, owner: int, u: int, v: int, delta: int = 1) -> None:
+        """Record edge (u, v) insertion (delta=1) / deletion (-1) for ``owner``."""
+        if owner not in (u, v):
+            raise ValueError("owner must be an endpoint")
+        eid = _edge_id(u, v, self.n)
+        a, _b = normalize(u, v)
+        sign = 1 if owner == a else -1
+        self.sampler.update(eid, sign * delta)
+
+    def merge(self, other: "AGMSketch") -> None:
+        self.sampler.merge(other.sampler)
+
+    def sample_edge(self) -> Optional[Tuple[int, int]]:
+        got = self.sampler.sample()
+        if got is None:
+            return None
+        eid, _sign = got
+        return _id_edge(eid, self.n)
+
+    @property
+    def words(self) -> int:
+        return self.sampler.words
+
+
+def vertex_sketches(
+    graph: WeightedGraph, n: int, seed: int
+) -> Dict[int, AGMSketch]:
+    """Build one AGM sketch per vertex for a graph snapshot."""
+    sketches = {v: AGMSketch(n, seed) for v in graph.vertices()}
+    for e in graph.edges():
+        sketches[e.u].update_for(e.u, e.u, e.v)
+        sketches[e.v].update_for(e.v, e.u, e.v)
+    return sketches
+
+
+class SketchConnectivity:
+    """Borůvka connectivity over summed AGM sketches.
+
+    Uses one independent sketch family per Borůvka round (a queried
+    sketch is spent).  With O(log n) rounds and O(log^2 n)-word sketches
+    this is the communication pattern of the sketch-based batch-dynamic
+    connectivity line of work; we run it centrally and only *count* its
+    words via :meth:`words_per_vertex`.
+    """
+
+    def __init__(self, graph: WeightedGraph, rng: RngLike = None) -> None:
+        self.graph = graph
+        self.n = max(graph.vertices(), default=0) + 1
+        self.rng = as_rng(rng)
+        self.rounds_used = 0
+        self._families_used = 0
+
+    def words_per_vertex(self) -> int:
+        one = AGMSketch(max(self.n, 2), 0).words
+        return one * max(self._families_used, 1)
+
+    def components(self, max_rounds: Optional[int] = None) -> DisjointSet:
+        """Return a DSU describing the connected components."""
+        dsu = DisjointSet(self.graph.vertices())
+        if self.graph.m == 0:
+            return dsu
+        n_rounds = max_rounds if max_rounds is not None else 2 * int(np.ceil(np.log2(max(self.n, 2)))) + 4
+        for _ in range(n_rounds):
+            seed = int(self.rng.integers(0, 2**62))
+            self._families_used += 1
+            sketches = vertex_sketches(self.graph, max(self.n, 2), seed)
+            # Sum sketches within each current component.
+            comp_sketch: Dict[object, AGMSketch] = {}
+            for v, sk in sketches.items():
+                root = dsu.find(v)
+                if root in comp_sketch:
+                    comp_sketch[root].merge(sk)
+                else:
+                    comp_sketch[root] = sk
+            merged = False
+            for root in sorted(comp_sketch, key=repr):
+                got = comp_sketch[root].sample_edge()
+                if got is None:
+                    continue
+                u, v = got
+                if self.graph.has_edge(u, v) and dsu.union(u, v):
+                    merged = True
+            self.rounds_used += 1
+            if not merged:
+                break
+        return dsu

@@ -1,0 +1,148 @@
+"""Command-line interface: quick demos without writing code.
+
+    python -m repro demo --n 200 --m 600 --k 8 --batches 5 --batch-size 8
+    python -m repro verify --seed 3
+    python -m repro lowerbound --k 4 --delta 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import DynamicMST
+    from repro.graphs import churn_stream, random_weighted_graph
+
+    rng = np.random.default_rng(args.seed)
+    if args.input:
+        from repro.graphs.io import read_edge_list
+
+        g = read_edge_list(args.input)
+    else:
+        g = random_weighted_graph(args.n, args.m, rng)
+    dm = DynamicMST.build(g, args.k, rng=rng, init=args.init, engine=args.engine)
+    print(f"n={args.n} m={args.m} k={args.k} engine={args.engine}")
+    print(f"init: {dm.init_rounds} rounds; MSF weight {dm.total_weight():.3f}")
+    for i, batch in enumerate(
+        churn_stream(dm.shadow.copy(), args.batch_size, args.batches, rng=rng)
+    ):
+        rep = dm.apply_batch(batch)
+        print(f"batch {i}: {rep.size:>3} updates  {rep.rounds:>5} rounds  "
+              f"weight {dm.total_weight():.3f}")
+    dm.check()
+    print("consistency check passed")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core import DynamicMST
+    from repro.graphs import churn_stream, random_weighted_graph
+
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+    for trial in range(args.trials):
+        n = int(rng.integers(5, 40))
+        m = int(rng.integers(0, n * (n - 1) // 2 // 2))
+        k = int(rng.integers(2, 9))
+        g = random_weighted_graph(n, m, rng, connected=False)
+        dm = DynamicMST.build(g, k, rng=rng, init="free", engine=args.engine)
+        try:
+            for batch in churn_stream(g, int(rng.integers(1, k + 2)), 5, rng=rng):
+                dm.apply_batch(batch)
+                dm.check()
+        except Exception as exc:  # noqa: BLE001 - CLI surface
+            failures += 1
+            print(f"trial {trial}: FAILED — {type(exc).__name__}: {exc}")
+    print(f"{args.trials - failures}/{args.trials} randomized trials passed")
+    return 1 if failures else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core import DynamicMST
+    from repro.graphs.io import read_stream
+
+    stream = read_stream(args.stream)
+    dm = DynamicMST.build(stream.initial, args.k, rng=args.seed, init=args.init)
+    print(f"replaying {len(stream)} batches over k={args.k} machines "
+          f"(init {dm.init_rounds} rounds)")
+    for i, batch in enumerate(stream):
+        if not batch:
+            continue
+        rep = dm.apply_batch(batch)
+        print(f"batch {i}: {rep.size:>3} updates  {rep.rounds:>5} rounds")
+    dm.check()
+    print(f"done; total {dm.rounds} rounds, MSF weight {dm.total_weight():.4f}")
+    return 0
+
+
+def _cmd_lowerbound(args: argparse.Namespace) -> int:
+    from repro.graphs import random_weighted_graph
+    from repro.lowerbound import run_lower_bound_experiment
+
+    rng = np.random.default_rng(args.seed)
+    g = random_weighted_graph(args.n, args.m, rng)
+    meter = run_lower_bound_experiment(
+        g, k=args.k, delta=args.delta, rng=args.seed, pairs=args.pairs
+    )
+    print(meter.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch-dynamic exact MST for cluster computing "
+        "(Gilbert & Li, SPAA 2020 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a churn stream and print rounds")
+    demo.add_argument("--n", type=int, default=200)
+    demo.add_argument("--m", type=int, default=600)
+    demo.add_argument("--k", type=int, default=8)
+    demo.add_argument("--batches", type=int, default=5)
+    demo.add_argument("--batch-size", type=int, default=8)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--input", help="edge-list file instead of a random graph")
+    demo.add_argument("--init", choices=["distributed", "free"], default="distributed")
+    demo.add_argument("--engine", default="sample_gather",
+                      choices=["boruvka", "lotker", "sample_gather"])
+    demo.set_defaults(fn=_cmd_demo)
+
+    verify = sub.add_parser("verify", help="randomized self-check vs the oracle")
+    verify.add_argument("--trials", type=int, default=5)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--engine", default="sample_gather",
+                        choices=["boruvka", "lotker", "sample_gather"])
+    verify.set_defaults(fn=_cmd_verify)
+
+    replay = sub.add_parser("replay", help="replay a JSON update stream")
+    replay.add_argument("stream", help="stream file from repro.graphs.io.write_stream")
+    replay.add_argument("--k", type=int, default=8)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--init", choices=["distributed", "free"], default="free")
+    replay.set_defaults(fn=_cmd_replay)
+
+    lb = sub.add_parser("lowerbound", help="run the Theorem 7.1 adversary")
+    lb.add_argument("--n", type=int, default=150)
+    lb.add_argument("--m", type=int, default=3000)
+    lb.add_argument("--k", type=int, default=4)
+    lb.add_argument("--delta", type=float, default=1.0)
+    lb.add_argument("--pairs", type=int, default=3)
+    lb.add_argument("--seed", type=int, default=0)
+    lb.set_defaults(fn=_cmd_lowerbound)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Communication primitives built on the dumb network.
+
+Everything here is an explicit multi-superstep protocol whose round cost
+is *measured* by the network ledger, never asserted:
+
+* :mod:`repro.comm.rerouting` — the Rerouting Lemma (Lemma 4.2 / A.1–A.2):
+  B broadcasts in R dependency sets in O(B/k + R) rounds, plus the naive
+  strategy kept for the ablation bench;
+* :mod:`repro.comm.aggregate` — converge-cast min/max/sum and the batched
+  "O(k) queries collated round-robin mod k" pattern of §6.1 step 6;
+* :mod:`repro.comm.lenzen` — Lenzen routing and sorting (Theorem 4.1);
+* :mod:`repro.comm.trees` — MPC broadcast / converge-cast trees with
+  branching factor S (§8).
+"""
+
+from repro.comm.rerouting import naive_broadcasts, scheduled_broadcasts
+from repro.comm.aggregate import (
+    batched_queries,
+    converge_cast,
+    global_max,
+    global_min,
+    global_sum,
+)
+from repro.comm.lenzen import lenzen_route, lenzen_sort
+from repro.comm.trees import tree_broadcast, tree_converge_cast
+
+__all__ = [
+    "scheduled_broadcasts",
+    "naive_broadcasts",
+    "converge_cast",
+    "global_min",
+    "global_max",
+    "global_sum",
+    "batched_queries",
+    "lenzen_route",
+    "lenzen_sort",
+    "tree_broadcast",
+    "tree_converge_cast",
+]

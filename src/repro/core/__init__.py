@@ -1,0 +1,22 @@
+"""The paper's primary contribution: batch-dynamic exact MST.
+
+Layout:
+
+* :mod:`repro.core.state` — the per-machine Euler state of §5.2 (MST edge
+  labels, neighbour witness edges, tour sizes);
+* :mod:`repro.core.scripts` — the k-way structural-update engine of
+  Lemma 5.9: parameter collection, deterministic script construction with
+  cascading label transforms, per-machine application, witness repair;
+* :mod:`repro.core.init_build` — Theorem 5.8 initialisation (distributed
+  Borůvka + batched Euler construction);
+* :mod:`repro.core.single_update` — §5.4 one-at-a-time updates;
+* :mod:`repro.core.decomposition` — Lemma 6.3 path decomposition (pure
+  functions, independently tested);
+* :mod:`repro.core.batch_addition` / :mod:`repro.core.batch_deletion` —
+  §6.1 and §6.2;
+* :mod:`repro.core.api` — the :class:`DynamicMST` facade.
+"""
+
+from repro.core.api import BatchReport, DynamicMST
+
+__all__ = ["DynamicMST", "BatchReport"]

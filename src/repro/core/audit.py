@@ -1,0 +1,111 @@
+"""Distributed self-audit: verify the Euler structure in O(T/k + 1) rounds.
+
+The test suite's :mod:`repro.core.checker` is centralized instrumentation;
+a real deployment wants the *cluster itself* to detect corruption.  The
+Euler walk admits a classic fingerprint check:
+
+A tour of size L is valid iff the multiset of directed traversals
+``{(t, tail_t, head_t)}`` chains — equivalently, the multisets
+``{(t + 1 mod L, head_t)}`` and ``{(t, tail_t)}`` are equal, and the
+labels are exactly {0..L-1}.  Multiset equality is checked with a random
+polynomial fingerprint (Schwartz–Zippel): each machine sums
+``r^encode(label, vertex) mod p`` over the traversals of the edges it
+*homes* (the smaller endpoint's machine, so replicated copies are not
+double-counted), and per-tour converge-casts compare the two sums plus a
+label checksum.  A corrupted label, direction or size is detected with
+probability ≥ 1 - L/p per audit.
+
+Cost: the fingerprints of all T affected tours are aggregated through
+:func:`repro.comm.aggregate.batched_queries` — O(T/k + 1) rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.aggregate import batched_queries
+from repro.core.state import MachineState
+from repro.graphs.generators import RngLike, as_rng
+from repro.sim.message import WORDS_ID
+from repro.sim.network import Network
+from repro.sim.partition import VertexPartition
+
+_P = (1 << 61) - 1
+
+
+def _encode(label: int, vertex: int, r: int, salt: int) -> int:
+    return pow(r, (label * 1_000_003 + vertex + salt) % (_P - 1) + 1, _P)
+
+
+def distributed_audit(
+    net: Network,
+    vp: VertexPartition,
+    states: Sequence[MachineState],
+    rng: RngLike = None,
+) -> Tuple[bool, List[int]]:
+    """Audit every tour; returns (ok, list of suspicious tour ids).
+
+    The shared random base r is drawn by machine 0 and broadcast (one
+    round) so all machines fingerprint consistently.
+    """
+    rng = as_rng(rng)
+    r = int(rng.integers(2, _P - 2))
+    net.broadcast(0, ("audit_base", r), WORDS_ID)
+
+    # Per machine, per tour: (chain_forward, chain_backward, label_sum,
+    # label_sq_sum, n_traversals) over the edges this machine homes.
+    per_query: Dict[int, List[Optional[Tuple[int, int, int, int, int]]]] = {}
+    sizes: Dict[int, int] = {}
+    for st in states:
+        local: Dict[int, List[int]] = {}
+        for (u, v), ete in st.mst.items():
+            if vp.home(u) != st.mid:
+                continue  # the other copy's machine reports this edge
+            acc = local.setdefault(ete.tour, [0, 0, 0, 0, 0])
+            for label in (ete.t_uv, ete.t_vu):
+                head = ete.head_at(label)
+                tail = ete.tail_at(label)
+                size = st.tour_size.get(ete.tour)
+                if size is None or size <= 0:
+                    continue
+                acc[0] = (acc[0] + _encode((label + 1) % size, head, r, 7)) % _P
+                acc[1] = (acc[1] + _encode(label, tail, r, 7)) % _P
+                acc[2] += label
+                acc[3] += label * label
+                acc[4] += 1
+        for tid, acc in local.items():
+            if tid not in per_query:
+                per_query[tid] = [None] * net.k
+            per_query[tid][st.mid] = tuple(acc)
+        for tid, size in st.tour_size.items():
+            sizes.setdefault(tid, size)
+
+    def combine(parts: List[Tuple[int, int, int, int, int]]):
+        f = b = s = q = c = 0
+        for (pf, pb, ps, pq, pc) in parts:
+            f = (f + pf) % _P
+            b = (b + pb) % _P
+            s += ps
+            q += pq
+            c += pc
+        return (f, b, s, q, c)
+
+    answers = batched_queries(net, per_query, combine, words=WORDS_ID * 5)
+
+    bad: List[int] = []
+    for tid, ans in answers.items():
+        if ans is None:
+            bad.append(tid)
+            continue
+        f, b, s, q, c = ans
+        size = sizes.get(tid, -1)
+        # 1. All labels present exactly once: count, sum, sum of squares.
+        exp_s = size * (size - 1) // 2
+        exp_q = (size - 1) * size * (2 * size - 1) // 6
+        if c != size or s != exp_s or q != exp_q:
+            bad.append(tid)
+            continue
+        # 2. The walk chains: forward and backward fingerprints agree.
+        if f != b:
+            bad.append(tid)
+    return (not bad, sorted(bad))

@@ -1,0 +1,222 @@
+"""Path decomposition for batch additions (Lemma 6.3, Figures 2–3).
+
+Pure functions over broadcast-shaped data, so the distributed protocol
+and the tests share one implementation.
+
+Definitions (per affected tour t):
+
+* ``A_t`` — endpoints of new edges lying in t; every vertex is described
+  by its *parent interval* I(x) = (p_in, p_out) of its parent edge
+  (Lemma 5.3), with the sentinel (-1, size) for the tour root, so that
+  interval containment is uniform;
+* M' — the Steiner tree of A_t inside the MST: edge e ∈ M' iff the count
+  of A_t-vertices *below* e satisfies 1 ≤ cnt ≤ |A_t| - 1, where
+  "a below e" ⟺ p_in(a) ∈ [e_in, e_out];
+* ``B_t`` — vertices with ≥ 3 incident M' edges (computed by their home
+  machines, who hold all their edges);
+* anchors = A_t ∪ B_t.  Their intervals nest; the nesting forest almost
+  equals the induced tree T of the lemma, with one wrinkle: the *topmost
+  junction* of the Steiner tree may have exactly two branches and no M'
+  edge above it — a "bend" that is in neither A nor B.  Such a bend shows
+  up as *two* top-level anchors whose parent edges are both in M'; they
+  contribute a single two-arm path set.
+
+Each :class:`PathSet` is one of the lemma's O(k) disjoint sets; at most
+its maximum-key edge may be cut.  :func:`solve_contracted` runs Kruskal
+on the contracted instance M'' (path sets weighted by their maxima, plus
+the new edges) and emits the cut/link decisions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.graph import normalize
+
+#: Total-order key of a graph edge: (weight, u, v).
+EdgeKey = Tuple[float, int, int]
+#: A parent-edge interval; tour roots use the sentinel (-1, size).
+Interval = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AnchorInfo:
+    """Broadcast record for one A∪B vertex: its tour and parent interval."""
+
+    vertex: int
+    tour: int
+    interval: Interval
+
+    @property
+    def is_root(self) -> bool:
+        return self.interval[0] < 0
+
+
+def below(p_in: int, e_labels: Interval) -> bool:
+    """Is a vertex with parent-entry time ``p_in`` below edge ``e_labels``?"""
+    return e_labels[0] <= p_in <= e_labels[1]
+
+
+def in_m_prime(
+    e_labels: Interval, a_entries: Sequence[int], assume_sorted: bool = False
+) -> bool:
+    """Steiner-tree membership for one MST edge of an affected tour.
+
+    ``a_entries`` are the p_in values of *all* the tour's A-vertices
+    (roots contribute -1, never below any edge).  Pass
+    ``assume_sorted=True`` when the list is already ascending (the
+    protocols keep it sorted) to skip the defensive sort.
+    """
+    entries = a_entries if assume_sorted else sorted(a_entries)
+    n = len(entries)
+    if n < 2:
+        return False
+    cnt = bisect_right(entries, e_labels[1]) - bisect_left(entries, e_labels[0])
+    return 1 <= cnt <= n - 1
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """One decomposition set, keyed for the distributed max-query.
+
+    ``kind`` is "chain" (the path from ``child`` up to the real anchor
+    ``parent``) or "pair" (the two arms of top-level anchors ``child`` and
+    ``parent`` meeting at the tour's topmost Steiner bend).
+    """
+
+    tour: int
+    kind: str
+    child: AnchorInfo
+    parent: AnchorInfo
+
+    @property
+    def query_id(self) -> Tuple[int, int]:
+        if self.kind == "pair":
+            return (self.tour, min(self.child.interval[0], self.parent.interval[0]))
+        return (self.tour, self.child.interval[0])
+
+    @property
+    def h_edge(self) -> Tuple[int, int]:
+        """The M'' edge this set contracts to (anchor vertex pair)."""
+        return (self.child.vertex, self.parent.vertex)
+
+    def matches_interval(self, e_labels: Interval) -> bool:
+        """The interval half of membership (assumes e is known to be in M')."""
+        if self.kind == "pair":
+            return below(self.child.interval[0], e_labels) or below(
+                self.parent.interval[0], e_labels
+            )
+        return self.parent.interval[0] < e_labels[0] and below(
+            self.child.interval[0], e_labels
+        )
+
+    def contains_edge(
+        self, e_labels: Interval, a_entries: Sequence[int],
+        assume_sorted: bool = False,
+    ) -> bool:
+        """Is MST edge ``e_labels`` (of this tour) a member of this set?"""
+        if not in_m_prime(e_labels, a_entries, assume_sorted):
+            return False
+        return self.matches_interval(e_labels)
+
+
+def build_paths(
+    anchors: Sequence[AnchorInfo],
+    a_entries_by_tour: Dict[int, List[int]],
+) -> List[PathSet]:
+    """Construct the T-edges (path sets) from the broadcast anchors.
+
+    ``a_entries_by_tour[t]`` lists the p_in values of A_t (anchors in A
+    only, not B).  Deterministic given identical inputs, so every machine
+    derives the same list.
+    """
+    by_tour: Dict[int, List[AnchorInfo]] = {}
+    for a in anchors:
+        by_tour.setdefault(a.tour, []).append(a)
+    paths: List[PathSet] = []
+    for tour in sorted(by_tour):
+        group = sorted(by_tour[tour], key=lambda a: (a.interval[0], -a.interval[1]))
+        a_entries = a_entries_by_tour.get(tour, [])
+        top_level: List[AnchorInfo] = []
+        for child in group:
+            # Smallest anchor interval strictly containing the child's.
+            best: Optional[AnchorInfo] = None
+            for cand in group:
+                if cand.vertex == child.vertex:
+                    continue
+                lo, hi = cand.interval
+                if lo <= child.interval[0] and child.interval[1] <= hi:
+                    if best is None or (lo, -hi) > (best.interval[0], -best.interval[1]):
+                        best = cand
+            if best is None:
+                top_level.append(child)
+                continue
+            if not child.is_root and in_m_prime(child.interval, a_entries):
+                paths.append(PathSet(tour, "chain", child, best))
+        # Top-level anchors whose own parent edge is in M' meet at the
+        # tour's topmost Steiner bend; there are either 0 or exactly 2.
+        live_top = [
+            c for c in top_level if not c.is_root and in_m_prime(c.interval, a_entries)
+        ]
+        if len(live_top) == 2:
+            c1, c2 = sorted(live_top, key=lambda a: a.interval[0])
+            paths.append(PathSet(tour, "pair", c1, c2))
+        elif len(live_top) > 2:
+            raise AssertionError(
+                f"tour {tour}: {len(live_top)} top-level M'-anchors; "
+                "the Steiner structure guarantees at most 2"
+            )
+    return paths
+
+
+@dataclass
+class ContractionDecision:
+    """Output of the contracted-MSF computation."""
+
+    cuts: List[Tuple[int, int]]  # MST edges to remove
+    links: List[Tuple[int, int, float]]  # new edges entering the MST
+    rejected: List[Tuple[int, int, float]]  # new edges kept as plain graph edges
+
+
+def solve_contracted(
+    paths: Sequence[PathSet],
+    path_max: Dict[Tuple[int, int], Optional[Tuple[EdgeKey, int, int]]],
+    new_edges: Sequence[Tuple[int, int, float]],
+) -> ContractionDecision:
+    """Kruskal over the contracted instance M'' (Figure 3's right side).
+
+    ``path_max[qid]`` is the max-query answer for that path set: (edge
+    key, u, v) of the heaviest MST edge in the set.  Path sets enter with
+    their max key (removing any other edge of the set would be worse),
+    new edges with their own key.  A path set losing means its max edge
+    is cut; a new edge winning means it is linked.
+    """
+    items: List[Tuple[EdgeKey, int, Tuple]] = []
+    for p in paths:
+        ans = path_max.get(p.query_id)
+        if ans is None:
+            raise ValueError(f"no max answer for path set {p.query_id}")
+        key, mu, mv = ans
+        items.append((key, 0, (p.h_edge[0], p.h_edge[1], mu, mv)))
+    for (u, v, w) in new_edges:
+        u, v = normalize(u, v)
+        items.append(((w, u, v), 1, (u, v, w)))
+    items.sort()
+
+    dsu = DisjointSet()
+    decision = ContractionDecision(cuts=[], links=[], rejected=[])
+    for key, kind, payload in items:
+        if kind == 0:
+            child, parent, mu, mv = payload
+            if not dsu.union(child, parent):
+                decision.cuts.append(normalize(mu, mv))
+        else:
+            u, v, w = payload
+            if dsu.union(u, v):
+                decision.links.append((u, v, w))
+            else:
+                decision.rejected.append((u, v, w))
+    return decision

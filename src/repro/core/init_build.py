@@ -1,0 +1,154 @@
+"""Initialisation (Theorem 5.8): distributed Borůvka + batched Euler build.
+
+Two modes:
+
+* ``distributed`` — the real protocol: Borůvka phases whose per-component
+  min-queries are batched through :func:`repro.comm.aggregate.batched_queries`
+  and whose chosen edges are linked into the Euler structure k at a time
+  with :func:`repro.core.scripts.run_structural_batch`.  Measured cost is
+  O(n/k + log n) rounds (bench T5.8).
+* ``free`` — oracle bootstrap: compute the MSF and tour labels centrally
+  and install them without charging the ledger.  Benches that study
+  *update* cost use this so initialisation does not pollute their
+  ledgers; correctness tests use both and compare.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.comm.aggregate import batched_queries
+from repro.core.scripts import run_structural_batch
+from repro.core.state import MachineState
+from repro.euler.tour import ETEdge, EulerForest
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.graph import Edge, WeightedGraph
+from repro.graphs.mst import kruskal_msf
+from repro.sim.message import WORDS_EDGE
+from repro.sim.network import Network
+from repro.sim.partition import VertexPartition
+
+
+def make_states(
+    graph: WeightedGraph,
+    vp: VertexPartition,
+    net: Network,
+) -> Tuple[List[MachineState], int]:
+    """Install the partitioned graph on the machines (no communication:
+    the model hands each machine its vertices' edges at time zero).
+
+    Every vertex starts as its own singleton tour with tour id = vertex
+    id; the replicated fresh-tour counter starts just above.
+    """
+    states = [
+        MachineState(m, vp.vertices_of[m], machine=net.machines[m]) for m in range(net.k)
+    ]
+    for e in graph.edges():
+        for m in set(vp.edge_machines(e.u, e.v)):
+            states[m].store_graph_edge(e.u, e.v, e.weight)
+    for st in states:
+        for x in st.tracked:
+            st.tour_of[x] = x
+            st.tour_size[x] = 0
+        st.refresh_gauges()
+    next_tour_id = max(graph.vertices(), default=-1) + 1
+    return states, next_tour_id
+
+
+def distributed_init(
+    net: Network,
+    vp: VertexPartition,
+    states: Sequence[MachineState],
+    vertices: Sequence[int],
+    next_tour_id: int,
+) -> Tuple[Set[Edge], int]:
+    """Borůvka + batched Euler construction; returns (MSF edges, counter)."""
+    k = net.k
+    dsu = DisjointSet(vertices)
+    msf: Set[Edge] = set()
+    with net.ledger.phase("init"):
+        while True:
+            roots = sorted({dsu.find(v) for v in vertices})
+            if len(roots) <= 1:
+                break
+            per_query: Dict[int, List[Optional[Tuple]]] = {r: [None] * k for r in roots}
+            for st in states:
+                best: Dict[int, Tuple] = {}
+                for (u, v), w in st.graph_edges.items():
+                    ru, rv = dsu.find(u), dsu.find(v)
+                    if ru == rv:
+                        continue
+                    cand = ((w, u, v), u, v)
+                    for r in (ru, rv):
+                        if r in per_query and (r not in best or cand < best[r]):
+                            best[r] = cand
+                for r, cand in best.items():
+                    per_query[r][st.mid] = cand
+            answers = batched_queries(net, per_query, min, words=WORDS_EDGE)
+            chosen: List[Edge] = []
+            for r in sorted(answers):
+                ans = answers[r]
+                if ans is None:
+                    continue
+                (wk, u, v) = ans[0], ans[1], ans[2]
+                if dsu.union(u, v):
+                    chosen.append(Edge(u, v, wk[0]))
+            if not chosen:
+                break
+            msf.update(chosen)
+            # Link the new forest edges k at a time (Lemma 5.9).
+            chosen.sort(key=lambda e: e.key())
+            for base in range(0, len(chosen), k):
+                chunk = chosen[base : base + k]
+                next_tour_id = run_structural_batch(
+                    net,
+                    vp,
+                    states,
+                    cuts=[],
+                    links=[(e.u, e.v, e.weight) for e in chunk],
+                    next_tour_id=next_tour_id,
+                )
+    return msf, next_tour_id
+
+
+def free_init(
+    graph: WeightedGraph,
+    vp: VertexPartition,
+    states: Sequence[MachineState],
+    next_tour_id: int,
+) -> Tuple[Set[Edge], int]:
+    """Oracle bootstrap: install MSF labels centrally, charging nothing."""
+    msf = kruskal_msf(graph)
+    ef = EulerForest.build(graph.vertices(), msf)
+    # Re-id the oracle's tours so they extend the replicated counter:
+    # oracle tour t -> next_tour_id + t.
+    offset = next_tour_id
+    remap = {t: offset + t for t in ef.tour_size}
+
+    for st in states:
+        for (u, v), w in st.graph_edges.items():
+            ete = ef.edges.get((u, v))
+            if ete is not None:
+                st.add_mst_edge(
+                    ETEdge(ete.u, ete.v, ete.weight, ete.t_uv, ete.t_vu, remap[ete.tour])
+                )
+        st.tour_size = {}
+        for x in st.tracked:
+            tid = remap[ef.tour_of[x]]
+            st.tour_of[x] = tid
+            st.tour_size[tid] = ef.tour_size[ef.tour_of[x]]
+        for x in st.tracked:
+            if x in st.vertices:
+                st.witness[x] = st.pick_witness(x)
+            else:
+                # Any incident MST edge this machine happens to hold; if
+                # none, copy from the oracle (the home machine would have
+                # broadcast it during a real init).
+                cands = [e for e in ef.edges.values() if x in (e.u, e.v)]
+                if cands:
+                    e = min(cands, key=lambda e: e.key)
+                    st.witness[x] = ETEdge(e.u, e.v, e.weight, e.t_uv, e.t_vu, remap[e.tour])
+                else:
+                    st.witness[x] = None
+        st.refresh_gauges()
+    return set(msf), offset + (max(ef.tour_size, default=-1) + 1)

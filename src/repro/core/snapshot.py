@@ -1,0 +1,115 @@
+"""Checkpointing: serialize / restore a :class:`DynamicMST`.
+
+A long-running maintenance service needs to survive restarts without
+paying the O(n/k) initialisation again.  Snapshots are plain
+JSON-compatible dictionaries (no pickle): the shadow graph, the
+partition, every machine's Euler state, and the replicated tour counter.
+Restoring yields a structure that passes the full consistency check and
+keeps absorbing batches.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.api import DynamicMST
+from repro.core.state import MachineState
+from repro.errors import ReproError
+from repro.euler.tour import ETEdge
+from repro.graphs.graph import WeightedGraph
+from repro.sim.network import KMachineNetwork, MPCNetwork
+from repro.sim.partition import VertexPartition
+
+FORMAT_VERSION = 1
+
+
+def to_snapshot(dm: DynamicMST) -> Dict[str, Any]:
+    """Serialize the full distributed state to a JSON-compatible dict."""
+    if isinstance(dm.net, MPCNetwork):
+        model = {"kind": "mpc", "space": dm.net.space}
+    elif isinstance(dm.net, KMachineNetwork):
+        model = {"kind": "kmachine", "words_per_round": dm.net.words_per_round}
+    else:
+        raise ReproError(f"cannot snapshot network type {type(dm.net).__name__}")
+    return {
+        "format": FORMAT_VERSION,
+        "k": dm.k,
+        "engine": dm.engine,
+        "next_tour_id": dm._next_tour_id,
+        "model": model,
+        "vertices": sorted(dm.shadow.vertices()),
+        "edges": [[e.u, e.v, e.weight] for e in sorted(dm.shadow.edges(), key=lambda e: e.key())],
+        "machine_of": {str(v): m for v, m in dm.vp.machine_of.items()},
+        "machines": [
+            {
+                "mid": st.mid,
+                "vertices": sorted(st.vertices),
+                "tracked": sorted(st.tracked),
+                "graph_edges": [[u, v, w] for (u, v), w in sorted(st.graph_edges.items())],
+                "mst": [list(e.snapshot()) for e in sorted(st.mst.values(), key=lambda e: (e.u, e.v))],
+                "witness": {
+                    str(x): (list(w.snapshot()) if w is not None else None)
+                    for x, w in sorted(st.witness.items())
+                },
+                "tour_of": {str(x): t for x, t in sorted(st.tour_of.items())},
+                "tour_size": {str(t): s for t, s in sorted(st.tour_size.items())},
+            }
+            for st in dm.states
+        ],
+    }
+
+
+def from_snapshot(snap: Dict[str, Any]) -> DynamicMST:
+    """Rebuild a DynamicMST from :func:`to_snapshot` output.
+
+    The network ledger starts at zero (a restart does not inherit the old
+    run's communication bill).
+    """
+    if snap.get("format") != FORMAT_VERSION:
+        raise ReproError(f"unsupported snapshot format {snap.get('format')!r}")
+    k = snap["k"]
+    graph = WeightedGraph(snap["vertices"])
+    for (u, v, w) in snap["edges"]:
+        graph.add_edge(u, v, w)
+    vp = VertexPartition(k, {int(v): m for v, m in snap["machine_of"].items()})
+    model = snap["model"]
+    if model["kind"] == "mpc":
+        from repro.mpc.api import MPCDynamicMST
+
+        net = MPCNetwork(k, space=model["space"], enforce_budget=False)
+        dm = MPCDynamicMST(graph, k, vp, net, engine=snap["engine"])
+        dm.space = model["space"]
+    else:
+        net = KMachineNetwork(k, words_per_round=model["words_per_round"])
+        dm = DynamicMST(graph, k, vp, net, engine=snap["engine"])
+    dm._next_tour_id = snap["next_tour_id"]
+    dm.states = []
+    for mrec in snap["machines"]:
+        st = MachineState(mrec["mid"], mrec["vertices"], machine=net.machines[mrec["mid"]])
+        for x in mrec["tracked"]:
+            st.track(x)
+        for (u, v, w) in mrec["graph_edges"]:
+            st.graph_edges[(u, v)] = w
+        for e in mrec["mst"]:
+            st.mst[(e[0], e[1])] = ETEdge.from_snapshot(e)
+        for x, w in mrec["witness"].items():
+            st.witness[int(x)] = ETEdge.from_snapshot(w) if w is not None else None
+        st.tour_of = {int(x): t for x, t in mrec["tour_of"].items()}
+        st.tour_size = {int(t): s for t, s in mrec["tour_size"].items()}
+        st.rebuild_indexes()
+        st.refresh_gauges()
+        dm.states.append(st)
+    return dm
+
+
+def dump(dm: DynamicMST, path: str) -> None:
+    """Write a snapshot to ``path`` as JSON."""
+    with open(path, "w") as f:
+        json.dump(to_snapshot(dm), f)
+
+
+def load(path: str) -> DynamicMST:
+    """Read a snapshot from ``path``."""
+    with open(path) as f:
+        return from_snapshot(json.load(f))

@@ -1,0 +1,197 @@
+"""Per-machine Euler state (§5.2).
+
+Each machine stores, for its vertices V_m:
+
+* all graph edges incident to V_m (the random-vertex-partition rule);
+* the MST subset of those edges, annotated with Euler labels
+  (:class:`~repro.euler.tour.ETEdge` copies — an edge whose endpoints live
+  on two machines exists as two copies kept identical by the shared
+  broadcast scripts);
+* for every *tracked* vertex x ∈ V_m ∪ N(V_m): a witness — a copy of one
+  arbitrary MST edge incident to x — plus x's tour id ("the Euler tour
+  information of a single arbitrary edge of that neighbour", §5.2);
+* sizes of the tours it references.
+
+Machines never read each other's state directly; every cross-machine fact
+arrives through a network primitive.  The state is deliberately redundant
+(k copies of shared facts) — that redundancy *is* the model, and
+:meth:`MachineState.space_words` is what the space benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.euler.tour import ETEdge
+from repro.graphs.graph import Edge, normalize
+from repro.sim.machine import Machine
+from repro.sim.message import WORDS_EDGE, WORDS_ET_EDGE, WORDS_ID
+
+
+class MachineState:
+    """Everything machine ``mid`` knows."""
+
+    __slots__ = (
+        "mid",
+        "vertices",
+        "tracked",
+        "graph_edges",
+        "mst",
+        "witness",
+        "tour_of",
+        "tour_size",
+        "machine",
+        "_mst_by_vertex",
+        "_mst_by_tour",
+    )
+
+    def __init__(self, mid: int, vertices: Iterable[int], machine: Optional[Machine] = None):
+        self.mid = mid
+        self.vertices: Set[int] = set(vertices)
+        self.tracked: Set[int] = set(self.vertices)
+        self.graph_edges: Dict[Tuple[int, int], float] = {}
+        self.mst: Dict[Tuple[int, int], ETEdge] = {}
+        self.witness: Dict[int, Optional[ETEdge]] = {}
+        self.tour_of: Dict[int, Optional[int]] = {}
+        self.tour_size: Dict[int, int] = {}
+        self.machine = machine
+        # Acceleration indexes over self.mst (pure caches; rebuilt on
+        # restore, kept in sync by the mutators below).
+        self._mst_by_vertex: Dict[int, Set[Tuple[int, int]]] = {}
+        self._mst_by_tour: Dict[int, Set[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # graph-edge bookkeeping (local storage only; no communication)
+    # ------------------------------------------------------------------
+    def hosts_vertex(self, x: int) -> bool:
+        return x in self.vertices
+
+    def hosts_edge(self, u: int, v: int) -> bool:
+        return normalize(u, v) in self.graph_edges
+
+    def store_graph_edge(self, u: int, v: int, weight: float) -> None:
+        key = normalize(u, v)
+        if key in self.graph_edges:
+            raise ProtocolError(f"machine {self.mid}: edge {key} already stored")
+        self.graph_edges[key] = weight
+        for x in key:
+            if x in self.vertices:
+                other = key[0] if key[1] == x else key[1]
+                self.track(other)
+        self._update_gauges()
+
+    def drop_graph_edge(self, u: int, v: int) -> None:
+        key = normalize(u, v)
+        self.graph_edges.pop(key, None)
+        # Tracked neighbours are kept even if the last edge to them goes;
+        # pruning them is a space optimisation the paper does not need.
+        self._update_gauges()
+
+    def track(self, x: int) -> None:
+        if x not in self.tracked:
+            self.tracked.add(x)
+            self.witness.setdefault(x, None)
+            self.tour_of.setdefault(x, None)
+
+    # ------------------------------------------------------------------
+    # MST-edge bookkeeping
+    # ------------------------------------------------------------------
+    def add_mst_edge(self, ete: ETEdge) -> None:
+        key = normalize(ete.u, ete.v)
+        if key in self.mst:
+            raise ProtocolError(f"machine {self.mid}: MST edge {key} already present")
+        self.mst[key] = ete
+        self._mst_by_vertex.setdefault(ete.u, set()).add(key)
+        self._mst_by_vertex.setdefault(ete.v, set()).add(key)
+        self._mst_by_tour.setdefault(ete.tour, set()).add(key)
+        self._update_gauges()
+
+    def pop_mst_edge(self, u: int, v: int) -> Optional[ETEdge]:
+        key = normalize(u, v)
+        ete = self.mst.pop(key, None)
+        if ete is not None:
+            self._mst_by_vertex.get(ete.u, set()).discard(key)
+            self._mst_by_vertex.get(ete.v, set()).discard(key)
+            self._mst_by_tour.get(ete.tour, set()).discard(key)
+        self._update_gauges()
+        return ete
+
+    def retour_mst_edge(self, key: Tuple[int, int], old_tour: int, new_tour: int) -> None:
+        """Move an edge between tour buckets after a label transform."""
+        if old_tour == new_tour:
+            return
+        self._mst_by_tour.get(old_tour, set()).discard(key)
+        self._mst_by_tour.setdefault(new_tour, set()).add(key)
+
+    def mst_keys_in_tour(self, tid: int) -> List[Tuple[int, int]]:
+        return list(self._mst_by_tour.get(tid, ()))
+
+    def rebuild_indexes(self) -> None:
+        """Recompute the acceleration indexes from self.mst (restore path)."""
+        self._mst_by_vertex = {}
+        self._mst_by_tour = {}
+        for key, ete in self.mst.items():
+            self._mst_by_vertex.setdefault(ete.u, set()).add(key)
+            self._mst_by_vertex.setdefault(ete.v, set()).add(key)
+            self._mst_by_tour.setdefault(ete.tour, set()).add(key)
+
+    def incident_mst(self, x: int) -> List[ETEdge]:
+        return [self.mst[k] for k in self._mst_by_vertex.get(x, ())]
+
+    def outgoing_value(self, x: int) -> Optional[int]:
+        """Minimum label departing ``x`` among the locally stored MST edges.
+
+        Correct whenever this machine hosts ``x`` (it then has *all* of
+        x's MST edges).
+        """
+        best: Optional[int] = None
+        for e in self.incident_mst(x):
+            for label in (e.t_uv, e.t_vu):
+                if e.tail_at(label) == x and (best is None or label < best):
+                    best = label
+        return best
+
+    def parent_interval(self, x: int) -> Optional[Tuple[int, int]]:
+        """(p_in, p_out) of x's parent edge, or None if x is a root/isolated.
+
+        Only valid on the machine hosting ``x``.
+        """
+        inc = self.incident_mst(x)
+        if not inc:
+            return None
+        p = min(inc, key=lambda e: e.e_min)
+        if p.head_at(p.e_min) != x:
+            return None  # x is the root of its tour
+        return (p.e_min, p.e_max)
+
+    def pick_witness(self, x: int) -> Optional[ETEdge]:
+        """Deterministic witness choice: the incident MST edge of min key."""
+        inc = self.incident_mst(x)
+        if not inc:
+            return None
+        e = min(inc, key=lambda e: e.key)
+        return ETEdge(e.u, e.v, e.weight, e.t_uv, e.t_vu, e.tour)
+
+    # ------------------------------------------------------------------
+    # space accounting
+    # ------------------------------------------------------------------
+    def _update_gauges(self) -> None:
+        if self.machine is None:
+            return
+        self.machine.set_gauge("graph_edges", WORDS_EDGE * len(self.graph_edges))
+        self.machine.set_gauge("mst_edges", WORDS_ET_EDGE * len(self.mst))
+        self.machine.set_gauge("witness", WORDS_ET_EDGE * len(self.witness))
+        self.machine.set_gauge(
+            "tours", WORDS_ID * (len(self.tour_of) + 2 * len(self.tour_size))
+        )
+
+    def refresh_gauges(self) -> None:
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"MachineState(mid={self.mid}, |V|={len(self.vertices)}, "
+            f"|E|={len(self.graph_edges)}, |MST|={len(self.mst)})"
+        )

@@ -1,0 +1,156 @@
+"""Keeping up with the stream — the paper's title question, simulated.
+
+"The fundamental question we want to ask in this paper is whether we can
+update the graph fast enough to keep up with the stream." (§1)
+
+:class:`StreamDriver` closes the loop: an update source produces
+``rate`` updates per communication round while the cluster repeatedly
+drains its backlog with the batch-dynamic algorithm.  Each applied batch
+costs its *measured* rounds, during which the stream keeps producing.
+Theorems 6.1 and 7.1 predict a sharp throughput ceiling of Θ(k) updates
+per O(1) rounds: below the ceiling the backlog stays bounded, above it
+the backlog grows linearly with time — the phase transition
+``bench_keeping_up.py`` plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.api import DynamicMST
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph, normalize
+from repro.graphs.streams import Update
+
+
+class OnlineChurn:
+    """An endless consistent churn source over an evolving graph.
+
+    Consistency is against the *virtual* graph state that includes every
+    update already emitted (whether or not the cluster has applied it
+    yet), so queued updates are always applicable in emission order, and
+    no edge pair is emitted twice while its first update is still
+    pending.
+    """
+
+    def __init__(self, graph: WeightedGraph, rng: RngLike = None,
+                 p_add: float = 0.5) -> None:
+        self.virtual = graph.copy()
+        self.rng = as_rng(rng)
+        self.p_add = p_add
+        self.pending_pairs: Set[Tuple[int, int]] = set()
+        self._verts = sorted(graph.vertices())
+
+    def emit(self, count: int) -> List[Update]:
+        out: List[Update] = []
+        n = len(self._verts)
+        for _ in range(count):
+            for _try in range(64 * max(n, 4)):
+                do_add = self.rng.random() < self.p_add or self.virtual.m == 0
+                if do_add:
+                    u = self._verts[int(self.rng.integers(0, n))]
+                    v = self._verts[int(self.rng.integers(0, n))]
+                    if u == v:
+                        continue
+                    pair = normalize(u, v)
+                    if pair in self.pending_pairs or self.virtual.has_edge(*pair):
+                        continue
+                    upd = Update.add(*pair, float(self.rng.random()))
+                else:
+                    edges = [e for e in self.virtual.edges()
+                             if e.endpoints not in self.pending_pairs]
+                    if not edges:
+                        continue
+                    e = edges[int(self.rng.integers(0, len(edges)))]
+                    upd = Update.delete(e.u, e.v)
+                    pair = upd.endpoints
+                self.pending_pairs.add(pair)
+                if upd.kind == "add":
+                    self.virtual.add_edge(upd.u, upd.v, upd.weight)
+                else:
+                    self.virtual.remove_edge(upd.u, upd.v)
+                out.append(upd)
+                break
+        return out
+
+    def applied(self, batch: List[Update]) -> None:
+        """The cluster applied these; their pairs may be reused."""
+        for upd in batch:
+            self.pending_pairs.discard(upd.endpoints)
+
+
+@dataclass
+class BacklogTrace:
+    """Time series of one driver run."""
+
+    rate: float
+    times: List[int] = field(default_factory=list)  # cumulative rounds
+    backlogs: List[int] = field(default_factory=list)
+    applied: int = 0
+
+    @property
+    def final_backlog(self) -> int:
+        return self.backlogs[-1] if self.backlogs else 0
+
+    @property
+    def peak_backlog(self) -> int:
+        return max(self.backlogs, default=0)
+
+    def diverged(self) -> bool:
+        """Linear-growth signature: the final backlog is at least twice
+        the backlog a quarter of the way in (bounded traces plateau, so
+        their ratio hovers near 1), and non-trivial in absolute terms."""
+        if len(self.backlogs) < 4:
+            return False
+        quarter = self.backlogs[len(self.backlogs) // 4]
+        return self.final_backlog > max(2 * quarter, 20)
+
+
+class StreamDriver:
+    """Drive a DynamicMST against a rate-limited update stream."""
+
+    def __init__(
+        self,
+        dm: DynamicMST,
+        source: OnlineChurn,
+        rate: float,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        self.dm = dm
+        self.source = source
+        self.rate = rate
+        self.max_batch = max_batch
+        self._credit = 0.0
+
+    def run(self, total_rounds: int) -> BacklogTrace:
+        """Simulate until ``total_rounds`` communication rounds elapse."""
+        trace = BacklogTrace(rate=self.rate)
+        queue: List[Update] = []
+        elapsed = 0
+        # Warm-up: one round of arrivals so there is work to do.
+        self._credit += self.rate
+        while elapsed < total_rounds:
+            arrivals = int(self._credit)
+            self._credit -= arrivals
+            queue.extend(self.source.emit(arrivals))
+            if not queue:
+                # An idle round: the stream trickles in.
+                elapsed += 1
+                self._credit += self.rate
+                trace.times.append(elapsed)
+                trace.backlogs.append(0)
+                continue
+            take = len(queue) if self.max_batch is None else min(
+                len(queue), self.max_batch
+            )
+            batch, queue = queue[:take], queue[take:]
+            report = self.dm.apply_batch(batch)
+            self.source.applied(batch)
+            trace.applied += len(batch)
+            cost = max(report.rounds, 1)
+            elapsed += cost
+            self._credit += self.rate * cost
+            trace.times.append(elapsed)
+            trace.backlogs.append(len(queue) + int(self._credit))
+        return trace

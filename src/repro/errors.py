@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class ModelViolation(ReproError):
+    """A model constraint (bandwidth, space, partition) was violated."""
+
+
+class SpaceExceeded(ModelViolation):
+    """A machine exceeded its per-machine space budget."""
+
+
+class BandwidthExceeded(ModelViolation):
+    """A single round tried to push more words over a link than it carries."""
+
+
+class InconsistentUpdate(ReproError):
+    """An update batch is inconsistent with the current graph state."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an impossible internal state."""

@@ -1,0 +1,49 @@
+"""Edge-labelled Euler tours over spanning forests (§5.1–5.3).
+
+Each MST edge carries the two timestamps at which the tour traverses it
+(one per direction), the tour id and the tour size.  All structural
+operations — reroot (Lemma 5.5), split (Lemma 5.6), join (Lemma 5.7) —
+are *uniform label transformations*: every participant applies the same
+pure function to every label it holds, which is exactly what makes the
+distributed protocols O(1) broadcasts.
+
+:mod:`repro.euler.labels` holds the pure transforms; :mod:`repro.euler.tour`
+is the centralized :class:`EulerForest` (the oracle the distributed state
+is checked against); :mod:`repro.euler.predicates` encodes Lemmas 5.2–5.4;
+:mod:`repro.euler.brackets` is the §6.2 bracket-matching component
+labelling (Figure 4).
+"""
+
+from repro.euler.labels import (
+    JoinSpec,
+    SplitSpec,
+    join_m1_label,
+    join_m2_label,
+    reroot_label,
+    split_label,
+)
+from repro.euler.tour import ETEdge, EulerForest, check_valid_tour
+from repro.euler.predicates import (
+    is_outgoing,
+    nests_strictly_inside,
+    on_root_path,
+    side_of_cut,
+)
+from repro.euler.brackets import BracketComponents
+
+__all__ = [
+    "reroot_label",
+    "split_label",
+    "join_m1_label",
+    "join_m2_label",
+    "SplitSpec",
+    "JoinSpec",
+    "ETEdge",
+    "EulerForest",
+    "check_valid_tour",
+    "on_root_path",
+    "nests_strictly_inside",
+    "side_of_cut",
+    "is_outgoing",
+    "BracketComponents",
+]

@@ -1,0 +1,111 @@
+"""Pure label arithmetic for Euler-tour maintenance (Lemmas 5.5–5.7).
+
+A tour over a tree with t vertices has L = 2(t-1) directed steps labelled
+0..L-1; label 0 departs from the root.  Every structural change is a pure
+function applied uniformly to all labels of the affected tour(s):
+
+* reroot to u: subtract an outgoing value d of u, mod L (Lemma 5.5);
+* split at tree edge with labels (e_min, e_max): root side keeps/shifts,
+  inside becomes its own 0-based tour (Lemma 5.6);
+* join two tours through (u, v) with outgoing values a (of u in M1) and
+  b (of v in M2): M2 is spliced into M1 at time a (Lemma 5.7).
+
+The paper's piecewise formula in Lemma 5.6 has an off-by-one for the
+detached component (it maps inside labels to 1..L'-1 ∪ {L'}); we subtract
+``e_min + 1`` so labels are canonical 0-based, making the vertex first
+entered through the removed edge the new root of the detached tour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def reroot_label(w: int, d: int, size: int) -> int:
+    """Shift label ``w`` when rerooting: the traversal at ``d`` becomes 0."""
+    if size <= 0:
+        raise ValueError("cannot reroot an edgeless tour")
+    return (w - d) % size
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Everything a machine needs to apply a split (one broadcast's worth).
+
+    ``e_min``/``e_max`` are the removed edge's labels, ``size`` the old
+    tour size, ``old_tour`` its id, ``inside_tour`` the fresh id assigned
+    to the detached component (the root side keeps ``old_tour``).
+    """
+
+    e_min: int
+    e_max: int
+    size: int
+    old_tour: int
+    inside_tour: int
+
+    @property
+    def removed_steps(self) -> int:
+        return self.e_max - self.e_min + 1
+
+    @property
+    def root_side_size(self) -> int:
+        return self.size - self.removed_steps
+
+    @property
+    def inside_size(self) -> int:
+        return self.e_max - self.e_min - 1
+
+
+def split_label(w: int, spec: SplitSpec) -> Tuple[int, int]:
+    """Map a label of the old tour to (new_tour_id, new_label).
+
+    Labels equal to e_min or e_max belong to the removed edge and must not
+    be passed in.
+    """
+    if w == spec.e_min or w == spec.e_max:
+        raise ValueError("the removed edge's own labels have no image")
+    if w < spec.e_min:
+        return (spec.old_tour, w)
+    if w < spec.e_max:
+        return (spec.inside_tour, w - (spec.e_min + 1))
+    return (spec.old_tour, w - spec.removed_steps)
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Everything a machine needs to apply a join (one broadcast's worth).
+
+    M1 (containing u) absorbs M2 (containing v) through the new edge
+    (u, v).  ``a`` is an outgoing value of u in M1 (0 if M1 is a singleton
+    tour), ``b`` an outgoing value of v in M2 (0 if M2 is a singleton).
+    The merged tour keeps M1's id.
+    """
+
+    a: int
+    b: int
+    size1: int
+    size2: int
+    tour1: int
+    tour2: int
+
+    @property
+    def new_size(self) -> int:
+        return self.size1 + self.size2 + 2
+
+    @property
+    def new_edge_labels(self) -> Tuple[int, int]:
+        """Labels of the joining edge: enters M2 at a, returns at a+size2+1."""
+        return (self.a, self.a + self.size2 + 1)
+
+
+def join_m1_label(w: int, spec: JoinSpec) -> int:
+    """New label of an M1 label under the join."""
+    return w if w < spec.a else w + spec.size2 + 2
+
+
+def join_m2_label(w: int, spec: JoinSpec) -> int:
+    """New label of an M2 label under the join."""
+    if spec.size2 <= 0:
+        raise ValueError("singleton M2 has no labels")
+    return spec.a + 1 + ((w - spec.b) % spec.size2)

@@ -1,0 +1,66 @@
+"""Structural predicates on Euler-tour labels (Lemmas 5.2–5.4).
+
+These are the O(1)-space tests that let a machine answer "is my edge on
+the path from the root to s?" and "which side of the cut is this vertex
+on?" from labels alone — the foundation of every protocol in §5 and §6.
+
+Note on §5.4.2: the paper's step-2 text swaps the two labels ("with root"
+vs "away from root") relative to its own Lemma 5.2; we implement the
+Lemma 5.2 semantics (strict nesting inside the cut edge's interval means
+*separated from* the root) and the direction-based tie rules for the case
+where the witness edge is the cut edge itself.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.euler.tour import ETEdge
+
+#: Side labels for :func:`side_of_cut`.
+WITH_ROOT = "with_root"
+AWAY_FROM_ROOT = "away_from_root"
+
+
+def nests_strictly_inside(e_labels: Tuple[int, int], c_labels: Tuple[int, int]) -> bool:
+    """Lemma 5.2: edge e is cut off from the root by cut edge c iff
+    c_in < e_in and e_out < c_out."""
+    e_in, e_out = e_labels
+    c_in, c_out = c_labels
+    return c_in < e_in and e_out < c_out
+
+
+def on_root_path(e_labels: Tuple[int, int], p_labels: Tuple[int, int]) -> bool:
+    """Lemma 5.4: edge e is on the path root → s iff e_in <= p_in and
+    e_out >= p_out, where p is the parent edge of s."""
+    e_in, e_out = e_labels
+    p_in, p_out = p_labels
+    return e_in <= p_in and e_out >= p_out
+
+
+def is_outgoing(ete: ETEdge, x: int, label: int) -> bool:
+    """True iff the traversal of ``ete`` at ``label`` departs from ``x``."""
+    return ete.tail_at(label) == x
+
+
+def side_of_cut(witness: ETEdge, x: int, c_labels: Tuple[int, int]) -> str:
+    """Classify endpoint ``x`` of ``witness`` relative to the cut edge c.
+
+    ``witness`` is any tour edge incident to ``x`` (possibly the cut edge
+    itself); returns WITH_ROOT or AWAY_FROM_ROOT per §5.4.2:
+
+    * strict nesting => away from root (Lemma 5.2);
+    * witness == cut edge: decided by traversal direction — the endpoint
+      the c_in traversal *enters* is the top of the cut subtree (away);
+      the endpoint it departs is on the root side.
+    """
+    c_in, c_out = c_labels
+    e_in, e_out = witness.labels()
+    if e_in == c_in or e_out == c_out:
+        # The witness is the cut edge itself.
+        if witness.head_at(c_in) == x:
+            return AWAY_FROM_ROOT
+        return WITH_ROOT
+    if nests_strictly_inside((e_in, e_out), (c_in, c_out)):
+        return AWAY_FROM_ROOT
+    return WITH_ROOT

@@ -1,0 +1,69 @@
+"""ASCII rendering of Euler tours and bracket structures (debug/docs).
+
+Turns the label arithmetic into something a human can read:
+
+    >>> from repro.euler import EulerForest
+    >>> from repro.graphs import Edge
+    >>> ef = EulerForest.build(range(3), [Edge(0,1,.1), Edge(1,2,.2)])
+    >>> print(render_tour(ef, ef.tour_of[0]))   # doctest: +SKIP
+    tour 0 (size 4, root 0): 0 ->(0) 1 ->(1) 2 ->(2) 1 ->(3) 0
+
+Used by the figure-regeneration bench and handy in a debugger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.euler.brackets import BracketComponents
+from repro.euler.tour import EulerForest
+
+
+def render_tour(ef: EulerForest, tid: int) -> str:
+    """One-line walk of the tour: vertex ->(label) vertex ->(label) ..."""
+    size = ef.tour_size[tid]
+    if size == 0:
+        verts = ef.vertices_of_tour(tid)
+        v = next(iter(verts)) if verts else "?"
+        return f"tour {tid} (size 0): [{v}]"
+    step: Dict[int, Tuple[int, int]] = {}
+    for e in ef.tour_edges(tid):
+        step[e.t_uv] = (e.u, e.v)
+        step[e.t_vu] = (e.v, e.u)
+    parts: List[str] = [str(step[0][0])]
+    for t in range(size):
+        parts.append(f"->({t}) {step[t][1]}")
+    return f"tour {tid} (size {size}, root {ef.root(tid)}): " + " ".join(parts)
+
+
+def render_intervals(ef: EulerForest, tid: int) -> str:
+    """Per-edge label intervals, sorted by e_in (the Lemma 5.2 view)."""
+    lines = [f"tour {tid} intervals:"]
+    for e in sorted(ef.tour_edges(tid), key=lambda e: e.e_min):
+        depth = sum(
+            1
+            for f in ef.tour_edges(tid)
+            if f.e_min < e.e_min and e.e_max < f.e_max
+        )
+        lines.append(
+            "  " * (depth + 1) + f"({e.u},{e.v}) w={e.weight:g} [{e.e_min},{e.e_max}]"
+        )
+    return "\n".join(lines)
+
+
+def render_brackets(pairs: Sequence[Tuple[int, int]], size: int) -> str:
+    """The Figure 4 picture: one char per label — '(' ')' for deleted
+    edges' labels, the component digit elsewhere."""
+    bc = BracketComponents(pairs, size)
+    opens = {min(a, b) for (a, b) in pairs}
+    closes = {max(a, b) for (a, b) in pairs}
+    chars = []
+    for w in range(size):
+        if w in opens:
+            chars.append("(")
+        elif w in closes:
+            chars.append(")")
+        else:
+            chars.append(str(bc.component_of_label(w) % 10))
+    ruler = "".join(str(i % 10) for i in range(size))
+    return f"labels: {ruler}\nstruct: {''.join(chars)}"

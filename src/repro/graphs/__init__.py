@@ -1,0 +1,81 @@
+"""Graph substrate: weighted graphs, DSU, reference MSTs, generators, streams.
+
+This package is the sequential foundation everything else is checked
+against.  The distributed algorithms in :mod:`repro.core` never import the
+reference MST routines at runtime except through explicitly-labelled
+*local* computation steps (a machine computing on its own edges); the
+routines here are otherwise used as test oracles.
+"""
+
+from repro.graphs.graph import Edge, WeightedGraph, edge_key, normalize
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.mst import (
+    boruvka_msf,
+    kruskal_msf,
+    local_msf,
+    msf_weight,
+    prim_msf,
+)
+from repro.graphs.validation import (
+    is_forest,
+    is_spanning_forest,
+    verify_msf_cycle_property,
+    verify_msf_exact,
+)
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_connected_graph,
+    grid_graph,
+    path_graph,
+    powerlaw_graph,
+    random_forest,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.graphs.streams import (
+    Update,
+    UpdateStream,
+    adversarial_clique_stream,
+    churn_stream,
+    growing_stream,
+    shrinking_stream,
+    sliding_window_stream,
+)
+
+__all__ = [
+    "Edge",
+    "WeightedGraph",
+    "edge_key",
+    "normalize",
+    "DisjointSet",
+    "kruskal_msf",
+    "prim_msf",
+    "boruvka_msf",
+    "local_msf",
+    "msf_weight",
+    "is_forest",
+    "is_spanning_forest",
+    "verify_msf_cycle_property",
+    "verify_msf_exact",
+    "random_weighted_graph",
+    "gnp_connected_graph",
+    "grid_graph",
+    "powerlaw_graph",
+    "random_tree",
+    "random_forest",
+    "path_graph",
+    "star_graph",
+    "cycle_graph",
+    "complete_graph",
+    "caterpillar_graph",
+    "Update",
+    "UpdateStream",
+    "churn_stream",
+    "sliding_window_stream",
+    "growing_stream",
+    "shrinking_stream",
+    "adversarial_clique_stream",
+]

@@ -1,0 +1,82 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used by the reference MST engines, by machine-local cycle deletion in the
+batch-deletion reduction (§6.2 step 3), and by the validators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class DisjointSet:
+    """Union-find over arbitrary hashable elements.
+
+    Elements are created lazily on first use; :meth:`find` on an unseen
+    element makes it a singleton.
+    """
+
+    __slots__ = ("_parent", "_size", "_n_components")
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._n_components = 0
+        for x in elements:
+            self.add(x)
+
+    def add(self, x: Hashable) -> None:
+        if x not in self._parent:
+            self._parent[x] = x
+            self._size[x] = 1
+            self._n_components += 1
+
+    def find(self, x: Hashable) -> Hashable:
+        self.add(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: Hashable, y: Hashable) -> bool:
+        """Merge the sets of ``x`` and ``y``; return True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._n_components -= 1
+        return True
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        return self.find(x) == self.find(y)
+
+    def component_size(self, x: Hashable) -> int:
+        return self._size[self.find(x)]
+
+    @property
+    def n_components(self) -> int:
+        return self._n_components
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def components(self) -> List[Set[Hashable]]:
+        """Materialize the components as a list of sets (test/debug helper)."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for x in self._parent:
+            groups.setdefault(self.find(x), set()).add(x)
+        return list(groups.values())
+
+    def roots(self) -> Iterator[Hashable]:
+        for x in self._parent:
+            if self._parent[x] == x:
+                yield x

@@ -1,0 +1,210 @@
+"""Seeded graph generators used by tests, examples and benchmarks.
+
+All generators take a :class:`numpy.random.Generator` (or an int seed) and
+are fully deterministic given the seed.  Weights are drawn uniformly from
+(0, 1); uniqueness of the MSF is guaranteed by the global edge tie-break,
+so duplicate weights are harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph, normalize
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce an int seed / None / Generator into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _weights(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.random(count)
+
+
+def random_tree(n: int, rng: RngLike = None) -> WeightedGraph:
+    """Uniform random labelled tree on {0..n-1} via a random attachment order."""
+    rng = as_rng(rng)
+    g = WeightedGraph(range(n))
+    if n <= 1:
+        return g
+    order = rng.permutation(n)
+    w = _weights(rng, n - 1)
+    for i in range(1, n):
+        parent = order[rng.integers(0, i)]
+        g.add_edge(int(order[i]), int(parent), float(w[i - 1]))
+    return g
+
+
+def random_forest(n: int, n_trees: int, rng: RngLike = None) -> WeightedGraph:
+    """Forest of ``n_trees`` trees partitioning {0..n-1}."""
+    if not 1 <= n_trees <= max(n, 1):
+        raise ValueError("need 1 <= n_trees <= n")
+    rng = as_rng(rng)
+    g = WeightedGraph(range(n))
+    if n == 0:
+        return g
+    # Random partition of vertices into n_trees non-empty groups.
+    perm = list(map(int, rng.permutation(n)))
+    cuts = sorted(rng.choice(np.arange(1, n), size=n_trees - 1, replace=False)) if n_trees > 1 else []
+    groups: List[List[int]] = []
+    prev = 0
+    for c in list(cuts) + [n]:
+        groups.append(perm[prev:int(c)])
+        prev = int(c)
+    for grp in groups:
+        for i in range(1, len(grp)):
+            parent = grp[int(rng.integers(0, i))]
+            g.add_edge(grp[i], parent, float(rng.random()))
+    return g
+
+
+def random_weighted_graph(
+    n: int,
+    m: int,
+    rng: RngLike = None,
+    connected: bool = True,
+) -> WeightedGraph:
+    """Random graph with exactly ``m`` edges (a spanning tree first if connected)."""
+    rng = as_rng(rng)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds max {max_m} for n={n}")
+    if connected and m < n - 1:
+        raise ValueError(f"connected graph on n={n} needs m >= {n - 1}")
+    g = random_tree(n, rng) if connected else WeightedGraph(range(n))
+    need = m - g.m
+    while need > 0:
+        # Vectorized rejection sampling of candidate pairs.
+        batch = max(16, 2 * need)
+        us = rng.integers(0, n, size=batch)
+        vs = rng.integers(0, n, size=batch)
+        ws = _weights(rng, batch)
+        for u, v, w in zip(us, vs, ws):
+            if u == v:
+                continue
+            u, v = normalize(int(u), int(v))
+            if g.has_edge(u, v):
+                continue
+            g.add_edge(u, v, float(w))
+            need -= 1
+            if need == 0:
+                break
+    return g
+
+
+def gnp_connected_graph(n: int, p: float, rng: RngLike = None) -> WeightedGraph:
+    """G(n, p) plus a random spanning tree so the result is connected."""
+    rng = as_rng(rng)
+    g = random_tree(n, rng)
+    if n >= 2 and p > 0:
+        # Sample the upper triangle in one vectorized pass.
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < p
+        ws = _weights(rng, int(mask.sum()))
+        wi = 0
+        for u, v in zip(iu[mask], ju[mask]):
+            if not g.has_edge(int(u), int(v)):
+                g.add_edge(int(u), int(v), float(ws[wi]))
+            wi += 1
+    return g
+
+
+def grid_graph(rows: int, cols: int, rng: RngLike = None) -> WeightedGraph:
+    """rows x cols grid with random weights; vertex (r, c) -> r * cols + c."""
+    rng = as_rng(rng)
+    g = WeightedGraph(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1, float(rng.random()))
+            if r + 1 < rows:
+                g.add_edge(v, v + cols, float(rng.random()))
+    return g
+
+
+def powerlaw_graph(n: int, attach: int = 2, rng: RngLike = None) -> WeightedGraph:
+    """Barabási–Albert preferential attachment with ``attach`` edges per vertex.
+
+    Models the skewed-degree social/web graphs motivating the cluster
+    setting; high-degree hubs stress the Δ term in the space bound.
+    """
+    if n < attach + 1:
+        raise ValueError("need n >= attach + 1")
+    rng = as_rng(rng)
+    g = WeightedGraph(range(n))
+    targets: List[int] = list(range(attach + 1))
+    # Seed clique on the first attach+1 vertices.
+    for i in range(attach + 1):
+        for j in range(i + 1, attach + 1):
+            g.add_edge(i, j, float(rng.random()))
+    repeated: List[int] = []
+    for i in range(attach + 1):
+        repeated.extend([i] * attach)
+    for v in range(attach + 1, n):
+        chosen: set[int] = set()
+        while len(chosen) < attach:
+            chosen.add(int(repeated[int(rng.integers(0, len(repeated)))]))
+        for t in chosen:
+            g.add_edge(v, t, float(rng.random()))
+            repeated.append(t)
+        repeated.extend([v] * attach)
+    return g
+
+
+def path_graph(n: int, weights: Optional[Iterable[float]] = None, rng: RngLike = None) -> WeightedGraph:
+    rng = as_rng(rng)
+    g = WeightedGraph(range(n))
+    ws = list(weights) if weights is not None else list(_weights(rng, max(n - 1, 0)))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, float(ws[i]))
+    return g
+
+
+def cycle_graph(n: int, rng: RngLike = None) -> WeightedGraph:
+    rng = as_rng(rng)
+    g = path_graph(n, rng=rng)
+    if n >= 3:
+        g.add_edge(n - 1, 0, float(rng.random()))
+    return g
+
+
+def star_graph(n: int, center: int = 0, rng: RngLike = None) -> WeightedGraph:
+    """Star on n vertices — the max-Δ stress case for vertex partitioning."""
+    rng = as_rng(rng)
+    g = WeightedGraph(range(n))
+    for v in range(n):
+        if v != center:
+            g.add_edge(center, v, float(rng.random()))
+    return g
+
+
+def complete_graph(n: int, rng: RngLike = None) -> WeightedGraph:
+    rng = as_rng(rng)
+    g = WeightedGraph(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, float(rng.random()))
+    return g
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int, rng: RngLike = None) -> WeightedGraph:
+    """Path of ``spine`` vertices, each with pendant legs — deep/wide tree mix."""
+    rng = as_rng(rng)
+    n = spine * (1 + legs_per_vertex)
+    g = WeightedGraph(range(n))
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1, float(rng.random()))
+    nxt = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(i, nxt, float(rng.random()))
+            nxt += 1
+    return g

@@ -1,0 +1,185 @@
+"""Weighted undirected graphs with a total order on edges.
+
+The paper assumes the MST is unique; as is standard, we make it unique by
+breaking weight ties with the lexicographic endpoint order.  Every module
+in this repository — the sequential oracles, the k-machine algorithms, the
+MPC layer and the congested-clique engines — compares edges with
+:func:`edge_key`, so they all agree on a single minimum spanning forest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, NamedTuple, Tuple
+
+
+def normalize(u: int, v: int) -> Tuple[int, int]:
+    """Return the canonical (min, max) ordering of an undirected edge."""
+    if u == v:
+        raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+class Edge(NamedTuple):
+    """An undirected weighted edge with canonical endpoint order (u < v)."""
+
+    u: int
+    v: int
+    weight: float
+
+    @staticmethod
+    def of(u: int, v: int, weight: float) -> "Edge":
+        a, b = normalize(u, v)
+        return Edge(a, b, weight)
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.u, self.v)
+
+    def key(self) -> Tuple[float, int, int]:
+        """Total-order key: (weight, u, v).  Shared by every MST engine."""
+        return (self.weight, self.u, self.v)
+
+    def other(self, x: int) -> int:
+        """Return the endpoint that is not ``x``."""
+        if x == self.u:
+            return self.v
+        if x == self.v:
+            return self.u
+        raise ValueError(f"vertex {x} is not an endpoint of {self}")
+
+
+def edge_key(edge: Edge) -> Tuple[float, int, int]:
+    """Module-level alias of :meth:`Edge.key` for use as a sort key."""
+    return (edge.weight, edge.u, edge.v)
+
+
+class WeightedGraph:
+    """A mutable weighted undirected graph without parallel edges.
+
+    Vertices are integers.  The vertex set is explicit: isolated vertices
+    are allowed and preserved (the dynamic algorithms need the vertex set
+    to be stable while edges churn).
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, vertices: Iterable[int] = ()) -> None:
+        self._adj: Dict[int, Dict[int, float]] = {}
+        for v in vertices:
+            self._adj.setdefault(v, {})
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge | Tuple[int, int, float]], vertices: Iterable[int] = ()
+    ) -> "WeightedGraph":
+        g = cls(vertices)
+        for e in edges:
+            u, v, w = e
+            g.add_edge(u, v, w)
+        return g
+
+    def copy(self) -> "WeightedGraph":
+        g = WeightedGraph()
+        g._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        self._adj.setdefault(v, {})
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        u, v = normalize(u, v)
+        if v in self._adj.get(u, ()):
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adj.setdefault(u, {})[v] = weight
+        self._adj.setdefault(v, {})[u] = weight
+
+    def remove_edge(self, u: int, v: int) -> Edge:
+        u, v = normalize(u, v)
+        try:
+            w = self._adj[u].pop(v)
+        except KeyError:
+            raise KeyError(f"edge ({u}, {v}) not present") from None
+        del self._adj[v][u]
+        return Edge(u, v, w)
+
+    def remove_vertex(self, v: int) -> None:
+        for nbr in list(self._adj.get(v, ())):
+            del self._adj[nbr][v]
+        self._adj.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        u, v = normalize(u, v)
+        return v in self._adj.get(u, ())
+
+    def weight(self, u: int, v: int) -> float:
+        u, v = normalize(u, v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise KeyError(f"edge ({u}, {v}) not present") from None
+
+    def edge(self, u: int, v: int) -> Edge:
+        return Edge(*normalize(u, v), self.weight(u, v))
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        return iter(self._adj.get(v, ()))
+
+    def degree(self, v: int) -> int:
+        return len(self._adj.get(v, ()))
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    @property
+    def n(self) -> int:
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u < v:
+                    yield Edge(u, v, w)
+
+    def incident_edges(self, v: int) -> Iterator[Edge]:
+        for nbr, w in self._adj.get(v, {}).items():
+            yield Edge(*normalize(v, nbr), w)
+
+    def total_weight(self) -> float:
+        return sum(e.weight for e in self.edges())
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, int):
+            return item in self._adj
+        if isinstance(item, tuple) and len(item) == 2:
+            return self.has_edge(*item)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.n}, m={self.m})"

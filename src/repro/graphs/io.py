@@ -1,0 +1,99 @@
+"""Graph and stream I/O: plain-text edge lists and JSON streams.
+
+Formats:
+
+* **edge list** (``.edges``) — one ``u v weight`` triple per line;
+  ``#`` comments and blank lines ignored; isolated vertices may be
+  declared with a single-token ``v`` line.
+* **update stream** (``.json``) — ``{"initial": {...}, "batches":
+  [[{"op": "add", "u":, "v":, "w":}, ...], ...]}``.
+
+Both roundtrip exactly (weights via ``repr``-precision floats).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.errors import ReproError
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.streams import Update, UpdateStream
+
+
+def write_edge_list(graph: WeightedGraph, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("# repro edge list: u v weight (isolated vertices: single token)\n")
+        touched = set()
+        for e in sorted(graph.edges(), key=lambda e: (e.u, e.v)):
+            f.write(f"{e.u} {e.v} {e.weight!r}\n")
+            touched.update(e.endpoints)
+        for v in sorted(set(graph.vertices()) - touched):
+            f.write(f"{v}\n")
+
+
+def read_edge_list(path: str) -> WeightedGraph:
+    g = WeightedGraph()
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                if len(parts) == 1:
+                    g.add_vertex(int(parts[0]))
+                elif len(parts) == 3:
+                    g.add_edge(int(parts[0]), int(parts[1]), float(parts[2]))
+                else:
+                    raise ValueError("expected 1 or 3 tokens")
+            except ValueError as exc:
+                raise ReproError(f"{path}:{lineno}: bad line {raw!r}: {exc}") from exc
+    return g
+
+
+def _graph_to_dict(graph: WeightedGraph) -> dict:
+    return {
+        "vertices": sorted(graph.vertices()),
+        "edges": [[e.u, e.v, e.weight] for e in sorted(graph.edges(), key=lambda e: (e.u, e.v))],
+    }
+
+
+def _graph_from_dict(d: dict) -> WeightedGraph:
+    g = WeightedGraph(d.get("vertices", []))
+    for (u, v, w) in d.get("edges", []):
+        g.add_edge(u, v, w)
+    return g
+
+
+def write_stream(stream: UpdateStream, path: str) -> None:
+    doc = {
+        "initial": _graph_to_dict(stream.initial),
+        "batches": [
+            [
+                {"op": u.kind, "u": u.u, "v": u.v,
+                 **({"w": u.weight} if u.kind == "add" else {})}
+                for u in batch
+            ]
+            for batch in stream.batches
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def read_stream(path: str) -> UpdateStream:
+    with open(path) as f:
+        doc = json.load(f)
+    batches: List[List[Update]] = []
+    for batch in doc.get("batches", []):
+        out = []
+        for rec in batch:
+            if rec["op"] == "add":
+                out.append(Update.add(rec["u"], rec["v"], rec["w"]))
+            elif rec["op"] == "delete":
+                out.append(Update.delete(rec["u"], rec["v"]))
+            else:
+                raise ReproError(f"unknown op {rec['op']!r} in {path}")
+        batches.append(out)
+    return UpdateStream(_graph_from_dict(doc["initial"]), batches)

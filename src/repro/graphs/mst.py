@@ -1,0 +1,98 @@
+"""Reference minimum-spanning-forest engines.
+
+All three classical algorithms are implemented; they must produce the
+*identical* edge set because :func:`repro.graphs.graph.edge_key` makes the
+MSF unique.  The test suite cross-checks them against each other and
+against the distributed implementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.graph import Edge, WeightedGraph, edge_key
+
+
+def kruskal_msf(graph: WeightedGraph) -> Set[Edge]:
+    """Kruskal's algorithm; the canonical oracle for the whole repository."""
+    dsu = DisjointSet(graph.vertices())
+    msf: Set[Edge] = set()
+    for e in sorted(graph.edges(), key=edge_key):
+        if dsu.union(e.u, e.v):
+            msf.add(e)
+    return msf
+
+
+def local_msf(edges: Iterable[Edge], keep_order: bool = False) -> List[Edge]:
+    """MSF of a bare edge list (machine-local cycle deletion, §6.2 step 3).
+
+    This is what a machine runs on its own candidate edges to prune to at
+    most (#touched vertices - 1) survivors.  Returns edges sorted by key.
+    """
+    dsu = DisjointSet()
+    out: List[Edge] = []
+    for e in sorted(edges, key=edge_key):
+        if dsu.union(e.u, e.v):
+            out.append(e)
+    if not keep_order:
+        return out
+    return out
+
+
+def prim_msf(graph: WeightedGraph) -> Set[Edge]:
+    """Prim's algorithm run from every yet-unvisited vertex (forest-aware)."""
+    visited: Set[int] = set()
+    msf: Set[Edge] = set()
+    for start in graph.vertices():
+        if start in visited:
+            continue
+        visited.add(start)
+        heap: List[Tuple[Tuple[float, int, int], Edge]] = []
+        for e in graph.incident_edges(start):
+            heapq.heappush(heap, (e.key(), e))
+        while heap:
+            _, e = heapq.heappop(heap)
+            nxt = e.v if e.u in visited else e.u
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            msf.add(e)
+            for f in graph.incident_edges(nxt):
+                if f.other(nxt) not in visited:
+                    heapq.heappush(heap, (f.key(), f))
+    return msf
+
+
+def boruvka_msf(graph: WeightedGraph) -> Set[Edge]:
+    """Borůvka's algorithm (the template simulated distributedly in §5.5)."""
+    dsu = DisjointSet(graph.vertices())
+    msf: Set[Edge] = set()
+    edges = sorted(graph.edges(), key=edge_key)
+    while True:
+        best: Dict[object, Edge] = {}
+        for e in edges:
+            ru, rv = dsu.find(e.u), dsu.find(e.v)
+            if ru == rv:
+                continue
+            for r in (ru, rv):
+                cur = best.get(r)
+                if cur is None or e.key() < cur.key():
+                    best[r] = e
+        if not best:
+            break
+        for e in best.values():
+            if dsu.union(e.u, e.v):
+                msf.add(e)
+    return msf
+
+
+def msf_weight(edges: Iterable[Edge]) -> float:
+    """Total weight of an edge collection."""
+    return sum(e.weight for e in edges)
+
+
+def msf_key_multiset(edges: Iterable[Edge]) -> List[Tuple[float, int, int]]:
+    """Sorted key list — a canonical fingerprint for comparing forests."""
+    return sorted(e.key() for e in edges)

@@ -1,0 +1,235 @@
+"""Update-stream generators for the batch-dynamic workloads.
+
+A stream is a sequence of *batches*; each batch is a list of
+:class:`Update` objects (edge insertions and deletions).  Generators keep a
+shadow copy of the evolving graph so that every batch is *consistent*: an
+inserted edge is absent beforehand, a deleted edge is present, and no edge
+appears twice within one batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import Edge, WeightedGraph, normalize
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single edge update.  ``kind`` is "add" or "delete".
+
+    For additions ``weight`` is the new edge's weight; for deletions it is
+    ignored (and normally None).
+    """
+
+    kind: str
+    u: int
+    v: int
+    weight: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "delete"):
+            raise ValueError(f"unknown update kind {self.kind!r}")
+        a, b = normalize(self.u, self.v)
+        object.__setattr__(self, "u", a)
+        object.__setattr__(self, "v", b)
+        if self.kind == "add" and self.weight is None:
+            raise ValueError("additions require a weight")
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.u, self.v)
+
+    @staticmethod
+    def add(u: int, v: int, weight: float) -> "Update":
+        return Update("add", u, v, weight)
+
+    @staticmethod
+    def delete(u: int, v: int) -> "Update":
+        return Update("delete", u, v)
+
+
+def apply_updates(graph: WeightedGraph, batch: Sequence[Update]) -> None:
+    """Apply a batch to a graph in place (the shadow/oracle semantics)."""
+    for upd in batch:
+        if upd.kind == "add":
+            graph.add_edge(upd.u, upd.v, upd.weight)
+        else:
+            graph.remove_edge(upd.u, upd.v)
+
+
+class UpdateStream:
+    """A materialized stream: an initial graph plus a list of batches."""
+
+    def __init__(self, initial: WeightedGraph, batches: Sequence[Sequence[Update]]):
+        self.initial = initial
+        self.batches: List[List[Update]] = [list(b) for b in batches]
+
+    def __iter__(self) -> Iterator[List[Update]]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def final_graph(self) -> WeightedGraph:
+        g = self.initial.copy()
+        for batch in self.batches:
+            apply_updates(g, batch)
+        return g
+
+    def replay(self) -> Iterator[Tuple[List[Update], WeightedGraph]]:
+        """Yield (batch, graph-after-batch) pairs; the graph is live (copy it)."""
+        g = self.initial.copy()
+        for batch in self.batches:
+            apply_updates(g, batch)
+            yield batch, g
+
+
+def _sample_absent_edge(
+    g: WeightedGraph, n: int, rng: np.random.Generator, batch_pairs: set
+) -> Optional[Tuple[int, int]]:
+    for _ in range(64 * max(n, 4)):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u == v:
+            continue
+        u, v = normalize(u, v)
+        if (u, v) in batch_pairs or g.has_edge(u, v):
+            continue
+        return (u, v)
+    return None
+
+
+def _sample_present_edge(
+    g: WeightedGraph, rng: np.random.Generator, batch_pairs: set, keep_connected: bool
+) -> Optional[Edge]:
+    edges = [e for e in g.edges() if (e.u, e.v) not in batch_pairs]
+    if not edges:
+        return None
+    order = rng.permutation(len(edges))
+    for idx in order:
+        return edges[int(idx)]
+    return None
+
+
+def churn_stream(
+    initial: WeightedGraph,
+    batch_size: int,
+    n_batches: int,
+    p_add: float = 0.5,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """Mixed insert/delete churn with expected add-fraction ``p_add``."""
+    rng = as_rng(rng)
+    n = initial.n
+    shadow = initial.copy()
+    batches: List[List[Update]] = []
+    for _ in range(n_batches):
+        batch: List[Update] = []
+        pairs: set = set()
+        for _ in range(batch_size):
+            do_add = rng.random() < p_add
+            if not do_add and shadow.m == 0:
+                do_add = True
+            if do_add:
+                pair = _sample_absent_edge(shadow, n, rng, pairs)
+                if pair is None:
+                    continue
+                batch.append(Update.add(*pair, float(rng.random())))
+            else:
+                e = _sample_present_edge(shadow, rng, pairs, keep_connected=False)
+                if e is None:
+                    continue
+                batch.append(Update.delete(e.u, e.v))
+            pairs.add(batch[-1].endpoints)
+        apply_updates(shadow, batch)
+        batches.append(batch)
+    return UpdateStream(initial, batches)
+
+
+def growing_stream(
+    initial: WeightedGraph, batch_size: int, n_batches: int, rng: RngLike = None
+) -> UpdateStream:
+    """Pure-insertion stream (exercises §6.1 exclusively)."""
+    return churn_stream(initial, batch_size, n_batches, p_add=1.0, rng=rng)
+
+
+def shrinking_stream(
+    initial: WeightedGraph, batch_size: int, n_batches: int, rng: RngLike = None
+) -> UpdateStream:
+    """Pure-deletion stream (exercises §6.2 exclusively)."""
+    return churn_stream(initial, batch_size, n_batches, p_add=0.0, rng=rng)
+
+
+def sliding_window_stream(
+    n: int,
+    window: int,
+    batch_size: int,
+    n_batches: int,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """Edges arrive continuously and expire after ``window`` batches.
+
+    Models the data-stream setting of the introduction: each batch inserts
+    ``batch_size`` fresh edges and deletes the batch that fell out of the
+    window.  Batch sizes are therefore up to 2 * batch_size.
+    """
+    rng = as_rng(rng)
+    initial = WeightedGraph(range(n))
+    shadow = initial.copy()
+    live: List[List[Tuple[int, int]]] = []  # per-batch inserted pairs
+    batches: List[List[Update]] = []
+    for step in range(n_batches):
+        batch: List[Update] = []
+        pairs: set = set()
+        if len(live) == window:
+            for (u, v) in live.pop(0):
+                if shadow.has_edge(u, v) and (u, v) not in pairs:
+                    batch.append(Update.delete(u, v))
+                    pairs.add((u, v))
+        inserted: List[Tuple[int, int]] = []
+        for _ in range(batch_size):
+            pair = _sample_absent_edge(shadow, n, rng, pairs)
+            if pair is None:
+                continue
+            batch.append(Update.add(*pair, float(rng.random())))
+            pairs.add(pair)
+            inserted.append(pair)
+        live.append(inserted)
+        apply_updates(shadow, batch)
+        batches.append(batch)
+    return UpdateStream(initial, batches)
+
+
+def adversarial_clique_stream(
+    initial: WeightedGraph,
+    clique_vertices: Sequence[int],
+    rng: RngLike = None,
+    weight_scale: float = 1e-9,
+) -> UpdateStream:
+    """One add-then-delete pair of batches over a vertex clique (Theorem 7.1).
+
+    Inserts a random G_b(X, Y)-style instance among ``clique_vertices``
+    with globally-minimal weights, then deletes it.  Used by the
+    lower-bound adversary; see :mod:`repro.lowerbound.adversary` for the
+    full 3k-batch construction.
+    """
+    rng = as_rng(rng)
+    verts = list(clique_vertices)
+    if len(verts) < 3:
+        raise ValueError("need at least 3 clique vertices")
+    u, w = verts[0], verts[1]
+    vs = verts[2:]
+    add_batch: List[Update] = [Update.add(u, w, float(weight_scale * rng.random()))]
+    for v in vs:
+        x = int(rng.integers(0, 3))  # 0: u only, 1: w only, 2: both
+        if x in (0, 2):
+            add_batch.append(Update.add(u, v, float(weight_scale * rng.random())))
+        if x in (1, 2):
+            add_batch.append(Update.add(w, v, float(weight_scale * rng.random())))
+    del_batch = [Update.delete(upd.u, upd.v) for upd in add_batch]
+    return UpdateStream(initial, [add_batch, del_batch])

@@ -1,0 +1,210 @@
+"""Realistic workload traces: temporal locality, hotspots, cascades.
+
+The uniform churn of :mod:`repro.graphs.streams` is the neutral workload;
+real clusters see structured churn.  These generators produce the
+patterns the batch-dynamic algorithm should be stress-tested on:
+
+* :func:`hotspot_stream` — a small set of "hot" vertices receives most of
+  the churn (skewed access, à la social-graph celebrities);
+* :func:`cascade_stream` — correlated failures: a random region of the
+  MST is torn out in one batch and repaired over the next batches
+  (datacenter rack/switch failures);
+* :func:`flash_crowd_stream` — alternating dense bursts and quiet
+  periods (diurnal load);
+* :func:`rolling_partition_stream` — a moving cut: edges crossing a
+  sweeping vertex boundary churn (VM migration / repartitioning).
+
+All are consistent by construction (validated by the shared stream
+invariants in the tests) and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph, normalize
+from repro.graphs.mst import kruskal_msf
+from repro.graphs.streams import Update, UpdateStream, apply_updates
+
+
+def _absent_pair(
+    g: WeightedGraph, candidates_u: Sequence[int], candidates_v: Sequence[int],
+    rng: np.random.Generator, used: Set[Tuple[int, int]], tries: int = 256,
+) -> Optional[Tuple[int, int]]:
+    for _ in range(tries):
+        u = int(candidates_u[int(rng.integers(0, len(candidates_u)))])
+        v = int(candidates_v[int(rng.integers(0, len(candidates_v)))])
+        if u == v:
+            continue
+        pair = normalize(u, v)
+        if pair in used or g.has_edge(*pair):
+            continue
+        return pair
+    return None
+
+
+def hotspot_stream(
+    initial: WeightedGraph,
+    batch_size: int,
+    n_batches: int,
+    n_hot: int = 4,
+    hot_fraction: float = 0.8,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """Skewed churn: ``hot_fraction`` of updates touch ``n_hot`` vertices."""
+    rng = as_rng(rng)
+    verts = sorted(initial.vertices())
+    hot = [verts[int(i)] for i in rng.choice(len(verts), size=min(n_hot, len(verts)), replace=False)]
+    shadow = initial.copy()
+    batches: List[List[Update]] = []
+    for _ in range(n_batches):
+        batch: List[Update] = []
+        used: Set[Tuple[int, int]] = set()
+        for _ in range(batch_size):
+            anchor = hot if rng.random() < hot_fraction else verts
+            if rng.random() < 0.5 and shadow.m > 0:
+                # Delete an edge touching the anchor set if possible.
+                cands = [
+                    e for e in shadow.edges()
+                    if (e.u in anchor or e.v in anchor) and e.endpoints not in used
+                ]
+                if cands:
+                    e = cands[int(rng.integers(0, len(cands)))]
+                    batch.append(Update.delete(e.u, e.v))
+                    used.add(e.endpoints)
+                    continue
+            pair = _absent_pair(shadow, anchor, verts, rng, used)
+            if pair is not None:
+                batch.append(Update.add(*pair, float(rng.random())))
+                used.add(pair)
+        apply_updates(shadow, batch)
+        batches.append(batch)
+    return UpdateStream(initial, batches)
+
+
+def cascade_stream(
+    initial: WeightedGraph,
+    n_cascades: int,
+    region_size: int,
+    repair_batches: int = 2,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """Correlated failure/repair: tear out an MST region, then repair it.
+
+    Each cascade: one batch deletes all surviving graph edges incident to
+    a random connected MST region of ``region_size`` vertices, then
+    ``repair_batches`` batches re-add them (with fresh weights).
+    """
+    rng = as_rng(rng)
+    shadow = initial.copy()
+    batches: List[List[Update]] = []
+    for _ in range(n_cascades):
+        msf = kruskal_msf(shadow)
+        if not msf:
+            break
+        # Grow a connected region from a random MST edge.
+        adj: dict = {}
+        for e in msf:
+            adj.setdefault(e.u, []).append(e.v)
+            adj.setdefault(e.v, []).append(e.u)
+        seeds = sorted(adj)
+        region = {seeds[int(rng.integers(0, len(seeds)))]}
+        frontier = list(region)
+        while frontier and len(region) < region_size:
+            x = frontier.pop(0)
+            for y in adj.get(x, []):
+                if y not in region:
+                    region.add(y)
+                    frontier.append(y)
+        victims = [
+            e for e in shadow.edges() if e.u in region and e.v in region
+        ]
+        fail = [Update.delete(e.u, e.v) for e in victims]
+        apply_updates(shadow, fail)
+        batches.append(fail)
+        # Repairs, spread over repair_batches.
+        per = max(1, -(-len(victims) // max(repair_batches, 1)))
+        for base in range(0, len(victims), per):
+            chunk = victims[base : base + per]
+            repair = [
+                Update.add(e.u, e.v, float(rng.random())) for e in chunk
+            ]
+            apply_updates(shadow, repair)
+            batches.append(repair)
+    return UpdateStream(initial, batches)
+
+
+def flash_crowd_stream(
+    initial: WeightedGraph,
+    quiet_size: int,
+    burst_size: int,
+    n_cycles: int,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """Alternating quiet batches and bursts (diurnal pattern)."""
+    rng = as_rng(rng)
+    verts = sorted(initial.vertices())
+    shadow = initial.copy()
+    batches: List[List[Update]] = []
+    for cycle in range(n_cycles):
+        for size in (quiet_size, burst_size):
+            batch: List[Update] = []
+            used: Set[Tuple[int, int]] = set()
+            for _ in range(size):
+                if rng.random() < 0.5 and shadow.m > 0:
+                    cands = [e for e in shadow.edges() if e.endpoints not in used]
+                    if cands:
+                        e = cands[int(rng.integers(0, len(cands)))]
+                        batch.append(Update.delete(e.u, e.v))
+                        used.add(e.endpoints)
+                        continue
+                pair = _absent_pair(shadow, verts, verts, rng, used)
+                if pair is not None:
+                    batch.append(Update.add(*pair, float(rng.random())))
+                    used.add(pair)
+            apply_updates(shadow, batch)
+            batches.append(batch)
+    return UpdateStream(initial, batches)
+
+
+def rolling_partition_stream(
+    initial: WeightedGraph,
+    window: int,
+    n_batches: int,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """A sweeping boundary: batch t churns edges crossing the vertex
+    window [t*w, (t+1)*w) versus the rest."""
+    rng = as_rng(rng)
+    verts = sorted(initial.vertices())
+    n = len(verts)
+    shadow = initial.copy()
+    batches: List[List[Update]] = []
+    for t in range(n_batches):
+        lo = (t * window) % max(n, 1)
+        inside = set(verts[lo : lo + window])
+        outside = [v for v in verts if v not in inside]
+        if not inside or not outside:
+            batches.append([])
+            continue
+        batch: List[Update] = []
+        used: Set[Tuple[int, int]] = set()
+        crossing = [
+            e for e in shadow.edges()
+            if (e.u in inside) != (e.v in inside)
+        ]
+        rng.shuffle(crossing)
+        for e in crossing[: window // 2 + 1]:
+            batch.append(Update.delete(e.u, e.v))
+            used.add(e.endpoints)
+        for _ in range(window // 2 + 1):
+            pair = _absent_pair(shadow, sorted(inside), outside, rng, used)
+            if pair is not None:
+                batch.append(Update.add(*pair, float(rng.random())))
+                used.add(pair)
+        apply_updates(shadow, batch)
+        batches.append(batch)
+    return UpdateStream(initial, batches)

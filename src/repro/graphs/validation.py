@@ -1,0 +1,103 @@
+"""Validators: spanning-forest checks and MSF optimality certificates.
+
+Two independent ways to certify a minimum spanning forest:
+
+* :func:`verify_msf_exact` — compare against Kruskal under the unique
+  total order (fast, relies on the oracle being right);
+* :func:`verify_msf_cycle_property` — first-principles certificate: for
+  every non-forest edge, every forest edge on the path between its
+  endpoints has a smaller key.  O(m · n) but oracle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graphs.dsu import DisjointSet
+from repro.graphs.graph import Edge, WeightedGraph
+from repro.graphs.mst import kruskal_msf, msf_key_multiset
+
+
+def is_forest(edges: Iterable[Edge]) -> bool:
+    """True iff the edge set is acyclic."""
+    dsu = DisjointSet()
+    return all(dsu.union(e.u, e.v) for e in edges)
+
+
+def is_spanning_forest(graph: WeightedGraph, edges: Iterable[Edge]) -> bool:
+    """True iff ``edges`` is a forest of graph edges spanning each component."""
+    edges = list(edges)
+    dsu = DisjointSet(graph.vertices())
+    for e in edges:
+        if not graph.has_edge(e.u, e.v) or graph.weight(e.u, e.v) != e.weight:
+            return False
+        if not dsu.union(e.u, e.v):
+            return False  # cycle
+    # Spanning: every graph edge must connect vertices already connected.
+    return all(dsu.connected(e.u, e.v) for e in graph.edges())
+
+
+def _forest_paths(edges: Iterable[Edge]) -> Dict[int, List[Edge]]:
+    adj: Dict[int, List[Edge]] = {}
+    for e in edges:
+        adj.setdefault(e.u, []).append(e)
+        adj.setdefault(e.v, []).append(e)
+    return adj
+
+
+def path_in_forest(edges: Iterable[Edge], s: int, t: int) -> Optional[List[Edge]]:
+    """Return the unique path of forest edges from s to t, or None."""
+    adj = _forest_paths(edges)
+    if s == t:
+        return []
+    stack = [(s, None)]
+    parent: Dict[int, Edge] = {}
+    seen = {s}
+    while stack:
+        v, via = stack.pop()
+        if via is not None:
+            parent[v] = via
+        if v == t:
+            path: List[Edge] = []
+            cur = t
+            while cur != s:
+                e = parent[cur]
+                path.append(e)
+                cur = e.other(cur)
+            path.reverse()
+            return path
+        for e in adj.get(v, ()):
+            nxt = e.other(v)
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, e))
+    return None
+
+
+def verify_msf_cycle_property(graph: WeightedGraph, edges: Iterable[Edge]) -> bool:
+    """Oracle-free MSF certificate via the cycle property."""
+    forest = set(edges)
+    if not is_spanning_forest(graph, forest):
+        return False
+    for e in graph.edges():
+        if e in forest:
+            continue
+        path = path_in_forest(forest, e.u, e.v)
+        if path is None:
+            return False  # forest not spanning after all
+        if any(f.key() > e.key() for f in path):
+            return False  # e should have displaced f
+    return True
+
+
+def verify_msf_exact(graph: WeightedGraph, edges: Iterable[Edge]) -> bool:
+    """Compare a claimed MSF against the unique Kruskal MSF."""
+    return msf_key_multiset(edges) == msf_key_multiset(kruskal_msf(graph))
+
+
+def connected_components(graph: WeightedGraph) -> List[Set[int]]:
+    """Vertex components of the graph (BFS)."""
+    dsu = DisjointSet(graph.vertices())
+    for e in graph.edges():
+        dsu.union(e.u, e.v)
+    return dsu.components()

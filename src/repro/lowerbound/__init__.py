@@ -1,0 +1,35 @@
+"""The Theorem 7.1 lower bound: instance family, adversary, bit-flow meter.
+
+The argument: the Klauck-et-al. graph family G_b(X, Y) forces Ω(b) bits
+into the machine hosting u before a spanning tree can be output.  The
+adversary builds a 3k-batch sequence whose middle 2k batches repeatedly
+insert (with globally minimal weights) and delete random G_b instances on
+a carved-out clique of k^(1+δ/2) vertices, so each insert/delete pair
+re-poses the hard instance — total time ω(k) for 3k batches of size
+k^(1+δ).
+
+:mod:`repro.lowerbound.information` measures both sides: the rounds the
+algorithm actually spends, and the words crossing into u's machine
+(``Network.ingress_words``), against the entropy bound H(Y|X) = 2b/3
+(verified in closed form and by Monte Carlo).
+"""
+
+from repro.lowerbound.gbxy import (
+    GbInstance,
+    conditional_entropy_exact,
+    conditional_entropy_monte_carlo,
+    random_gb_instance,
+)
+from repro.lowerbound.adversary import AdversarySequence, build_adversary_sequence
+from repro.lowerbound.information import BitFlowMeter, run_lower_bound_experiment
+
+__all__ = [
+    "GbInstance",
+    "random_gb_instance",
+    "conditional_entropy_exact",
+    "conditional_entropy_monte_carlo",
+    "AdversarySequence",
+    "build_adversary_sequence",
+    "BitFlowMeter",
+    "run_lower_bound_experiment",
+]

@@ -1,0 +1,96 @@
+"""The Theorem 7.1 adversarial update sequence.
+
+Construction (paper, §7): pick K = ceil(k^(1+δ/2)) vertices.  The first
+phase deletes every edge inside that set, leaving an "empty clique".  The
+next phase repeats, k times: insert a random G_b(X, Y) instance over the
+set *with globally minimal weights* (so it must enter the MST) and then
+delete it again.  Each insert re-poses the Ω(b / log n)-round hard
+instance, so the 3k batches of size ≤ k^(1+δ) need ω(k) rounds in total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.streams import Update, UpdateStream
+from repro.lowerbound.gbxy import GbInstance, random_gb_instance
+
+
+@dataclass
+class AdversarySequence:
+    """The materialized 3k-phase sequence plus its bookkeeping."""
+
+    stream: UpdateStream
+    clique_vertices: List[int]
+    u: int
+    w: int
+    b: int
+    instances: List[GbInstance] = field(default_factory=list)
+    #: indices of batches that insert a G_b instance (the "hard" batches)
+    hard_batches: List[int] = field(default_factory=list)
+
+
+def build_adversary_sequence(
+    initial: WeightedGraph,
+    k: int,
+    delta: float,
+    pairs: int | None = None,
+    rng: RngLike = None,
+    weight_scale: float = 1e-9,
+) -> AdversarySequence:
+    """Build the Theorem 7.1 sequence against ``initial``.
+
+    ``pairs`` defaults to k (the paper's 2k insert/delete batches).  The
+    initial graph must contain enough vertices; edges inside the chosen
+    set are deleted by the opening batches (spread over ≤ k batches to
+    respect the k^(1+δ) batch-size budget).
+    """
+    rng = as_rng(rng)
+    n = initial.n
+    K = int(np.ceil(k ** (1.0 + delta / 2.0)))
+    if K < 3:
+        K = 3
+    if K > n:
+        raise ValueError(f"need at least K={K} vertices, graph has {n}")
+    batch_budget = max(int(np.ceil(k ** (1.0 + delta))), K + 1)
+    verts = sorted(int(x) for x in as_rng(rng).choice(sorted(initial.vertices()), size=K, replace=False))
+    u, w = verts[0], verts[1]
+    b = K - 2
+
+    batches: List[List[Update]] = []
+    # Phase 1: empty the clique interior.
+    inside = [
+        e for e in initial.edges()
+        if e.u in set(verts) and e.v in set(verts)
+    ]
+    for base in range(0, len(inside), batch_budget):
+        batches.append(
+            [Update.delete(e.u, e.v) for e in inside[base : base + batch_budget]]
+        )
+    while len(batches) < k:
+        batches.append([])  # the paper allots k batches to the carve-out
+
+    # Phase 2: k insert/delete pairs of random hard instances.
+    seq = AdversarySequence(
+        stream=UpdateStream(initial, []),
+        clique_vertices=verts, u=u, w=w, b=b,
+    )
+    n_pairs = pairs if pairs is not None else k
+    for _ in range(n_pairs):
+        inst = random_gb_instance(b, rng, u=u, w=w, v_start=0)
+        inst = GbInstance(inst.x_bits, inst.y_bits, u, w, tuple(verts[2:]))
+        seq.instances.append(inst)
+        add_batch: List[Update] = []
+        for (a, c) in inst.edges():
+            add_batch.append(Update.add(a, c, float(weight_scale * rng.random())))
+        seq.hard_batches.append(len(batches))
+        batches.append(add_batch)
+        batches.append([Update.delete(upd.u, upd.v) for upd in add_batch])
+
+    seq.stream = UpdateStream(initial, batches)
+    return seq

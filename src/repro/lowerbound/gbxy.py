@@ -1,0 +1,92 @@
+"""The Klauck-et-al. hard instance family G_b(X, Y) (§7, Appendix A.3).
+
+G_b(X, Y) has vertices v_1..v_b, u, w; an edge (u, w); an edge (u, v_i)
+iff X_i = 1 and (w, v_i) iff Y_i = 1; connectivity guarantees
+X_i ∨ Y_i = 1, so (X_i, Y_i) ∈ {(0,1), (1,0), (1,1)} — 3^b instances.
+
+The information argument rests on H(Y | X) = 2b/3; we provide the exact
+closed form (via the paper's sum) and a Monte-Carlo estimator the tests
+compare against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import List, Sequence, Tuple
+
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph
+
+
+@dataclass(frozen=True)
+class GbInstance:
+    """One member of G_b(X, Y) over caller-supplied vertex ids."""
+
+    x_bits: Tuple[int, ...]
+    y_bits: Tuple[int, ...]
+    u: int
+    w: int
+    v: Tuple[int, ...]  # v_1..v_b
+
+    @property
+    def b(self) -> int:
+        return len(self.x_bits)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        out = [(self.u, self.w)]
+        for i, (x, y) in enumerate(zip(self.x_bits, self.y_bits)):
+            if x:
+                out.append((self.u, self.v[i]))
+            if y:
+                out.append((self.w, self.v[i]))
+        return out
+
+    def as_graph(self, weights: Sequence[float]) -> WeightedGraph:
+        es = self.edges()
+        if len(weights) != len(es):
+            raise ValueError("need one weight per edge")
+        g = WeightedGraph([self.u, self.w, *self.v])
+        for (a, c), wt in zip(es, weights):
+            g.add_edge(a, c, wt)
+        return g
+
+
+def random_gb_instance(
+    b: int, rng: RngLike = None, u: int = 0, w: int = 1, v_start: int = 2
+) -> GbInstance:
+    """Uniform member of the 3^b family (per-coordinate uniform over the
+    three connected patterns)."""
+    rng = as_rng(rng)
+    xs, ys = [], []
+    for _ in range(b):
+        pat = int(rng.integers(0, 3))  # 0:(1,0) 1:(0,1) 2:(1,1)
+        xs.append(0 if pat == 1 else 1)
+        ys.append(0 if pat == 0 else 1)
+    return GbInstance(tuple(xs), tuple(ys), u, w, tuple(range(v_start, v_start + b)))
+
+
+def conditional_entropy_exact(b: int) -> float:
+    """H(Y | X) for the uniform distribution over the 3^b instances.
+
+    The paper's sum: 3^{-b} Σ_l C(b, l) 2^l · l = 2b/3 bits — given X,
+    each coordinate with X_i = 1 leaves Y_i uniform over {0, 1}.
+    """
+    total = 0.0
+    for l in range(b + 1):
+        total += comb(b, l) * (2.0**l) * l
+    return total / (3.0**b)
+
+
+def conditional_entropy_monte_carlo(b: int, samples: int, rng: RngLike = None) -> float:
+    """Estimate H(Y | X) by sampling X and summing per-coordinate entropy.
+
+    Exact per draw given X (H(Y|X=x) = #{i : x_i = 1} bits), so this is a
+    plain mean estimator whose error shrinks like 1/sqrt(samples).
+    """
+    rng = as_rng(rng)
+    acc = 0.0
+    for _ in range(samples):
+        inst = random_gb_instance(b, rng)
+        acc += sum(inst.x_bits)  # each X_i = 1 coordinate hides one bit
+    return acc / samples

@@ -1,0 +1,27 @@
+"""MPC-model dynamic MST (§8, Theorem 8.1).
+
+The k-machine protocols carry over: every §5/§6 protocol speaks to the
+network through generic primitives, so running them over
+:class:`repro.sim.network.MPCNetwork` (per-machine O(S) words/round)
+yields the MPC costs directly.  What §8 changes:
+
+* storage follows the lexicographic *edge partition* with per-vertex
+  leader machines (:func:`repro.sim.partition.lexicographic_edge_partition`);
+  protocol steps that need "the machine hosting v" use v's leader;
+* initialisation cannot afford O(n/S) rounds; instead Borůvka phases
+  merge *stars* selected by a Cole–Vishkin 3-colouring of the oriented
+  min-outgoing-edge forest, giving O(log n) measured rounds
+  (:mod:`repro.mpc.init_mpc`);
+* a batch may carry up to S updates (bandwidth scales with S, not k).
+"""
+
+from repro.mpc.cole_vishkin import cole_vishkin_3coloring, verify_coloring
+from repro.mpc.api import MPCDynamicMST
+from repro.mpc.init_mpc import mpc_init
+
+__all__ = [
+    "MPCDynamicMST",
+    "mpc_init",
+    "cole_vishkin_3coloring",
+    "verify_coloring",
+]

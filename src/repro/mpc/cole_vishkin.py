@@ -1,0 +1,99 @@
+"""Deterministic 3-colouring of oriented forests (Cole–Vishkin 1986).
+
+Used by the §8 initialisation to pick conflict-free *stars* of components
+to merge.  The classic algorithm:
+
+1. start from distinct colours (ids);
+2. repeatedly set ``colour(v) = 2 i + bit_i(colour(v))`` where ``i`` is
+   the lowest bit position at which v's colour differs from its parent's
+   (roots use their own colour with bit 0 flipped as a virtual parent) —
+   colour-length drops log-star fast until colours fit in {0..5};
+3. three shift-down + recolour passes eliminate colours 5, 4, 3.
+
+Returns the colouring and the number of synchronous iterations, which the
+distributed wrapper charges as communication supersteps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+def _lowest_diff_bit(a: int, b: int) -> int:
+    x = a ^ b
+    return (x & -x).bit_length() - 1
+
+
+def cole_vishkin_3coloring(
+    parent: Dict[Hashable, Optional[Hashable]],
+) -> Tuple[Dict[Hashable, int], int]:
+    """3-colour an oriented forest given child → parent pointers.
+
+    ``parent[v] is None`` marks a root.  Returns (colours, iterations)
+    where iterations counts the synchronous colour-exchange steps
+    (Cole–Vishkin reductions plus the three shift-down passes).
+    """
+    nodes = sorted(parent, key=repr)
+    index = {v: i for i, v in enumerate(nodes)}
+    colour: Dict[Hashable, int] = {v: index[v] for v in nodes}
+    iterations = 0
+
+    def parent_colour(v: Hashable) -> int:
+        p = parent[v]
+        if p is None:
+            return colour[v] ^ 1  # virtual parent differing in bit 0
+        return colour[p]
+
+    # Phase 1: iterated bit reduction until colours fit in {0..5}.
+    while max(colour.values(), default=0) > 5:
+        new: Dict[Hashable, int] = {}
+        for v in nodes:
+            pc = parent_colour(v)
+            i = _lowest_diff_bit(colour[v], pc)
+            new[v] = 2 * i + ((colour[v] >> i) & 1)
+        colour = new
+        iterations += 1
+
+    # Phase 2: shift-down + recolour classes 5, 4, 3.
+    children: Dict[Hashable, List[Hashable]] = {v: [] for v in nodes}
+    roots: List[Hashable] = []
+    for v in nodes:
+        p = parent[v]
+        if p is None:
+            roots.append(v)
+        else:
+            children[p].append(v)
+    for kill in (5, 4, 3):
+        # Shift down: every vertex takes its parent's colour; roots pick
+        # the smallest colour not equal to their current one.
+        shifted: Dict[Hashable, int] = {}
+        for v in nodes:
+            p = parent[v]
+            if p is None:
+                shifted[v] = 0 if colour[v] != 0 else 1
+            else:
+                shifted[v] = colour[p]
+        colour = shifted
+        iterations += 1
+        # All children of a vertex now share its old colour, so a vertex
+        # of colour `kill` sees at most two neighbour colours.
+        for v in nodes:
+            if colour[v] == kill:
+                used = {colour[parent[v]]} if parent[v] is not None else set()
+                kid_cols = {colour[c] for c in children[v]}
+                free = min(c for c in (0, 1, 2) if c not in used | kid_cols)
+                colour[v] = free
+        iterations += 1
+    return colour, iterations
+
+
+def verify_coloring(
+    parent: Dict[Hashable, Optional[Hashable]], colour: Dict[Hashable, int]
+) -> bool:
+    """Proper 3-colouring check along every forest edge."""
+    if any(c not in (0, 1, 2) for c in colour.values()):
+        return False
+    for v, p in parent.items():
+        if p is not None and colour[v] == colour[p]:
+            return False
+    return True

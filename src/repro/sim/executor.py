@@ -1,0 +1,59 @@
+"""Optional process-parallel execution of machine-local computation.
+
+The reproduction's primary metric is communication rounds (see
+DESIGN.md), which the simulator measures exactly regardless of how the
+*local* computation is scheduled.  Python's GIL prevents faithful
+shared-memory thread parallelism, but the machine-local steps — cycle
+deletion, M'-membership scans, candidate labelling — are pure functions
+of one machine's state and parallelize across processes.
+
+:func:`parallel_local_map` runs one pure function per machine in a
+process pool and is a drop-in for the sequential loop.  It exists to
+demonstrate (and measure, in ``bench_parallel_local.py``) that the
+simulator's local phase scales across cores; the protocol code keeps the
+sequential loop by default because at bench scales fork+pickle overhead
+dominates.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_worker_fn: Optional[Callable] = None
+
+
+def _init_pool(fn: Callable) -> None:
+    global _worker_fn
+    _worker_fn = fn
+
+
+def _call(arg: Any) -> Any:
+    assert _worker_fn is not None
+    return _worker_fn(arg)
+
+
+def parallel_local_map(
+    fn: Callable[[T], R],
+    per_machine_inputs: Sequence[T],
+    workers: Optional[int] = None,
+    chunk: int = 1,
+) -> List[R]:
+    """Apply a pure function to each machine's input, in parallel.
+
+    ``fn`` must be a module-level picklable function of one argument and
+    must not touch shared state (it models one machine's local step).
+    Falls back to a sequential map for a single worker or tiny inputs.
+    """
+    n = len(per_machine_inputs)
+    if workers is None:
+        workers = min(n, os.cpu_count() or 1)
+    if workers <= 1 or n <= 1:
+        return [fn(x) for x in per_machine_inputs]
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    with ctx.Pool(workers, initializer=_init_pool, initargs=(fn,)) as pool:
+        return pool.map(_call, per_machine_inputs, chunksize=max(chunk, 1))

@@ -1,0 +1,62 @@
+"""A machine: local state plus space accounting.
+
+The k-machine model allows each machine O(max(m/k + Δ, k)) words of state
+(§3, Theorem 6.1); the MPC model allows S words.  Machines track space as a
+set of named *gauges* (e.g. "edges", "euler", "witness", "scratch") whose
+sum is the current usage; the peak is recorded so benchmarks can check the
+bound.  Enforcement is opt-in: set ``budget`` to raise on overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import SpaceExceeded
+
+
+class Machine:
+    """One machine of the cluster."""
+
+    __slots__ = ("mid", "store", "budget", "_gauges", "peak_words")
+
+    def __init__(self, mid: int, budget: Optional[int] = None) -> None:
+        self.mid = mid
+        #: Free-form local state.  Only the machine's own protocol steps
+        #: may read or write this; cross-machine access must go through
+        #: network primitives (tests enforce this by convention).
+        self.store: Dict[str, Any] = {}
+        self.budget = budget
+        self._gauges: Dict[str, int] = {}
+        self.peak_words = 0
+
+    # ------------------------------------------------------------------
+    # space accounting
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, words: int) -> None:
+        """Declare that the state named ``name`` currently occupies ``words``."""
+        if words < 0:
+            raise ValueError("gauge must be non-negative")
+        if words == 0:
+            self._gauges.pop(name, None)
+        else:
+            self._gauges[name] = words
+        used = self.space_words
+        if used > self.peak_words:
+            self.peak_words = used
+        if self.budget is not None and used > self.budget:
+            raise SpaceExceeded(
+                f"machine {self.mid}: {used} words used, budget {self.budget}"
+            )
+
+    def bump_gauge(self, name: str, delta: int) -> None:
+        self.set_gauge(name, self._gauges.get(name, 0) + delta)
+
+    @property
+    def space_words(self) -> int:
+        return sum(self._gauges.values())
+
+    def gauge(self, name: str) -> int:
+        return self._gauges.get(name, 0)
+
+    def __repr__(self) -> str:
+        return f"Machine({self.mid}, space={self.space_words}, peak={self.peak_words})"

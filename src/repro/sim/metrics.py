@@ -1,0 +1,112 @@
+"""Cost ledger: rounds, messages, words, per-phase breakdowns.
+
+Every communication super-step reports its cost here.  The benchmark
+harness reads ledgers to regenerate the paper's complexity claims, so the
+ledger is the single source of truth for "how many rounds did that take".
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated cost of one named phase."""
+
+    rounds: int = 0
+    messages: int = 0
+    words: int = 0
+    calls: int = 0
+
+    def add(self, rounds: int, messages: int, words: int) -> None:
+        self.rounds += rounds
+        self.messages += messages
+        self.words += words
+        self.calls += 1
+
+    def merged(self, other: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            words=self.words + other.words,
+            calls=self.calls + other.calls,
+        )
+
+
+class Ledger:
+    """Accumulates communication cost, optionally split by nested phases."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.messages = 0
+        self.words = 0
+        self.phases: Dict[str, PhaseStats] = {}
+        self._phase_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    def charge(self, rounds: int, messages: int = 0, words: int = 0) -> None:
+        if rounds < 0 or messages < 0 or words < 0:
+            raise ValueError("costs must be non-negative")
+        self.rounds += rounds
+        self.messages += messages
+        self.words += words
+        for name in self._phase_stack:
+            self.phases.setdefault(name, PhaseStats()).add(rounds, messages, words)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the block to ``name`` (nestable)."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "LedgerSnapshot":
+        return LedgerSnapshot(self.rounds, self.messages, self.words)
+
+    def since(self, snap: "LedgerSnapshot") -> "LedgerSnapshot":
+        return LedgerSnapshot(
+            self.rounds - snap.rounds,
+            self.messages - snap.messages,
+            self.words - snap.words,
+        )
+
+    def reset(self) -> None:
+        self.rounds = 0
+        self.messages = 0
+        self.words = 0
+        self.phases.clear()
+
+    def report(self) -> str:
+        lines = [f"total: rounds={self.rounds} messages={self.messages} words={self.words}"]
+        for name in sorted(self.phases):
+            s = self.phases[name]
+            lines.append(
+                f"  {name}: rounds={s.rounds} messages={s.messages} "
+                f"words={s.words} calls={s.calls}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Ledger(rounds={self.rounds}, messages={self.messages}, words={self.words})"
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Immutable point-in-time view of a ledger (for per-batch deltas)."""
+
+    rounds: int
+    messages: int
+    words: int
+
+    def __sub__(self, other: "LedgerSnapshot") -> "LedgerSnapshot":
+        return LedgerSnapshot(
+            self.rounds - other.rounds,
+            self.messages - other.messages,
+            self.words - other.words,
+        )

@@ -1,0 +1,163 @@
+"""Synchronous networks: round accounting and message delivery.
+
+A protocol is expressed as a sequence of *supersteps*.  In one superstep
+every machine may inject any number of messages; the network computes how
+many synchronous rounds that load needs under the model's capacity rule,
+charges the ledger, and delivers everything.  This mirrors how round
+complexity is argued in the paper: a communication pattern costs
+``ceil(worst link load / capacity)`` rounds because the schedule within a
+pattern is oblivious.
+
+Crucially the network is *dumb*: it never reroutes.  Load-balancing tricks
+(the Rerouting Lemma, Lenzen routing) live in :mod:`repro.comm` as explicit
+multi-superstep protocols, so their O(1)/O(B/k) guarantees are measured,
+not assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BandwidthExceeded
+from repro.sim.machine import Machine
+from repro.sim.message import Message
+from repro.sim.metrics import Ledger
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Network:
+    """Base synchronous network over ``k`` machines with a shared ledger."""
+
+    def __init__(self, k: int, ledger: Optional[Ledger] = None,
+                 machine_budget: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError("need at least one machine")
+        self.k = k
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.machines: List[Machine] = [Machine(i, budget=machine_budget) for i in range(k)]
+        #: Cumulative words delivered *into* each machine — the quantity
+        #: the Theorem 7.1 information argument bounds from below.
+        self.ingress_words: List[int] = [0] * k
+        self.egress_words: List[int] = [0] * k
+
+    # -- model-specific ------------------------------------------------
+    def rounds_for_load(
+        self, pair_words: Dict[Tuple[int, int], int]
+    ) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def relay_multiplicity(self, words: int) -> int:
+        """How many ``words``-sized broadcasts one relay machine can emit
+        per round without exceeding its egress budget.  1 in the
+        k-machine model (per-link words/round is the binding limit); up
+        to S/((k-1)·words) in MPC.  Used by the Rerouting Lemma scheduler
+        to fill the available bandwidth in either model."""
+        return 1
+
+    # -- generic machinery ----------------------------------------------
+    def superstep(self, messages: Iterable[Message]) -> Dict[int, List[Tuple[int, Any]]]:
+        """Deliver ``messages``; charge the rounds their load requires.
+
+        Returns per-destination inboxes as ``{dst: [(src, payload), ...]}``
+        sorted by source machine for determinism.  An empty superstep is
+        free (no rounds charged).
+        """
+        msgs = list(messages)
+        if not msgs:
+            return {}
+        pair_words: Dict[Tuple[int, int], int] = {}
+        n_msgs = 0
+        n_words = 0
+        for m in msgs:
+            self._check_endpoint(m.src)
+            self._check_endpoint(m.dst)
+            pair_words[(m.src, m.dst)] = pair_words.get((m.src, m.dst), 0) + m.words
+            n_msgs += 1
+            n_words += m.words
+            self.ingress_words[m.dst] += m.words
+            self.egress_words[m.src] += m.words
+        rounds = self.rounds_for_load(pair_words)
+        self.ledger.charge(rounds, n_msgs, n_words)
+        inboxes: Dict[int, List[Tuple[int, Any]]] = {}
+        for m in sorted(msgs, key=lambda m: (m.dst, m.src)):
+            inboxes.setdefault(m.dst, []).append((m.src, m.payload))
+        return inboxes
+
+    def broadcast(self, src: int, payload: Any, words: int) -> None:
+        """One machine sends the same ``words`` over all its links."""
+        self.superstep(
+            Message(src, dst, payload, words) for dst in range(self.k) if dst != src
+        )
+
+    def charge_rounds(self, rounds: int) -> None:
+        """Charge rounds with no messages (e.g. synchronization barriers)."""
+        self.ledger.charge(rounds)
+
+    def _check_endpoint(self, mid: int) -> None:
+        if not 0 <= mid < self.k:
+            raise BandwidthExceeded(f"machine id {mid} outside [0, {self.k})")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k}, {self.ledger!r})"
+
+
+class KMachineNetwork(Network):
+    """The k-machine / CONGESTED-CLIQUE communication rule.
+
+    Every ordered machine pair carries ``words_per_round`` words (i.e.
+    Θ(log n) bits) per round; the cost of a superstep is the worst
+    per-pair load.  The CONGESTED CLIQUE is this network with k = n.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        words_per_round: int = 1,
+        ledger: Optional[Ledger] = None,
+        machine_budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(k, ledger, machine_budget)
+        if words_per_round < 1:
+            raise ValueError("words_per_round must be >= 1")
+        self.words_per_round = words_per_round
+
+    def rounds_for_load(self, pair_words: Dict[Tuple[int, int], int]) -> int:
+        worst = max(pair_words.values(), default=0)
+        return _ceil_div(worst, self.words_per_round)
+
+
+class MPCNetwork(Network):
+    """The MPC communication rule: per-machine total I/O of S words/round.
+
+    A machine may talk to anyone, but its aggregate send and aggregate
+    receive volumes are each capped at ``space`` words per round (§3).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        space: int,
+        ledger: Optional[Ledger] = None,
+        enforce_budget: bool = True,
+    ) -> None:
+        super().__init__(k, ledger, machine_budget=space if enforce_budget else None)
+        if space < 1:
+            raise ValueError("space must be >= 1")
+        self.space = space
+
+    def relay_multiplicity(self, words: int) -> int:
+        if self.k <= 1:
+            return 1
+        return max(1, self.space // max(1, (self.k - 1) * words))
+
+    def rounds_for_load(self, pair_words: Dict[Tuple[int, int], int]) -> int:
+        out: Dict[int, int] = {}
+        inc: Dict[int, int] = {}
+        for (src, dst), w in pair_words.items():
+            out[src] = out.get(src, 0) + w
+            inc[dst] = inc.get(dst, 0) + w
+        worst = max(list(out.values()) + list(inc.values()), default=0)
+        return _ceil_div(worst, self.space)

@@ -1,0 +1,115 @@
+"""Graph partitioning: random vertex partition (k-machine) and
+lexicographic edge partition (MPC, §8).
+
+* k-machine: each vertex lands on a uniformly random machine; an edge is
+  stored on *both* endpoint machines (§3 "Graph distribution").
+* MPC: every edge is duplicated into its two directed copies, the copies
+  are sorted lexicographically and cut into contiguous chunks of size at
+  most S, so each vertex occupies a contiguous run of machines and has a
+  well-defined *leader machine* (the first of the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.generators import RngLike, as_rng
+from repro.graphs.graph import WeightedGraph
+
+
+@dataclass
+class VertexPartition:
+    """Assignment of vertices to machines in the random-vertex-partition model."""
+
+    k: int
+    machine_of: Dict[int, int]
+    vertices_of: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.vertices_of:
+            self.vertices_of = [[] for _ in range(self.k)]
+            for v, m in sorted(self.machine_of.items()):
+                self.vertices_of[m].append(v)
+
+    def home(self, v: int) -> int:
+        """The machine hosting vertex ``v``."""
+        return self.machine_of[v]
+
+    def edge_machines(self, u: int, v: int) -> Tuple[int, ...]:
+        """The (one or two) machines storing edge (u, v)."""
+        mu, mv = self.machine_of[u], self.machine_of[v]
+        return (mu,) if mu == mv else (mu, mv)
+
+    def add_vertex(self, v: int, machine: int) -> None:
+        if v in self.machine_of:
+            raise ValueError(f"vertex {v} already placed")
+        self.machine_of[v] = machine
+        self.vertices_of[machine].append(v)
+
+
+def random_vertex_partition(
+    vertices: Sequence[int], k: int, rng: RngLike = None
+) -> VertexPartition:
+    """Uniform random vertex partition over ``k`` machines."""
+    rng = as_rng(rng)
+    vs = sorted(vertices)
+    assignment = rng.integers(0, k, size=len(vs))
+    return VertexPartition(k, {v: int(m) for v, m in zip(vs, assignment)})
+
+
+def round_robin_vertex_partition(vertices: Sequence[int], k: int) -> VertexPartition:
+    """Deterministic v mod k partition (useful for reproducible tests)."""
+    vs = sorted(vertices)
+    return VertexPartition(k, {v: v % k for v in vs})
+
+
+@dataclass
+class EdgePartition:
+    """Lexicographic directed-edge partition for the MPC model (§8).
+
+    ``slots_of[m]`` lists the directed copies (tail, head) stored on
+    machine m; ``vertex_range[v] = (first_machine, last_machine)`` is the
+    contiguous run of machines holding copies with tail v, and
+    ``leader[v]`` is the first machine of that run (vertices with no edges
+    get a round-robin leader so every vertex has one).
+    """
+
+    k: int
+    space: int
+    slots_of: List[List[Tuple[int, int]]]
+    vertex_range: Dict[int, Tuple[int, int]]
+    leader: Dict[int, int]
+
+    def machines_of_vertex(self, v: int) -> List[int]:
+        if v not in self.vertex_range:
+            return [self.leader[v]]
+        lo, hi = self.vertex_range[v]
+        return list(range(lo, hi + 1))
+
+
+def lexicographic_edge_partition(
+    graph: WeightedGraph, k: int, space: Optional[int] = None
+) -> EdgePartition:
+    """Duplicate, sort and chunk the edges of ``graph`` over ``k`` machines."""
+    directed: List[Tuple[int, int]] = []
+    for e in graph.edges():
+        directed.append((e.u, e.v))
+        directed.append((e.v, e.u))
+    directed.sort()
+    if space is None:
+        space = max(1, -(-len(directed) // k))
+    slots_of: List[List[Tuple[int, int]]] = [[] for _ in range(k)]
+    vertex_range: Dict[int, Tuple[int, int]] = {}
+    for idx, (u, v) in enumerate(directed):
+        m = min(idx // space, k - 1)
+        slots_of[m].append((u, v))
+        lo, hi = vertex_range.get(u, (m, m))
+        vertex_range[u] = (min(lo, m), max(hi, m))
+    leader: Dict[int, int] = {}
+    for i, v in enumerate(sorted(graph.vertices())):
+        if v in vertex_range:
+            leader[v] = vertex_range[v][0]
+        else:
+            leader[v] = i % k
+    return EdgePartition(k, space, slots_of, vertex_range, leader)

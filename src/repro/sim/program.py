@@ -1,0 +1,99 @@
+"""Message-driven per-machine programs.
+
+The protocol code in :mod:`repro.core` is written coordinator-style: one
+code path computes what every machine does, machine-local state is only
+touched through per-machine objects, and all cross-machine data flows
+through supersteps.  That style is compact and auditable, but a fair
+question is whether the protocols really decompose into autonomous
+per-machine programs.  This module provides the alternative execution
+model — machines as reactive state machines — and
+:mod:`tests.sim.test_program` re-implements distributed Borůvka in it,
+reproducing the reference MSF with comparable round counts.
+
+A :class:`MachineProgram` sees only its own state and its inbox; the
+:func:`run_programs` loop advances true synchronous rounds: all outboxes
+of round t are delivered at round t+1, charged through the same
+``Network.superstep`` accounting as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.sim.message import Message
+from repro.sim.network import Network
+
+#: An inbox: list of (source machine, payload).
+Inbox = List[Tuple[int, Any]]
+#: An outbox: list of (destination machine, payload, words).
+Outbox = List[Tuple[int, Any, int]]
+
+
+class MachineProgram:
+    """One machine's reactive protocol code.
+
+    Subclasses override :meth:`on_start` (produce the first outbox) and
+    :meth:`on_round` (consume an inbox, produce the next outbox, or
+    return None to signal local termination).  The program may read and
+    write only ``self.state`` — its machine-local memory.
+    """
+
+    def __init__(self, mid: int, k: int, state: Optional[Dict[str, Any]] = None):
+        self.mid = mid
+        self.k = k
+        self.state: Dict[str, Any] = state if state is not None else {}
+        self.done = False
+
+    def on_start(self) -> Outbox:
+        return []
+
+    def on_round(self, inbox: Inbox) -> Optional[Outbox]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- convenience ----------------------------------------------------
+    def broadcast(self, payload: Any, words: int) -> Outbox:
+        return [(dst, payload, words) for dst in range(self.k) if dst != self.mid]
+
+
+def run_programs(
+    net: Network,
+    programs: Sequence[MachineProgram],
+    max_rounds: int = 10_000,
+) -> int:
+    """Drive the programs to quiescence; returns the number of supersteps.
+
+    Termination: a superstep where every program has signalled done and
+    no messages are in flight.  Exceeding ``max_rounds`` supersteps
+    raises (a livelocked protocol is a bug, not a hang).
+    """
+    if len(programs) != net.k:
+        raise ProtocolError("need exactly one program per machine")
+    outboxes: List[Outbox] = [list(p.on_start()) for p in programs]
+    supersteps = 0
+    while True:
+        msgs = [
+            Message(p.mid, dst, payload, words)
+            for p, out in zip(programs, outboxes)
+            for (dst, payload, words) in out
+        ]
+        in_flight = bool(msgs)
+        if not in_flight and all(p.done for p in programs):
+            return supersteps
+        inboxes = net.superstep(msgs)
+        supersteps += 1
+        if supersteps > max_rounds:
+            raise ProtocolError(f"programs did not quiesce in {max_rounds} supersteps")
+        new_outboxes: List[Outbox] = []
+        for p in programs:
+            if p.done and p.mid not in inboxes:
+                new_outboxes.append([])
+                continue
+            out = p.on_round(inboxes.get(p.mid, []))
+            if out is None:
+                p.done = True
+                new_outboxes.append([])
+            else:
+                p.done = False
+                new_outboxes.append(list(out))
+        outboxes = new_outboxes

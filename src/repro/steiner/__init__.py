@@ -1,0 +1,20 @@
+"""Dynamic Steiner trees in the k-machine model (the paper's future work).
+
+§9 names "expanding the approach to the problem of Steiner trees" as the
+natural next step, observing the structure is "very similar to minimum
+spanning trees".  This package prototypes exactly that: the classic
+MST-induced Steiner approximation (prune the spanning forest to the
+union of terminal-to-terminal paths — the Steiner subtree of the MSF),
+maintained batch-dynamically.
+
+The punchline is how little new machinery it needs: terminal membership
+of an MST edge is the *same interval-counting predicate* the §6.1 batch
+addition uses for M' (an edge is in the Steiner subtree iff some but not
+all terminals lie below it — :func:`repro.core.decomposition.in_m_prime`
+with A = terminals).  Terminal and edge updates both cost O(batch/k + 1)
+rounds.
+"""
+
+from repro.steiner.dynamic import DynamicSteinerTree
+
+__all__ = ["DynamicSteinerTree"]

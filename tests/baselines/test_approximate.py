@@ -1,0 +1,63 @@
+"""(1+ε)-approximate dynamic MST (Italiano-style weight rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.approximate import ApproximateDynamicMST, round_weight
+from repro.graphs import churn_stream, kruskal_msf, random_weighted_graph
+from repro.graphs.mst import msf_weight
+
+
+class TestRounding:
+    def test_monotone_and_bounded(self):
+        for w in (0.001, 0.5, 1.0, 7.3):
+            r = round_weight(w, 0.1)
+            assert w <= r <= w * 1.1 + 1e-9
+
+    def test_idempotent(self):
+        r = round_weight(0.37, 0.25)
+        assert round_weight(r, 0.25) == pytest.approx(r)
+
+    def test_bad_epsilon(self):
+        from repro.graphs import WeightedGraph
+
+        with pytest.raises(ValueError):
+            ApproximateDynamicMST(WeightedGraph(range(2)), 2, epsilon=0)
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("epsilon", [0.01, 0.1, 0.5])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_weight_within_factor(self, epsilon, seed):
+        rng = np.random.default_rng(seed)
+        g = random_weighted_graph(25, 70, rng)
+        approx = ApproximateDynamicMST(g, 4, epsilon=epsilon, rng=rng)
+        exact = msf_weight(kruskal_msf(g))
+        got = approx.total_weight()
+        assert exact - 1e-9 <= got <= (1 + epsilon) * exact + 1e-9
+
+    def test_stays_within_factor_under_churn(self, rng):
+        g = random_weighted_graph(30, 90, rng)
+        eps = 0.2
+        approx = ApproximateDynamicMST(g, 4, epsilon=eps, rng=rng)
+        for batch in churn_stream(g, 5, 6, rng=rng):
+            approx.apply_batch(batch)
+            approx.dm.check()
+            exact = msf_weight(kruskal_msf_with_true_weights(approx))
+            got = approx.total_weight()
+            assert exact - 1e-9 <= got <= (1 + eps) * exact + 1e-9
+
+    def test_fewer_weight_classes(self, rng):
+        g = random_weighted_graph(60, 500, rng)
+        approx = ApproximateDynamicMST(g, 4, epsilon=0.5, rng=rng)
+        assert approx.distinct_weight_classes() < g.m / 4
+
+
+def kruskal_msf_with_true_weights(approx):
+    """Exact MSF of the true-weight graph the approximation tracks."""
+    from repro.graphs import WeightedGraph
+
+    g = WeightedGraph(approx.dm.shadow.vertices())
+    for (u, v), w in approx.true_weights.items():
+        g.add_edge(u, v, w)
+    return kruskal_msf(g)

@@ -1,0 +1,23 @@
+"""CCEdge canonicalization and ordering."""
+
+import pytest
+
+from repro.cclique import CCEdge
+
+
+def test_make_canonicalizes():
+    e = CCEdge.make(5, 2, (0.5, 0, 1), data="x")
+    assert e.pair == (2, 5) and e.data == "x"
+
+
+def test_constructor_requires_canonical():
+    with pytest.raises(ValueError):
+        CCEdge((0.5, 0, 1), 5, 2)
+    with pytest.raises(ValueError):
+        CCEdge((0.5, 0, 1), 3, 3)
+
+
+def test_order_by_key():
+    a = CCEdge.make(0, 1, (0.5, 0, 1))
+    b = CCEdge.make(0, 2, (0.4, 5, 6))
+    assert sorted([a, b]) == [b, a]

@@ -1,0 +1,79 @@
+"""Sketch-based batch-dynamic connectivity vs ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.cclique.dynamic_connectivity import SketchDynamicConnectivity
+from repro.cclique.model import CongestedClique
+from repro.errors import ModelViolation
+from repro.graphs import (
+    WeightedGraph,
+    churn_stream,
+    kruskal_msf,
+    random_weighted_graph,
+)
+from repro.graphs.mst import msf_key_multiset
+from repro.graphs.validation import connected_components
+
+
+class TestCongestedCliqueModel:
+    def test_static_mst(self, rng):
+        g = random_weighted_graph(12, 30, rng)
+        cc = CongestedClique(g)
+        got = cc.mst(rng=rng)
+        assert msf_key_multiset(got) == msf_key_multiset(kruskal_msf(g))
+        assert cc.ledger.rounds > 0
+
+    def test_requires_contiguous_vertices(self):
+        g = WeightedGraph([5, 9])
+        with pytest.raises(ModelViolation):
+            CongestedClique(g)
+
+    @pytest.mark.parametrize("engine", ["boruvka", "lotker", "sample_gather"])
+    def test_all_engines(self, engine, rng):
+        g = random_weighted_graph(10, 25, rng)
+        cc = CongestedClique(g)
+        got = cc.mst(engine=engine, rng=rng)
+        assert msf_key_multiset(got) == msf_key_multiset(kruskal_msf(g))
+
+
+class TestSketchConnectivityDynamic:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tracks_components_under_churn(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 16))
+        m = int(rng.integers(0, n * (n - 1) // 2 // 2))
+        g = random_weighted_graph(n, m, rng, connected=False)
+        sc = SketchDynamicConnectivity(g, rng=rng)
+        shadow = g.copy()
+        for batch in churn_stream(g, 3, 4, rng=rng):
+            sc.apply_batch(batch)
+            from repro.graphs.streams import apply_updates
+
+            apply_updates(shadow, batch)
+            got = sorted(sorted(c) for c in sc.components().components())
+            want = sorted(sorted(c) for c in connected_components(shadow))
+            assert got == want
+
+    def test_update_validation(self, rng):
+        g = random_weighted_graph(8, 10, rng)
+        sc = SketchDynamicConnectivity(g, rng=rng)
+        e = next(iter(g.edges()))
+        from repro.graphs import Update
+
+        with pytest.raises(ValueError):
+            sc.apply_batch([Update.add(e.u, e.v, 1.0)])
+        with pytest.raises(ValueError):
+            sc.apply_batch([Update.delete(0, 7) if not g.has_edge(0, 7)
+                            else Update.delete(1, 7)])
+
+    def test_words_updated_grows_per_update(self, rng):
+        g = random_weighted_graph(10, 10, rng)
+        sc = SketchDynamicConnectivity(g, rng=rng)
+        before = sc.words_updated
+        from repro.graphs import Update
+
+        pair = next((u, v) for u in range(10) for v in range(u + 1, 10)
+                    if not g.has_edge(u, v))
+        sc.apply_batch([Update.add(*pair, 0.5)])
+        assert sc.words_updated > before

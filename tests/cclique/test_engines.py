@@ -1,0 +1,118 @@
+"""Congested-clique MST engines: exactness, round profiles, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.cclique import CCEdge, cc_msf, ENGINES
+from repro.graphs import kruskal_msf, random_weighted_graph
+from repro.sim import KMachineNetwork
+
+ALL_ENGINES = sorted(ENGINES)
+
+
+def _instance(seed, k=None, nv=None, density=1.0):
+    rng = np.random.default_rng(seed)
+    k = k or int(rng.integers(2, 10))
+    nv = nv or int(rng.integers(2, k + 2))
+    max_m = nv * (nv - 1) // 2
+    m = int(rng.integers(0, int(max_m * density) + 1))
+    g = random_weighted_graph(nv, m, rng, connected=False)
+    local = [[] for _ in range(k)]
+    for e in g.edges():
+        local[int(rng.integers(0, k))].append(CCEdge.make(e.u, e.v, e.key()))
+    want = sorted((e.key(), *sorted((e.u, e.v))) for e in kruskal_msf(g))
+    return k, nv, local, want, rng
+
+
+class TestExactness:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_kruskal(self, engine, seed):
+        k, nv, local, want, rng = _instance(seed)
+        net = KMachineNetwork(k)
+        got = cc_msf(net, nv, local, engine=engine, rng=rng)
+        assert sorted((e.key, e.cu, e.cv) for e in got) == want
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_empty_instance(self, engine):
+        net = KMachineNetwork(4)
+        assert cc_msf(net, 3, [[] for _ in range(4)], engine=engine, rng=0) == []
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_duplicated_edges_harmless(self, engine):
+        """§6.2 step 7 sends an edge to both endpoint machines."""
+        e = CCEdge.make(0, 1, (0.5, 10, 11))
+        f = CCEdge.make(1, 2, (0.7, 12, 13))
+        local = [[e], [e, f], [f], []]
+        net = KMachineNetwork(4)
+        got = cc_msf(net, 3, local, engine=engine, rng=0)
+        assert sorted((c.cu, c.cv) for c in got) == [(0, 1), (1, 2)]
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_disconnected_instance(self, engine):
+        a = CCEdge.make(0, 1, (0.5, 0, 1))
+        b = CCEdge.make(2, 3, (0.6, 2, 3))
+        net = KMachineNetwork(3)
+        got = cc_msf(net, 4, [[a], [b], []], engine=engine, rng=0)
+        assert len(got) == 2
+
+    def test_unknown_engine(self):
+        net = KMachineNetwork(2)
+        with pytest.raises(ValueError):
+            cc_msf(net, 2, [[], []], engine="quantum")
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_data_payload_preserved(self, engine):
+        e = CCEdge.make(0, 1, (0.5, 10, 11), data=("orig", 10, 11))
+        net = KMachineNetwork(2)
+        got = cc_msf(net, 2, [[e], []], engine=engine, rng=0)
+        assert got[0].data == ("orig", 10, 11)
+
+
+class TestRoundProfiles:
+    def test_sample_gather_flat_on_sparse_instances(self):
+        """The §6.2 reduction always produces ≤ 1 edge per component pair
+        and ≤ k per machine; sample_gather must stay O(1) there."""
+        rounds = {}
+        for k in (8, 16, 32, 64, 128):
+            rng = np.random.default_rng(k)
+            nv = k + 1
+            g = random_weighted_graph(nv, 2 * nv, rng)
+            local = [[] for _ in range(k)]
+            for e in g.edges():
+                local[int(rng.integers(0, k))].append(CCEdge.make(e.u, e.v, e.key()))
+            net = KMachineNetwork(k)
+            cc_msf(net, nv, local, engine="sample_gather", rng=rng)
+            rounds[k] = net.ledger.rounds
+        # Plateau: doubling k twice beyond 32 adds nothing.
+        assert rounds[128] <= rounds[32] + 5, rounds
+        assert rounds[128] <= 2 * rounds[8], rounds
+
+    def test_boruvka_grows_logarithmically(self):
+        rounds = {}
+        for k in (8, 64):
+            rng = np.random.default_rng(k)
+            nv = k + 1
+            g = random_weighted_graph(nv, 2 * nv, rng)
+            local = [[] for _ in range(k)]
+            for e in g.edges():
+                local[int(rng.integers(0, k))].append(CCEdge.make(e.u, e.v, e.key()))
+            net = KMachineNetwork(k)
+            cc_msf(net, nv, local, engine="boruvka", rng=rng)
+            rounds[k] = net.ledger.rounds
+        # More components => more Borůvka phases.
+        assert rounds[64] > rounds[8]
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_dense_instance_still_exact(self, engine):
+        k = 8
+        rng = np.random.default_rng(1)
+        nv = k + 1
+        g = random_weighted_graph(nv, nv * (nv - 1) // 2, rng)
+        local = [[] for _ in range(k)]
+        for e in g.edges():
+            local[int(rng.integers(0, k))].append(CCEdge.make(e.u, e.v, e.key()))
+        want = sorted((e.key(), *sorted((e.u, e.v))) for e in kruskal_msf(g))
+        net = KMachineNetwork(k)
+        got = cc_msf(net, nv, local, engine=engine, rng=rng)
+        assert sorted((e.key, e.cu, e.cv) for e in got) == want

@@ -1,0 +1,50 @@
+"""MPC broadcast / converge-cast trees."""
+
+import pytest
+
+from repro.comm import tree_broadcast, tree_converge_cast
+from repro.sim import MPCNetwork
+
+
+class TestBroadcastTree:
+    def test_depth_log_branching(self):
+        net = MPCNetwork(64, space=100)
+        steps = tree_broadcast(net, 0, "x", 1, branching=4)
+        assert steps == 3  # 4^3 = 64
+
+    def test_single_machine(self):
+        net = MPCNetwork(1, space=10)
+        assert tree_broadcast(net, 0, "x", 1, branching=2) == 0
+
+    def test_nonzero_root(self):
+        net = MPCNetwork(10, space=10)
+        steps = tree_broadcast(net, 7, "x", 1, branching=3)
+        assert steps >= 2
+
+    def test_bad_branching(self):
+        net = MPCNetwork(4, space=10)
+        with pytest.raises(ValueError):
+            tree_broadcast(net, 0, "x", 1, branching=0)
+
+
+class TestConvergeTree:
+    @pytest.mark.parametrize("k,branching", [(16, 2), (16, 4), (7, 3), (1, 2)])
+    def test_sum_correct(self, k, branching):
+        net = MPCNetwork(k, space=50)
+        got = tree_converge_cast(net, 0, list(range(k)), sum, 1, branching)
+        assert got == sum(range(k))
+
+    def test_partial_values(self):
+        net = MPCNetwork(8, space=50)
+        vals = [None, 3, None, 5, None, None, 2, None]
+        got = tree_converge_cast(net, 2, vals, min, 1, branching=2)
+        assert got == 2
+
+    def test_all_none(self):
+        net = MPCNetwork(4, space=50)
+        assert tree_converge_cast(net, 0, [None] * 4, min, 1, 2) is None
+
+    def test_wrong_arity(self):
+        net = MPCNetwork(4, space=50)
+        with pytest.raises(ValueError):
+            tree_converge_cast(net, 0, [1], min, 1, 2)

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--stress",
+        action="store_true",
+        default=False,
+        help="run the larger randomized stress tests",
+    )
+
+
+@pytest.fixture
+def stress(request):
+    return request.config.getoption("--stress")

@@ -1,0 +1,84 @@
+"""Distributed self-audit: accepts valid states, catches corruptions."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.core.audit import distributed_audit
+from repro.graphs import churn_stream, random_weighted_graph
+
+
+def _dm(seed=0, n=30, m=80, k=4):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, m, rng)
+    return DynamicMST.build(g, k, rng=rng, init="free")
+
+
+class TestAccepts:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clean_state_passes(self, seed):
+        dm = _dm(seed)
+        ok, bad = distributed_audit(dm.net, dm.vp, dm.states, rng=seed)
+        assert ok and not bad
+
+    def test_passes_throughout_a_stream(self, rng):
+        dm = _dm(1)
+        for batch in churn_stream(dm.shadow.copy(), 4, 5, rng=rng):
+            dm.apply_batch(batch)
+            ok, bad = distributed_audit(dm.net, dm.vp, dm.states, rng=rng)
+            assert ok, bad
+
+    def test_cost_is_constant_rounds(self):
+        dm = _dm(2, n=200, m=600, k=16)
+        before = dm.net.ledger.rounds
+        distributed_audit(dm.net, dm.vp, dm.states, rng=0)
+        assert dm.net.ledger.rounds - before <= 40
+
+
+class TestDetects:
+    def _corrupt_label(self, dm):
+        for st in dm.states:
+            for (u, v), ete in st.mst.items():
+                if dm.vp.home(u) == st.mid:
+                    ete.t_uv = (ete.t_uv + 1) % max(st.tour_size[ete.tour], 2)
+                    return ete.tour
+        raise AssertionError("no homed MST edge found")
+
+    def test_detects_label_shift(self):
+        dm = _dm(3)
+        tid = self._corrupt_label(dm)
+        ok, bad = distributed_audit(dm.net, dm.vp, dm.states, rng=5)
+        assert not ok and tid in bad
+
+    def test_detects_direction_flip(self):
+        dm = _dm(4)
+        for st in dm.states:
+            for (u, v), ete in st.mst.items():
+                if dm.vp.home(u) == st.mid and ete.t_uv != ete.t_vu:
+                    ete.t_uv, ete.t_vu = ete.t_vu, ete.t_uv
+                    ok, bad = distributed_audit(dm.net, dm.vp, dm.states, rng=5)
+                    # A pure direction swap keeps the label multiset but
+                    # breaks the chain fingerprint (w.h.p.).
+                    assert not ok and ete.tour in bad
+                    return
+
+    def test_detects_wrong_size(self):
+        dm = _dm(5)
+        tid = next(iter(dm.states[0].tour_size))
+        for st in dm.states:
+            if tid in st.tour_size:
+                st.tour_size[tid] += 2
+        ok, bad = distributed_audit(dm.net, dm.vp, dm.states, rng=5)
+        assert not ok
+
+    def test_detects_missing_edge(self):
+        dm = _dm(6)
+        for st in dm.states:
+            for (u, v), ete in list(st.mst.items()):
+                if dm.vp.home(u) == st.mid:
+                    tid = ete.tour
+                    for s2 in dm.states:
+                        s2.mst.pop((u, v), None)
+                    ok, bad = distributed_audit(dm.net, dm.vp, dm.states, rng=5)
+                    assert not ok and tid in bad
+                    return

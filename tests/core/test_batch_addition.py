@@ -1,0 +1,115 @@
+"""§6.1 batch additions (the deterministic half of Theorem 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.graphs import (
+    Update,
+    WeightedGraph,
+    growing_stream,
+    kruskal_msf,
+    random_weighted_graph,
+)
+from repro.graphs.mst import msf_key_multiset
+
+
+def _dm(graph, k=4, seed=0, **kw):
+    return DynamicMST.build(graph, k, rng=seed, init="free", **kw)
+
+
+class TestCorrectness:
+    def test_batch_joins_forest(self):
+        g = WeightedGraph(range(6))
+        dm = _dm(g)
+        dm.apply_batch([Update.add(0, 1, 0.3), Update.add(2, 3, 0.1),
+                        Update.add(4, 5, 0.2)])
+        dm.check()
+        assert len(dm.msf_edges()) == 3
+
+    def test_batch_with_displacements(self):
+        # Path 0-1-2-3-4 with two new chords, each displacing a max.
+        g = WeightedGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 8.0), (2, 3, 2.0), (3, 4, 9.0)]
+        )
+        dm = _dm(g)
+        dm.apply_batch([Update.add(0, 2, 3.0), Update.add(2, 4, 4.0)])
+        dm.check()
+        assert not dm.in_mst(1, 2) and not dm.in_mst(3, 4)
+        assert dm.in_mst(0, 2) and dm.in_mst(2, 4)
+
+    def test_shared_heaviest_edge(self):
+        """Figure 2's trap: several cycles share one heaviest edge; only
+        one new edge may claim it, the rest must resolve differently."""
+        g = WeightedGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 100.0), (2, 3, 1.5), (3, 4, 2.5)]
+        )
+        dm = _dm(g)
+        # Both new edges close cycles through (1, 2).
+        dm.apply_batch([Update.add(0, 2, 3.0), Update.add(1, 3, 4.0)])
+        dm.check()
+        assert msf_key_multiset(dm.msf_edges()) == msf_key_multiset(
+            kruskal_msf(dm.shadow)
+        )
+
+    def test_parallel_batch_edges_between_components(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        dm = _dm(g)
+        dm.apply_batch([Update.add(1, 2, 5.0), Update.add(0, 3, 4.0)])
+        dm.check()
+        assert dm.in_mst(0, 3) and not dm.in_mst(1, 2)
+
+    def test_all_heavy_edges_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        dm = _dm(g)
+        dm.apply_batch([Update.add(0, 2, 9.0), Update.add(1, 3, 8.0),
+                        Update.add(0, 3, 7.0)])
+        dm.check()
+        assert len(dm.msf_edges()) == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_vs_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 26))
+        m = int(rng.integers(0, n * (n - 1) // 2 // 2))
+        g = random_weighted_graph(n, m, rng, connected=False)
+        dm = DynamicMST.build(g, int(rng.integers(2, 7)), rng=rng, init="free")
+        for batch in growing_stream(g, int(rng.integers(1, 8)), 6, rng):
+            dm.apply_batch(batch)
+            dm.check()  # includes MSF-vs-Kruskal comparison
+
+
+class TestProtocolShape:
+    def test_details_reported(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 8.0), (2, 3, 2.0)])
+        dm = _dm(g)
+        rep = dm.apply_batch([Update.add(0, 3, 3.0)])
+        assert rep.details["add_adds"] == 1
+        assert rep.details["add_links"] == 1
+        assert rep.details["add_cuts"] == 1
+
+    def test_anchor_count_linear_in_batch(self):
+        rng = np.random.default_rng(3)
+        g = random_weighted_graph(100, 150, rng)
+        dm = DynamicMST.build(g, 8, rng=rng, init="free")
+        batch = next(iter(growing_stream(dm.shadow.copy(), 8, 1, rng)))
+        rep = dm.apply_batch(batch)
+        # Lemma 6.3: |A| + |B| = O(k); here ≤ 2 per new edge + junctions.
+        assert rep.details["add_anchors"] <= 4 * len(batch)
+        assert rep.details["add_paths"] <= rep.details["add_anchors"] + 2
+
+    def test_rounds_flat_in_batch_size_up_to_k(self):
+        """The heart of Theorem 6.1: b ≤ k additions cost O(1) rounds."""
+        rng = np.random.default_rng(5)
+        k = 16
+        means = {}
+        for b in (2, 16):
+            g = random_weighted_graph(300, 900, rng)
+            dm = DynamicMST.build(g, k, rng=rng, init="free")
+            costs = [
+                dm.apply_batch(batch).rounds
+                for batch in growing_stream(dm.shadow.copy(), b, 5, rng)
+            ]
+            means[b] = float(np.mean(costs))
+        # 8x the batch size, far less than 8x the rounds.
+        assert means[16] < 3.0 * means[2]

@@ -1,0 +1,67 @@
+"""Initialisation: Theorem 5.8 protocol and the free bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.core.checker import check_global_consistency
+from repro.core.init_build import distributed_init, free_init, make_states
+from repro.graphs import kruskal_msf, random_weighted_graph
+from repro.graphs.mst import msf_key_multiset
+from repro.sim import KMachineNetwork, random_vertex_partition
+
+
+def _build(graph, k, rng, mode):
+    net = KMachineNetwork(k)
+    vp = random_vertex_partition(sorted(graph.vertices()), k, rng)
+    states, tid = make_states(graph, vp, net)
+    if mode == "distributed":
+        msf, tid = distributed_init(net, vp, states, sorted(graph.vertices()), tid)
+    else:
+        msf, tid = free_init(graph, vp, states, tid)
+    return net, vp, states, msf
+
+
+class TestBothModes:
+    @pytest.mark.parametrize("mode", ["distributed", "free"])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_builds_correct_msf(self, mode, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 30))
+        m = int(rng.integers(0, n * (n - 1) // 2 + 1))
+        k = int(rng.integers(2, 7))
+        g = random_weighted_graph(n, m, rng, connected=False)
+        net, vp, states, msf = _build(g, k, rng, mode)
+        assert msf_key_multiset(msf) == msf_key_multiset(kruskal_msf(g))
+        check_global_consistency(states, g, vp)
+
+    def test_free_charges_nothing(self, rng):
+        g = random_weighted_graph(20, 40, rng)
+        net, _, _, _ = _build(g, 4, rng, "free")
+        assert net.ledger.rounds == 0
+
+    def test_distributed_matches_free_structure(self, rng):
+        """Both inits must yield the same MSF (labels may differ)."""
+        g = random_weighted_graph(25, 60, rng)
+        vp = random_vertex_partition(sorted(g.vertices()), 4, rng)
+        net1, net2 = KMachineNetwork(4), KMachineNetwork(4)
+        st1, t1 = make_states(g, vp, net1)
+        st2, t2 = make_states(g, vp, net2)
+        msf1, _ = distributed_init(net1, vp, st1, sorted(g.vertices()), t1)
+        msf2, _ = free_init(g, vp, st2, t2)
+        assert msf_key_multiset(msf1) == msf_key_multiset(msf2)
+
+
+class TestTheorem58Shape:
+    def test_rounds_linear_in_n_over_k(self):
+        """Theorem 5.8: init in O(n/k + log n) rounds."""
+        rng = np.random.default_rng(0)
+        rounds = {}
+        for n, k in ((128, 8), (256, 8), (512, 8), (256, 16)):
+            g = random_weighted_graph(n, 3 * n, rng)
+            net, *_ = _build(g, k, rng, "distributed")
+            rounds[(n, k)] = net.ledger.rounds
+        # Doubling n roughly doubles rounds at fixed k.
+        assert 1.5 < rounds[(256, 8)] / rounds[(128, 8)] < 3.0
+        assert 1.5 < rounds[(512, 8)] / rounds[(256, 8)] < 3.0
+        # Doubling k roughly halves rounds at fixed n.
+        assert rounds[(256, 16)] < 0.8 * rounds[(256, 8)]

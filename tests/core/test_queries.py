@@ -1,0 +1,107 @@
+"""Distributed read queries: connectivity, bottleneck, aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.graphs import (
+    Update,
+    WeightedGraph,
+    kruskal_msf,
+    random_weighted_graph,
+)
+from repro.graphs.validation import path_in_forest
+
+
+def _dm(graph, k=4, seed=0):
+    return DynamicMST.build(graph, k, rng=seed, init="free")
+
+
+class TestConnectivity:
+    def test_basic(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        dm = _dm(g)
+        assert dm.connected(0, 1)
+        assert not dm.connected(0, 2)
+
+    def test_isolated_vertices(self):
+        g = WeightedGraph(range(4))
+        dm = _dm(g)
+        assert not dm.connected(0, 1)
+
+    def test_tracks_updates(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        dm = _dm(g)
+        dm.apply_batch([Update.add(1, 2, 0.5)])
+        assert dm.connected(0, 3)
+        dm.apply_batch([Update.delete(1, 2)])
+        assert not dm.connected(0, 3)
+
+    def test_batch_queries_match_singles(self, rng):
+        g = random_weighted_graph(20, 25, rng, connected=False)
+        dm = _dm(g, seed=3)
+        pairs = [(int(rng.integers(0, 20)), int(rng.integers(0, 20))) for _ in range(12)]
+        pairs = [(u, v) for (u, v) in pairs if u != v]
+        got = dm.batch_connected(pairs)
+        from repro.graphs.graph import normalize
+        for (u, v) in pairs:
+            assert got[normalize(u, v)] == dm.connected(u, v)
+
+    def test_batch_rounds_scale(self):
+        rng = np.random.default_rng(0)
+        g = random_weighted_graph(200, 400, rng)
+        dm = _dm(g, k=8, seed=0)
+        before = dm.net.ledger.rounds
+        dm.batch_connected([(i, i + 50) for i in range(64)])
+        batched = dm.net.ledger.rounds - before
+        before = dm.net.ledger.rounds
+        for i in range(8):
+            dm.connected(i, i + 50)
+        singles8 = dm.net.ledger.rounds - before
+        assert batched < 8 * singles8  # 64 queries cheaper than 64 singles
+
+
+class TestBottleneck:
+    def test_path_graph(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 9.0), (2, 3, 2.0)])
+        dm = _dm(g)
+        assert dm.bottleneck_edge(0, 3) == (9.0, 1, 2)
+        assert dm.bottleneck_edge(0, 1) == (1.0, 0, 1)
+
+    def test_disconnected_none(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        dm = _dm(g)
+        assert dm.bottleneck_edge(0, 3) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_oracle_path_max(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 20))
+        g = random_weighted_graph(n, 2 * n, rng)
+        dm = _dm(g, seed=seed)
+        msf = list(kruskal_msf(g))
+        for _ in range(6):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u == v:
+                continue
+            path = path_in_forest(msf, u, v)
+            got = dm.bottleneck_edge(u, v)
+            if path:
+                want = max(path, key=lambda e: e.key())
+                assert got == (want.weight, want.u, want.v)
+            else:
+                assert got is None
+
+
+class TestAggregates:
+    def test_distributed_weight_matches_local(self, rng):
+        g = random_weighted_graph(30, 80, rng)
+        dm = _dm(g, seed=2)
+        assert dm.distributed_weight() == pytest.approx(dm.total_weight())
+
+    def test_component_count(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)], vertices=[4])
+        dm = _dm(g)
+        assert dm.component_count() == 3
+        dm.apply_batch([Update.add(1, 2, 0.5)])
+        assert dm.component_count() == 2

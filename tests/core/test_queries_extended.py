@@ -1,0 +1,117 @@
+"""LCA, subtree-size and reweight APIs, checked against tree oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.graphs import WeightedGraph, kruskal_msf, random_weighted_graph
+from repro.graphs.validation import path_in_forest
+
+
+def _dm(graph, k=4, seed=0):
+    return DynamicMST.build(graph, k, rng=seed, init="free")
+
+
+def _oracle_lca(msf, root, u, v):
+    pu = path_in_forest(msf, root, u)
+    pv = path_in_forest(msf, root, v)
+    if pu is None or pv is None:
+        return None
+    # Walk both root paths; the last shared vertex is the LCA.
+    def vertices(path, start):
+        out = [start]
+        cur = start
+        for e in path:
+            cur = e.other(cur)
+            out.append(cur)
+        return out
+    a, b = vertices(pu, root), vertices(pv, root)
+    lca = root
+    for x, y in zip(a, b):
+        if x == y:
+            lca = x
+        else:
+            break
+    return lca
+
+
+class TestLCA:
+    def test_path_graph(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        dm = _dm(g)
+        # Rooted at 0 (min-vertex DFS root): lca(1, 3) = 1.
+        assert dm.lca(1, 3) == 1
+        assert dm.lca(0, 3) == 0
+        assert dm.lca(2, 2) == 2
+
+    def test_star(self):
+        g = WeightedGraph.from_edges([(0, i, float(i)) for i in range(1, 6)])
+        dm = _dm(g)
+        assert dm.lca(1, 2) == 0
+
+    def test_disconnected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        dm = _dm(g)
+        assert dm.lca(0, 3) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 22))
+        g = random_weighted_graph(n, 2 * n, rng)
+        dm = _dm(g, seed=seed)
+        msf = list(kruskal_msf(g))
+        # The tour root is the DFS root = the component's min vertex (0).
+        root = 0
+        for _ in range(8):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            assert dm.lca(u, v) == _oracle_lca(msf, root, u, v), (u, v)
+
+
+class TestSubtreeSize:
+    def test_path_graph(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        dm = _dm(g)
+        assert dm.subtree_size(0) == 4  # the root's subtree is the tour
+        assert dm.subtree_size(1) == 3
+        assert dm.subtree_size(3) == 1
+
+    def test_isolated(self):
+        g = WeightedGraph(range(3))
+        dm = _dm(g)
+        assert dm.subtree_size(1) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sums_to_consistency(self, seed):
+        """Sum over the root's children + 1 equals the component size."""
+        rng = np.random.default_rng(seed)
+        g = random_weighted_graph(15, 30, rng)
+        dm = _dm(g, seed=seed)
+        msf = list(kruskal_msf(g))
+        children = [e.other(0) for e in msf if 0 in e.endpoints]
+        assert 1 + sum(dm.subtree_size(c) for c in children) == dm.subtree_size(0)
+
+
+class TestReweight:
+    def test_lighter_weight_enters_mst(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 9.0)])
+        dm = _dm(g)
+        assert not dm.in_mst(0, 2)
+        rep = dm.reweight_edge(0, 2, 0.5)
+        dm.check()
+        assert dm.in_mst(0, 2) and not dm.in_mst(1, 2)
+        assert rep.mode == "reweight" and rep.rounds > 0
+
+    def test_heavier_weight_leaves_mst(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 9.0)])
+        dm = _dm(g)
+        dm.reweight_edge(1, 2, 99.0)
+        dm.check()
+        assert not dm.in_mst(1, 2) and dm.in_mst(0, 2)
+
+    def test_report_merging(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        dm = _dm(g)
+        n_before = len(dm.reports)
+        dm.reweight_edge(0, 1, 2.0)
+        assert len(dm.reports) == n_before + 1

@@ -1,0 +1,80 @@
+"""Property test: the distributed script engine vs the centralized oracle.
+
+Hypothesis drives random cut/link script batches on random forests; after
+every batch the per-machine labels must exactly match an EulerForest
+oracle executing the same structural operations (up to tour-id renaming,
+which the consistency checker normalizes away by checking walk validity
+and replica agreement instead of raw ids).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import check_global_consistency
+from repro.core.init_build import free_init, make_states
+from repro.core.scripts import _repair_witnesses, run_structural_batch
+from repro.graphs import WeightedGraph, random_forest
+from repro.graphs.dsu import DisjointSet
+from repro.sim import KMachineNetwork, random_vertex_partition
+
+
+@st.composite
+def structural_scenario(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(3, 16))
+    k = draw(st.integers(2, 5))
+    n_rounds = draw(st.integers(1, 4))
+    return seed, n, k, n_rounds
+
+
+@given(structural_scenario())
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_structural_batches_stay_consistent(scenario):
+    seed, n, k, n_rounds = scenario
+    rng = np.random.default_rng(seed)
+    g = random_forest(n, max(1, n // 3), rng)
+    net = KMachineNetwork(k)
+    vp = random_vertex_partition(sorted(g.vertices()), k, rng)
+    states, tid = make_states(g, vp, net)
+    _, tid = free_init(g, vp, states, tid)
+    shadow = g.copy()
+
+    for _ in range(n_rounds):
+        # Random consistent batch: cut some forest edges, then link some
+        # cycle-free replacements.
+        edges = sorted(e.endpoints for e in shadow.edges())
+        rng.shuffle(edges)
+        cuts = edges[: int(rng.integers(0, min(len(edges), k) + 1))]
+        for (u, v) in cuts:
+            shadow.remove_edge(u, v)
+            for stt in states:
+                stt.drop_graph_edge(u, v)
+        # Candidate links between current components, forest-safe.
+        dsu = DisjointSet(shadow.vertices())
+        for e in shadow.edges():
+            dsu.union(e.u, e.v)
+        links = []
+        tries = rng.permutation(n * n)
+        for t in tries[: 4 * n]:
+            u, v = int(t) // n, int(t) % n
+            if u >= v or shadow.has_edge(u, v):
+                continue
+            if dsu.union(u, v):
+                w = float(rng.random())
+                links.append((u, v, w))
+                shadow.add_edge(u, v, w)
+                for stt in states:
+                    if u in stt.vertices or v in stt.vertices:
+                        stt.store_graph_edge(u, v, w)
+            if len(links) >= k:
+                break
+        tid = run_structural_batch(net, vp, states, cuts=cuts, links=links,
+                                   next_tour_id=tid)
+        # New graph edges entail witness acquisition for their endpoints,
+        # exactly as batch_add broadcasts for the A-vertices.
+        endpoints = [x for (u, v, _w) in links for x in (u, v)]
+        if endpoints:
+            _repair_witnesses(net, vp, states, endpoints)
+        check_global_consistency(states, shadow, vp)

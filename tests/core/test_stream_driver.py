@@ -1,0 +1,69 @@
+"""The keeping-up phase transition (the paper's title question)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.core.stream_driver import BacklogTrace, OnlineChurn, StreamDriver
+from repro.graphs import random_weighted_graph
+
+
+def _setup(n=200, k=8, seed=0, p_add=0.5):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, 3 * n, rng)
+    dm = DynamicMST.build(g, k, rng=rng, init="free")
+    return dm, OnlineChurn(g, rng=rng, p_add=p_add)
+
+
+class TestOnlineChurn:
+    def test_emissions_consistent_in_order(self, rng):
+        g = random_weighted_graph(30, 60, rng)
+        src = OnlineChurn(g, rng=rng)
+        shadow = g.copy()
+        for upd in src.emit(200):
+            if upd.kind == "add":
+                assert not shadow.has_edge(upd.u, upd.v)
+                shadow.add_edge(upd.u, upd.v, upd.weight)
+            else:
+                assert shadow.has_edge(upd.u, upd.v)
+                shadow.remove_edge(upd.u, upd.v)
+
+    def test_no_pair_reuse_while_pending(self, rng):
+        g = random_weighted_graph(20, 40, rng)
+        src = OnlineChurn(g, rng=rng)
+        batch = src.emit(30)
+        pairs = [u.endpoints for u in batch]
+        assert len(pairs) == len(set(pairs))
+        src.applied(batch)
+        assert not src.pending_pairs
+
+
+class TestDriver:
+    def test_low_rate_bounded_backlog(self):
+        dm, src = _setup(seed=1)
+        sustainable = dm.k / 400.0  # well under the measured ceiling
+        trace = StreamDriver(dm, src, rate=sustainable).run(total_rounds=4000)
+        assert not trace.diverged()
+        assert trace.peak_backlog < 60
+        dm.check()
+
+    def test_high_rate_diverges(self):
+        dm, src = _setup(seed=2)
+        # Far above the Θ(k)-per-O(1)-rounds ceiling.
+        trace = StreamDriver(dm, src, rate=dm.k / 4.0, max_batch=4 * dm.k).run(
+            total_rounds=4000
+        )
+        assert trace.diverged()
+        dm.check()
+
+    def test_applied_updates_counted(self):
+        dm, src = _setup(seed=3)
+        trace = StreamDriver(dm, src, rate=0.05).run(total_rounds=1500)
+        assert trace.applied > 0
+        assert len(trace.times) == len(trace.backlogs)
+
+    def test_trace_diverged_heuristic(self):
+        t = BacklogTrace(rate=1.0, times=[1, 2, 3, 4], backlogs=[5, 10, 30, 100])
+        assert t.diverged()
+        t2 = BacklogTrace(rate=1.0, times=[1, 2, 3, 4], backlogs=[5, 6, 5, 6])
+        assert not t2.diverged()

@@ -1,0 +1,98 @@
+"""Bracket-matching component labelling (§6.2, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.euler import BracketComponents, EulerForest
+from repro.graphs import random_tree
+from repro.graphs.dsu import DisjointSet
+
+
+class TestBasics:
+    def test_single_interval(self):
+        bc = BracketComponents([(2, 7)], size=10)
+        assert bc.n_components == 2
+        assert bc.component_of_label(0) == 0
+        assert bc.component_of_label(3) == 1
+        assert bc.component_of_label(8) == 0
+
+    def test_nested_intervals(self):
+        bc = BracketComponents([(1, 8), (3, 6)], size=10)
+        assert bc.n_components == 3
+        assert bc.component_of_label(0) == 0
+        assert bc.component_of_label(2) == 1
+        assert bc.component_of_label(4) == 2
+        assert bc.component_of_label(7) == 1
+        assert bc.component_of_label(9) == 0
+
+    def test_sibling_intervals(self):
+        bc = BracketComponents([(1, 3), (5, 8)], size=10)
+        assert bc.n_components == 3
+        assert bc.component_of_label(2) == 1
+        assert bc.component_of_label(6) == 2
+        assert bc.component_of_label(4) == 0
+
+    def test_deleted_label_rejected(self):
+        bc = BracketComponents([(2, 7)], size=10)
+        with pytest.raises(ProtocolError):
+            bc.component_of_label(2)
+
+    def test_out_of_range(self):
+        bc = BracketComponents([(2, 7)], size=10)
+        with pytest.raises(ProtocolError):
+            bc.component_of_label(10)
+
+    def test_crossing_intervals_rejected(self):
+        with pytest.raises(ProtocolError):
+            BracketComponents([(1, 5), (3, 8)], size=10)
+
+    def test_shared_label_rejected(self):
+        with pytest.raises(ProtocolError):
+            BracketComponents([(1, 5), (5, 8)], size=10)
+
+    def test_inside_outside(self):
+        bc = BracketComponents([(1, 8), (3, 6)], size=10)
+        outer = bc.interval_index((1, 8))
+        inner = bc.interval_index((3, 6))
+        assert bc.component_inside(outer) == 1
+        assert bc.component_outside(outer) == 0
+        assert bc.component_inside(inner) == 2
+        assert bc.component_outside(inner) == 1
+
+
+class TestAgainstRealComponents:
+    """Bracket labels must match the actual forest components after cuts."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_tree_random_cuts(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 20))
+        t = random_tree(n, rng)
+        ef = EulerForest.build(t.vertices(), t.edges())
+        tid = ef.tour_of[0]
+        edges = list(ef.tour_edges(tid))
+        d = int(rng.integers(1, min(len(edges), 5) + 1))
+        idx = rng.choice(len(edges), size=d, replace=False)
+        cuts = [edges[int(i)] for i in idx]
+        cut_keys = {(e.u, e.v) for e in cuts}
+        bc = BracketComponents([e.labels() for e in cuts], ef.tour_size[tid])
+        assert bc.n_components == d + 1
+
+        # Ground truth via DSU over the surviving edges.
+        dsu = DisjointSet(t.vertices())
+        for e in edges:
+            if (e.u, e.v) not in cut_keys:
+                dsu.union(e.u, e.v)
+
+        # Every vertex's component via any incident witness edge agrees
+        # with the DSU, and two vertices match iff the DSU says so.
+        comp = {}
+        for x in t.vertices():
+            witnesses = [e for e in edges if x in (e.u, e.v)]
+            got = {bc.component_of_vertex(w, x) for w in witnesses}
+            assert len(got) == 1, f"witness disagreement at {x}"
+            comp[x] = got.pop()
+        for x in t.vertices():
+            for y in t.vertices():
+                assert (comp[x] == comp[y]) == dsu.connected(x, y)

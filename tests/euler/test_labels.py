@@ -1,0 +1,121 @@
+"""Pure label arithmetic (Lemmas 5.5-5.7): unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.euler import (
+    JoinSpec,
+    SplitSpec,
+    join_m1_label,
+    join_m2_label,
+    reroot_label,
+    split_label,
+)
+
+
+class TestReroot:
+    def test_shift_to_zero(self):
+        assert reroot_label(5, 5, 10) == 0
+
+    def test_wraps(self):
+        assert reroot_label(2, 5, 10) == 7
+
+    def test_identity(self):
+        assert reroot_label(3, 0, 10) == 3
+
+    def test_empty_tour_rejected(self):
+        with pytest.raises(ValueError):
+            reroot_label(0, 0, 0)
+
+    @given(st.integers(1, 100), st.integers(0, 99), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_bijective(self, size, w, d):
+        w, d = w % size, d % size
+        out = reroot_label(w, d, size)
+        assert 0 <= out < size
+        # Inverse shift restores the label.
+        assert reroot_label(out, (-d) % size, size) == w
+
+
+class TestSplit:
+    def _spec(self, e_min, e_max, size):
+        return SplitSpec(e_min, e_max, size, old_tour=7, inside_tour=9)
+
+    def test_sizes(self):
+        spec = self._spec(2, 7, 10)
+        assert spec.removed_steps == 6
+        assert spec.root_side_size == 4
+        assert spec.inside_size == 4
+
+    def test_leaf_edge_split(self):
+        spec = self._spec(3, 4, 10)
+        assert spec.inside_size == 0
+        assert spec.root_side_size == 8
+
+    def test_piecewise(self):
+        spec = self._spec(2, 7, 10)
+        assert split_label(1, spec) == (7, 1)       # before: unchanged
+        assert split_label(3, spec) == (9, 0)       # inside: rebased to 0
+        assert split_label(6, spec) == (9, 3)
+        assert split_label(8, spec) == (7, 2)       # after: shifted down
+        assert split_label(9, spec) == (7, 3)
+
+    def test_cut_labels_rejected(self):
+        spec = self._spec(2, 7, 10)
+        for w in (2, 7):
+            with pytest.raises(ValueError):
+                split_label(w, spec)
+
+    @given(st.integers(2, 60), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, size, data):
+        """Every surviving label maps into exactly one side, bijectively."""
+        e_min = data.draw(st.integers(0, size - 2))
+        e_max = data.draw(st.integers(e_min + 1, size - 1))
+        spec = SplitSpec(e_min, e_max, size, 0, 1)
+        root_side, inside = [], []
+        for w in range(size):
+            if w in (e_min, e_max):
+                continue
+            tour, label = split_label(w, spec)
+            (root_side if tour == 0 else inside).append(label)
+        assert sorted(root_side) == list(range(spec.root_side_size))
+        assert sorted(inside) == list(range(spec.inside_size))
+
+
+class TestJoin:
+    def test_new_edge_labels(self):
+        spec = JoinSpec(a=3, b=1, size1=6, size2=4, tour1=0, tour2=1)
+        assert spec.new_edge_labels == (3, 8)
+        assert spec.new_size == 12
+
+    def test_m1_shift(self):
+        spec = JoinSpec(a=3, b=1, size1=6, size2=4, tour1=0, tour2=1)
+        assert join_m1_label(2, spec) == 2
+        assert join_m1_label(3, spec) == 9
+        assert join_m1_label(5, spec) == 11
+
+    def test_m2_rotation(self):
+        spec = JoinSpec(a=3, b=1, size1=6, size2=4, tour1=0, tour2=1)
+        # M2's label b lands right after the crossing at a.
+        assert join_m2_label(1, spec) == 4
+        assert join_m2_label(2, spec) == 5
+        assert join_m2_label(0, spec) == 7  # wraps around M2
+
+    def test_singleton_m2_has_no_labels(self):
+        spec = JoinSpec(a=3, b=0, size1=6, size2=0, tour1=0, tour2=1)
+        assert spec.new_edge_labels == (3, 4)
+        with pytest.raises(ValueError):
+            join_m2_label(0, spec)
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_join_is_bijection_onto_new_labels(self, size1, size2, data):
+        a = data.draw(st.integers(0, size1 - 1))
+        b = data.draw(st.integers(0, size2 - 1))
+        spec = JoinSpec(a, b, size1, size2, 0, 1)
+        out = [join_m1_label(w, spec) for w in range(size1)]
+        out += [join_m2_label(w, spec) for w in range(size2)]
+        out += list(spec.new_edge_labels)
+        assert sorted(out) == list(range(spec.new_size))

@@ -1,0 +1,88 @@
+"""Lemmas 5.2-5.4 predicates, cross-checked against real tree paths."""
+
+import numpy as np
+import pytest
+
+from repro.euler import EulerForest, nests_strictly_inside, on_root_path, side_of_cut
+from repro.euler.predicates import AWAY_FROM_ROOT, WITH_ROOT, is_outgoing
+from repro.graphs import Edge, random_tree
+from repro.graphs.validation import path_in_forest
+
+
+def _tree_and_tour(seed, n=14):
+    t = random_tree(n, seed)
+    ef = EulerForest.build(t.vertices(), t.edges())
+    return t, ef
+
+
+class TestLemma52:
+    """e separated from the root by cut c iff labels nest strictly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_component_split(self, seed):
+        t, ef = _tree_and_tour(seed)
+        tid = ef.tour_of[0]
+        root = ef.root(tid)
+        edges = list(ef.tour_edges(tid))
+        rng = np.random.default_rng(seed)
+        cut = edges[int(rng.integers(0, len(edges)))]
+        # Ground truth: remove cut from the tree, find the root's side.
+        rest = [e.as_edge() for e in edges if e is not cut]
+        for e in edges:
+            if e is cut:
+                continue
+            # e is away from the root iff no path from root to e.u avoiding cut.
+            reachable = path_in_forest(rest, root, e.u) is not None
+            assert nests_strictly_inside(e.labels(), cut.labels()) == (not reachable)
+
+
+class TestLemma54:
+    """e on the root→s path iff e's interval contains s's parent interval."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_real_path(self, seed):
+        t, ef = _tree_and_tour(seed)
+        tid = ef.tour_of[0]
+        root = ef.root(tid)
+        edges = list(ef.tour_edges(tid))
+        all_edges = [e.as_edge() for e in edges]
+        for s in t.vertices():
+            if s == root:
+                continue
+            p = ef.parent_edge(s)
+            truth = {f.endpoints for f in path_in_forest(all_edges, root, s)}
+            for e in edges:
+                on = on_root_path(e.labels(), p.labels())
+                assert on == ((e.u, e.v) in truth), (s, e)
+
+
+class TestSideOfCut:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_witness_classification(self, seed):
+        t, ef = _tree_and_tour(seed)
+        tid = ef.tour_of[0]
+        root = ef.root(tid)
+        edges = list(ef.tour_edges(tid))
+        rng = np.random.default_rng(seed + 99)
+        cut = edges[int(rng.integers(0, len(edges)))]
+        rest = [e.as_edge() for e in edges if e is not cut]
+        for x in t.vertices():
+            # Any incident tour edge may serve as the witness.
+            witnesses = [e for e in edges if x in (e.u, e.v)]
+            truth = (
+                WITH_ROOT
+                if path_in_forest(rest, root, x) is not None
+                else AWAY_FROM_ROOT
+            )
+            for wit in witnesses:
+                assert side_of_cut(wit, x, cut.labels()) == truth, (x, wit)
+
+
+class TestIsOutgoing:
+    def test_directions(self):
+        ef = EulerForest.build(range(2), [Edge(0, 1, 1.0)])
+        e = next(iter(ef.edges.values()))
+        # Tour: 0 ->(t=0) 1 ->(t=1) 0.
+        assert is_outgoing(e, 0, e.t_uv)
+        assert is_outgoing(e, 1, e.t_vu)
+        assert not is_outgoing(e, 1, e.t_uv)

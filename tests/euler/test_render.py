@@ -1,0 +1,39 @@
+"""ASCII renderers (smoke + structure checks)."""
+
+from repro.euler import EulerForest
+from repro.euler.render import render_brackets, render_intervals, render_tour
+from repro.graphs import Edge
+
+
+def _ef():
+    return EulerForest.build(range(4), [Edge(0, 1, 0.1), Edge(1, 2, 0.2), Edge(1, 3, 0.3)])
+
+
+def test_render_tour_walk():
+    ef = _ef()
+    out = render_tour(ef, ef.tour_of[0])
+    assert out.startswith("tour")
+    assert "->(" in out and "root 0" in out
+    # Walk visits 2(n-1) = 6 steps.
+    assert out.count("->(") == 6
+
+
+def test_render_singleton():
+    ef = EulerForest.build(range(1), [])
+    out = render_tour(ef, ef.tour_of[0])
+    assert "size 0" in out
+
+
+def test_render_intervals_nesting():
+    ef = _ef()
+    out = render_intervals(ef, ef.tour_of[0])
+    lines = out.splitlines()[1:]
+    assert len(lines) == 3
+    # The (0,1) edge spans everything: listed first at minimal depth.
+    assert "(0,1)" in lines[0]
+
+
+def test_render_brackets_figure4():
+    out = render_brackets([(2, 11), (4, 7)], 14)
+    struct = out.splitlines()[1].split(" ", 1)[1].strip()
+    assert struct == "00(1(22)111)00"

@@ -1,0 +1,176 @@
+"""The centralized EulerForest oracle: construction and all mutations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.euler import ETEdge, EulerForest, check_valid_tour
+from repro.graphs import Edge, random_tree, random_forest
+
+
+def build_path(n=5):
+    edges = [Edge(i, i + 1, 0.1 * (i + 1)) for i in range(n - 1)]
+    return EulerForest.build(range(n), edges)
+
+
+class TestETEdge:
+    def test_min_max_and_heads(self):
+        e = ETEdge(2, 5, 0.5, t_uv=7, t_vu=3, tour=0)
+        assert (e.e_min, e.e_max) == (3, 7)
+        assert e.head_at(7) == 5 and e.head_at(3) == 2
+        assert e.tail_at(7) == 2 and e.tail_at(3) == 5
+        with pytest.raises(ValueError):
+            e.head_at(4)
+
+    def test_snapshot_roundtrip(self):
+        e = ETEdge(1, 2, 0.5, 0, 3, 9)
+        assert ETEdge.from_snapshot(e.snapshot()) == e
+
+
+class TestCheckValidTour:
+    def test_accepts_path_tour(self):
+        ef = build_path(4)
+        tid = ef.tour_of[0]
+        assert check_valid_tour(ef.tour_edges(tid), ef.tour_size[tid])
+
+    def test_rejects_duplicate_label(self):
+        edges = [ETEdge(0, 1, 1.0, 0, 1, 0), ETEdge(1, 2, 1.0, 0, 3, 0)]
+        assert not check_valid_tour(edges, 4)
+
+    def test_rejects_broken_walk(self):
+        # Labels are a permutation but the walk does not chain.
+        edges = [ETEdge(0, 1, 1.0, 0, 2, 0), ETEdge(2, 3, 1.0, 1, 3, 0)]
+        assert not check_valid_tour(edges, 4)
+
+    def test_empty_tour(self):
+        assert check_valid_tour([], 0)
+
+
+class TestBuild:
+    def test_path(self):
+        ef = build_path(5)
+        ef.validate()
+        tid = ef.tour_of[0]
+        assert ef.tour_size[tid] == 8
+        assert ef.root(tid) == 0
+
+    def test_forest_gets_separate_tours(self, rng):
+        f = random_forest(12, 3, rng)
+        ef = EulerForest.build(f.vertices(), f.edges())
+        ef.validate()
+        assert len({ef.tour_of[v] for v in f.vertices()}) >= 3
+
+    def test_isolated_vertices_singletons(self):
+        ef = EulerForest.build(range(3), [Edge(0, 1, 1.0)])
+        ef.validate()
+        assert ef.tour_size[ef.tour_of[2]] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_valid(self, seed):
+        t = random_tree(17, seed)
+        ef = EulerForest.build(t.vertices(), t.edges())
+        ef.validate()
+
+
+class TestQueries:
+    def test_parent_edge_of_path(self):
+        ef = build_path(4)
+        # Rooted at 0: parent edge of 2 is (1, 2).
+        p = ef.parent_edge(2)
+        assert (p.u, p.v) == (1, 2)
+
+    def test_parent_edge_of_root_raises(self):
+        ef = build_path(4)
+        with pytest.raises(ProtocolError):
+            ef.parent_edge(ef.root(ef.tour_of[0]))
+
+    def test_outgoing_value_of_root_is_zero(self):
+        ef = build_path(4)
+        assert ef.outgoing_value(0) == 0
+
+    def test_outgoing_value_isolated_none(self):
+        ef = EulerForest.build(range(2), [])
+        assert ef.outgoing_value(0) is None
+
+    def test_entering_time_orders_with_depth(self):
+        ef = build_path(5)
+        times = [ef.entering_time(v) for v in range(1, 5)]
+        assert times == sorted(times)
+
+
+class TestMutations:
+    def test_reroot_moves_root(self):
+        ef = build_path(6)
+        ef.reroot(3)
+        ef.validate()
+        assert ef.root(ef.tour_of[3]) == 3
+
+    def test_reroot_singleton_noop(self):
+        ef = EulerForest.build(range(1), [])
+        ef.reroot(0)
+        ef.validate()
+
+    def test_cut_splits_vertices(self):
+        ef = build_path(6)
+        ef.cut(2, 3)
+        ef.validate()
+        assert ef.tour_of[2] != ef.tour_of[3]
+        assert ef.vertices_of_tour(ef.tour_of[0]) == {0, 1, 2}
+        assert ef.vertices_of_tour(ef.tour_of[5]) == {3, 4, 5}
+
+    def test_cut_missing_edge(self):
+        ef = build_path(4)
+        with pytest.raises(KeyError):
+            ef.cut(0, 3)
+
+    def test_link_joins(self):
+        ef = EulerForest.build(range(4), [Edge(0, 1, 0.1), Edge(2, 3, 0.2)])
+        ef.link(1, 2, 0.5)
+        ef.validate()
+        assert ef.tour_of[0] == ef.tour_of[3]
+        assert ef.tour_size[ef.tour_of[0]] == 6
+
+    def test_link_same_tour_rejected(self):
+        ef = build_path(4)
+        with pytest.raises(ValueError):
+            ef.link(0, 3, 9.0)
+
+    def test_link_two_singletons(self):
+        ef = EulerForest.build(range(2), [])
+        ef.link(0, 1, 0.5)
+        ef.validate()
+        assert ef.tour_size[ef.tour_of[0]] == 2
+
+    def test_cut_then_relink_roundtrip(self):
+        ef = build_path(6)
+        ef.cut(2, 3)
+        ef.link(2, 3, 0.3)
+        ef.validate()
+        assert ef.tour_of[0] == ef.tour_of[5]
+
+
+class TestRandomizedOracle:
+    """Long random op sequences keep every invariant (the heavy check)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_ops(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        t = random_tree(n, rng)
+        ef = EulerForest.build(t.vertices(), t.edges())
+        for _ in range(60):
+            op = rng.integers(0, 3)
+            if op == 0:
+                ef.reroot(int(rng.integers(0, n)))
+            elif op == 1 and ef.edges:
+                keys = sorted(ef.edges)
+                u, v = keys[int(rng.integers(0, len(keys)))]
+                ef.cut(u, v)
+            else:
+                perm = rng.permutation(n)
+                for u in perm[:8]:
+                    v = int(perm[-1])
+                    if ef.tour_of[int(u)] != ef.tour_of[v]:
+                        ef.link(int(u), v, float(rng.random()))
+                        break
+            ef.validate()

@@ -1,0 +1,111 @@
+"""Vectorized label kernels must agree element-for-element with scalar."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.euler.labels import (
+    JoinSpec,
+    SplitSpec,
+    join_m1_label,
+    join_m2_label,
+    reroot_label,
+    split_label,
+)
+from repro.euler.vectorized import (
+    apply_join_inplace,
+    apply_split_inplace,
+    join_m1_labels,
+    join_m2_labels,
+    reroot_labels,
+    split_labels,
+)
+
+
+@given(st.integers(1, 200), st.data())
+@settings(max_examples=40, deadline=None)
+def test_reroot_matches_scalar(size, data):
+    d = data.draw(st.integers(0, size - 1))
+    labels = np.arange(size)
+    got = reroot_labels(labels, d, size)
+    want = [reroot_label(int(w), d, size) for w in labels]
+    assert got.tolist() == want
+
+
+@given(st.integers(3, 120), st.data())
+@settings(max_examples=40, deadline=None)
+def test_split_matches_scalar(size, data):
+    e_min = data.draw(st.integers(0, size - 2))
+    e_max = data.draw(st.integers(e_min + 1, size - 1))
+    spec = SplitSpec(e_min, e_max, size, old_tour=5, inside_tour=6)
+    survivors = np.array([w for w in range(size) if w not in (e_min, e_max)])
+    tours, labels = split_labels(survivors, spec)
+    for w, t, l in zip(survivors, tours, labels):
+        wt, wl = split_label(int(w), spec)
+        assert (t, l) == (wt, wl)
+
+
+@given(st.integers(1, 60), st.integers(1, 60), st.data())
+@settings(max_examples=40, deadline=None)
+def test_join_matches_scalar(size1, size2, data):
+    a = data.draw(st.integers(0, size1 - 1))
+    b = data.draw(st.integers(0, size2 - 1))
+    spec = JoinSpec(a, b, size1, size2, tour1=1, tour2=2)
+    l1 = np.arange(size1)
+    l2 = np.arange(size2)
+    assert join_m1_labels(l1, spec).tolist() == [
+        join_m1_label(int(w), spec) for w in l1
+    ]
+    assert join_m2_labels(l2, spec).tolist() == [
+        join_m2_label(int(w), spec) for w in l2
+    ]
+
+
+class TestErrors:
+    def test_split_rejects_cut_labels(self):
+        spec = SplitSpec(2, 7, 10, 0, 1)
+        with pytest.raises(ValueError):
+            split_labels(np.array([1, 2, 3]), spec)
+
+    def test_join_m2_singleton(self):
+        spec = JoinSpec(0, 0, 4, 0, 1, 2)
+        with pytest.raises(ValueError):
+            join_m2_labels(np.array([0]), spec)
+
+    def test_reroot_empty_tour(self):
+        with pytest.raises(ValueError):
+            reroot_labels(np.array([0]), 0, 0)
+
+
+class TestInplaceKernels:
+    def test_split_filters_by_tour(self):
+        spec = SplitSpec(1, 4, 8, old_tour=7, inside_tour=9)
+        t_uv = np.array([0, 2, 5], dtype=np.int64)
+        t_vu = np.array([5, 3, 0], dtype=np.int64)
+        # Hmm: edge labels must pair as (in,out) of the same edge; craft
+        # rows: row 0 in tour 7 with labels (0,5) - straddles? 0 < 1 and
+        # 5 > 4 -> both outside the bracket: fine.
+        tours = np.array([7, 7, 3], dtype=np.int64)
+        apply_split_inplace(t_uv, t_vu, tours, spec)
+        assert tours.tolist() == [7, 9, 3]
+        assert t_uv.tolist() == [0, 0, 5]  # (2,3) inside -> rebased
+        assert t_vu.tolist() == [1, 1, 0]  # 5 -> 5 - removed(4) = 1
+
+    def test_join_filters_by_tour(self):
+        spec = JoinSpec(a=1, b=0, size1=4, size2=2, tour1=1, tour2=2)
+        t_uv = np.array([0, 0], dtype=np.int64)
+        t_vu = np.array([3, 1], dtype=np.int64)
+        tours = np.array([1, 2], dtype=np.int64)
+        apply_join_inplace(t_uv, t_vu, tours, spec)
+        assert tours.tolist() == [1, 1]
+        assert t_uv.tolist() == [0, 2]
+        assert t_vu.tolist() == [7, 3]
+
+    def test_noop_on_unrelated_tours(self):
+        spec = SplitSpec(1, 4, 8, old_tour=7, inside_tour=9)
+        t_uv = np.array([2], dtype=np.int64)
+        t_vu = np.array([3], dtype=np.int64)
+        tours = np.array([999], dtype=np.int64)
+        apply_split_inplace(t_uv, t_vu, tours, spec)
+        assert t_uv.tolist() == [2] and tours.tolist() == [999]

@@ -1,0 +1,126 @@
+"""Unit tests for the weighted-graph substrate."""
+
+import pytest
+
+from repro.graphs import Edge, WeightedGraph, edge_key, normalize
+
+
+class TestNormalize:
+    def test_orders_endpoints(self):
+        assert normalize(5, 2) == (2, 5)
+        assert normalize(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize(3, 3)
+
+
+class TestEdge:
+    def test_of_normalizes(self):
+        e = Edge.of(7, 3, 1.5)
+        assert (e.u, e.v, e.weight) == (3, 7, 1.5)
+
+    def test_key_total_order(self):
+        a = Edge(0, 1, 1.0)
+        b = Edge(0, 2, 1.0)
+        c = Edge(1, 2, 0.5)
+        assert sorted([a, b, c], key=edge_key) == [c, a, b]
+
+    def test_other_endpoint(self):
+        e = Edge(2, 9, 0.0)
+        assert e.other(2) == 9
+        assert e.other(9) == 2
+        with pytest.raises(ValueError):
+            e.other(5)
+
+
+class TestWeightedGraph:
+    def test_empty(self):
+        g = WeightedGraph()
+        assert g.n == 0 and g.m == 0
+        assert list(g.edges()) == []
+
+    def test_isolated_vertices_preserved(self):
+        g = WeightedGraph(range(5))
+        assert g.n == 5 and g.m == 0
+        g.add_edge(0, 1, 0.5)
+        assert g.n == 5 and g.m == 1
+
+    def test_add_and_query(self):
+        g = WeightedGraph()
+        g.add_edge(3, 1, 0.25)
+        assert g.has_edge(1, 3) and g.has_edge(3, 1)
+        assert g.weight(3, 1) == 0.25
+        assert g.edge(1, 3) == Edge(1, 3, 0.25)
+        assert g.degree(1) == 1 and g.degree(3) == 1
+
+    def test_duplicate_edge_rejected(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 0.1)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 0, 0.2)
+
+    def test_remove_edge(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 0.1)
+        e = g.remove_edge(1, 0)
+        assert e == Edge(0, 1, 0.1)
+        assert not g.has_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_remove_vertex_cleans_neighbours(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 0.1)
+        g.add_edge(0, 2, 0.2)
+        g.remove_vertex(0)
+        assert not g.has_vertex(0)
+        assert g.degree(1) == 0 and g.degree(2) == 0
+
+    def test_copy_is_deep(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 0.1)
+        h = g.copy()
+        h.add_edge(1, 2, 0.2)
+        assert g.m == 1 and h.m == 2
+
+    def test_edges_each_once(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 0.1)
+        g.add_edge(1, 2, 0.2)
+        g.add_edge(0, 2, 0.3)
+        assert sorted(e.endpoints for e in g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_incident_edges(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 0.1)
+        g.add_edge(1, 2, 0.2)
+        inc = sorted(e.endpoints for e in g.incident_edges(1))
+        assert inc == [(0, 1), (1, 2)]
+
+    def test_contains(self):
+        g = WeightedGraph([4])
+        g.add_edge(0, 1, 0.1)
+        assert 4 in g and 9 not in g
+        assert (0, 1) in g and (1, 0) in g and (0, 2) not in g
+
+    def test_max_degree(self):
+        g = WeightedGraph()
+        for v in (1, 2, 3):
+            g.add_edge(0, v, 0.5)
+        assert g.max_degree() == 3
+
+    def test_total_weight(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        assert g.total_weight() == pytest.approx(3.0)
+
+    def test_from_edges(self):
+        g = WeightedGraph.from_edges([(0, 1, 0.1), Edge(1, 2, 0.2)], vertices=[9])
+        assert g.m == 2 and g.has_vertex(9)
+
+    def test_equality(self):
+        a = WeightedGraph.from_edges([(0, 1, 0.5)])
+        b = WeightedGraph.from_edges([(1, 0, 0.5)])
+        assert a == b

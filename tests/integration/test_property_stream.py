@@ -1,0 +1,57 @@
+"""Hypothesis-driven stream property test: arbitrary consistent update
+sequences never break the distributed structure."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicMST
+from repro.graphs import Update, WeightedGraph
+from repro.graphs.graph import normalize
+
+
+@st.composite
+def update_script(draw):
+    """A consistent sequence of batches over <= 12 vertices."""
+    n = draw(st.integers(4, 12))
+    k = draw(st.integers(2, 5))
+    n_batches = draw(st.integers(1, 5))
+    present = set()
+    batches = []
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    for _ in range(n_batches):
+        batch = []
+        used = set()
+        for _ in range(draw(st.integers(0, 6))):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            pair = normalize(u, v)
+            if pair in used:
+                continue
+            used.add(pair)
+            if pair in present:
+                batch.append(Update.delete(*pair))
+                present.discard(pair)
+            else:
+                batch.append(Update.add(*pair, float(rng.random())))
+                present.add(pair)
+        batches.append(batch)
+    return n, k, seed, batches
+
+
+@given(update_script())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_any_consistent_script_keeps_invariants(script):
+    n, k, seed, batches = script
+    dm = DynamicMST.build(WeightedGraph(range(n)), k, rng=seed, init="free")
+    for batch in batches:
+        if batch:
+            dm.apply_batch(batch)
+    dm.check()

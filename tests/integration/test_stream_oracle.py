@@ -1,0 +1,109 @@
+"""End-to-end randomized cross-check: every engine, every stream shape.
+
+The heavyweight safety net: long random streams over random graphs and
+partitions, the full consistency checker after every batch, all engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.graphs import (
+    churn_stream,
+    growing_stream,
+    powerlaw_graph,
+    random_weighted_graph,
+    shrinking_stream,
+    sliding_window_stream,
+    star_graph,
+)
+from repro.mpc import MPCDynamicMST
+
+STREAMS = {
+    "churn": lambda g, rng: churn_stream(g, 5, 6, rng=rng),
+    "grow": lambda g, rng: growing_stream(g, 5, 6, rng=rng),
+    "shrink": lambda g, rng: shrinking_stream(g, 5, 6, rng=rng),
+}
+
+
+@pytest.mark.parametrize("stream_kind", sorted(STREAMS))
+@pytest.mark.parametrize("seed", range(3))
+def test_kmachine_random_streams(stream_kind, seed):
+    rng = np.random.default_rng(seed * 100 + hash(stream_kind) % 97)
+    n = int(rng.integers(6, 32))
+    m = int(rng.integers(n // 2, n * (n - 1) // 2 // 2 + 1))
+    g = random_weighted_graph(n, m, rng, connected=False)
+    dm = DynamicMST.build(g, int(rng.integers(2, 8)), rng=rng, init="free")
+    for batch in STREAMS[stream_kind](g, rng):
+        if batch:
+            dm.apply_batch(batch)
+            dm.check()
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_sliding_window_from_empty(seed):
+    """Starts from an edgeless graph: every vertex is a singleton tour."""
+    rng = np.random.default_rng(seed)
+    s = sliding_window_stream(n=24, window=2, batch_size=5, n_batches=8, rng=rng)
+    dm = DynamicMST.build(s.initial, 4, rng=rng, init="free")
+    for batch in s:
+        dm.apply_batch(batch)
+        dm.check()
+
+
+def test_star_graph_hub_stress(rng):
+    """Max-degree vertex stresses witness upkeep and the Δ space term."""
+    g = star_graph(40, rng=rng)
+    dm = DynamicMST.build(g, 4, rng=rng, init="free")
+    hub_edges = sorted((e.u, e.v) for e in g.edges())[:12]
+    from repro.graphs import Update
+
+    dm.apply_batch([Update.delete(u, v) for (u, v) in hub_edges])
+    dm.check()
+    dm.apply_batch([Update.add(u, v, float(rng.random())) for (u, v) in hub_edges])
+    dm.check()
+
+
+def test_powerlaw_graph_churn(rng):
+    g = powerlaw_graph(60, attach=2, rng=rng)
+    dm = DynamicMST.build(g, 6, rng=rng, init="free")
+    for batch in churn_stream(g, 6, 5, rng=rng):
+        dm.apply_batch(batch)
+    dm.check()
+
+
+def test_distributed_init_then_stream(rng):
+    """Full paper pipeline: Theorem 5.8 init followed by Theorem 6.1 batches."""
+    g = random_weighted_graph(40, 120, rng)
+    dm = DynamicMST.build(g, 5, rng=rng, init="distributed")
+    dm.check()
+    for batch in churn_stream(g, 5, 5, rng=rng):
+        dm.apply_batch(batch)
+        dm.check()
+
+
+def test_mpc_and_kmachine_agree(rng):
+    g = random_weighted_graph(25, 60, rng)
+    stream = list(churn_stream(g, 4, 5, rng=rng))
+    km = DynamicMST.build(g, 4, rng=rng, init="free")
+    mpc = MPCDynamicMST.build(g, 4, rng=rng, init="free")
+    from repro.graphs.mst import msf_key_multiset
+
+    for batch in stream:
+        km.apply_batch(batch)
+        mpc.apply_batch(batch)
+        assert msf_key_multiset(km.msf_edges()) == msf_key_multiset(mpc.msf_edges())
+
+
+def test_alternating_single_and_batch_modes(rng):
+    """Mixing §5.4 singles and §6 batches on one structure stays sound."""
+    g = random_weighted_graph(20, 50, rng)
+    dm = DynamicMST.build(g, 4, rng=rng, init="free")
+    for i, batch in enumerate(churn_stream(g, 4, 8, rng=rng)):
+        if not batch:
+            continue
+        if i % 2 == 0:
+            dm.apply_batch(batch)
+        else:
+            dm.apply_one_at_a_time(batch)
+        dm.check()

@@ -1,0 +1,59 @@
+"""The Theorem 7.1 adversary sequence."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, random_weighted_graph
+from repro.graphs.streams import apply_updates
+from repro.lowerbound import build_adversary_sequence
+
+
+class TestConstruction:
+    def test_batches_consistent(self, rng):
+        g = random_weighted_graph(40, 400, rng)
+        seq = build_adversary_sequence(g, k=4, delta=1.0, rng=rng)
+        shadow = g.copy()
+        for batch in seq.stream:
+            apply_updates(shadow, batch)
+
+    def test_clique_emptied_before_hard_batches(self, rng):
+        g = complete_graph(20, rng)
+        seq = build_adversary_sequence(g, k=4, delta=1.0, rng=rng)
+        shadow = g.copy()
+        first_hard = min(seq.hard_batches)
+        for batch in seq.stream.batches[:first_hard]:
+            apply_updates(shadow, batch)
+        inside = set(seq.clique_vertices)
+        assert not any(
+            e.u in inside and e.v in inside for e in shadow.edges()
+        )
+
+    def test_hard_batches_use_min_weights(self, rng):
+        g = random_weighted_graph(30, 200, rng)
+        seq = build_adversary_sequence(g, k=4, delta=0.5, rng=rng)
+        min_w = min(e.weight for e in g.edges())
+        for i in seq.hard_batches:
+            for upd in seq.stream.batches[i]:
+                assert upd.kind == "add" and upd.weight < min_w
+
+    def test_pairs_add_then_delete(self, rng):
+        g = random_weighted_graph(30, 200, rng)
+        seq = build_adversary_sequence(g, k=4, delta=0.5, rng=rng, pairs=3)
+        assert len(seq.hard_batches) == 3
+        for i in seq.hard_batches:
+            adds = seq.stream.batches[i]
+            dels = seq.stream.batches[i + 1]
+            assert {u.endpoints for u in adds} == {d.endpoints for d in dels}
+            assert all(d.kind == "delete" for d in dels)
+
+    def test_batch_size_respects_budget(self, rng):
+        g = random_weighted_graph(40, 500, rng)
+        k, delta = 4, 1.0
+        seq = build_adversary_sequence(g, k=k, delta=delta, rng=rng)
+        budget = max(int(np.ceil(k ** (1 + delta))), len(seq.clique_vertices) + 1)
+        assert all(len(b) <= budget for b in seq.stream.batches)
+
+    def test_too_small_graph_rejected(self, rng):
+        g = random_weighted_graph(5, 8, rng)
+        with pytest.raises(ValueError):
+            build_adversary_sequence(g, k=8, delta=1.0, rng=rng)

@@ -1,0 +1,85 @@
+"""Cole-Vishkin 3-colouring: correctness + log* convergence."""
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_tree
+from repro.mpc import cole_vishkin_3coloring, verify_coloring
+
+
+def _oriented(tree, root=0):
+    parent = {root: None}
+    q = collections.deque([root])
+    seen = {root}
+    while q:
+        x = q.popleft()
+        for y in tree.neighbors(x):
+            if y not in seen:
+                seen.add(y)
+                parent[y] = x
+                q.append(y)
+    return parent
+
+
+class TestColoring:
+    def test_path(self):
+        parent = {0: None, 1: 0, 2: 1, 3: 2, 4: 3}
+        col, _ = cole_vishkin_3coloring(parent)
+        assert verify_coloring(parent, col)
+
+    def test_star(self):
+        parent = {0: None, **{i: 0 for i in range(1, 20)}}
+        col, _ = cole_vishkin_3coloring(parent)
+        assert verify_coloring(parent, col)
+
+    def test_singletons(self):
+        parent = {0: None, 5: None}
+        col, _ = cole_vishkin_3coloring(parent)
+        assert verify_coloring(parent, col)
+
+    def test_empty(self):
+        col, iters = cole_vishkin_3coloring({})
+        assert col == {}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_trees(self, seed):
+        t = random_tree(int(np.random.default_rng(seed).integers(2, 120)), seed)
+        parent = _oriented(t)
+        col, _ = cole_vishkin_3coloring(parent)
+        assert verify_coloring(parent, col)
+
+    def test_forest_with_multiple_roots(self, rng):
+        t1, t2 = random_tree(10, rng), random_tree(10, rng)
+        parent = _oriented(t1)
+        parent.update({v + 100: (p + 100 if p is not None else None)
+                       for v, p in _oriented(t2).items()})
+        col, _ = cole_vishkin_3coloring(parent)
+        assert verify_coloring(parent, col)
+
+    def test_log_star_iterations(self):
+        """Iterations grow ~log* n: tiny even for large paths."""
+        iters = {}
+        for n in (64, 4096):
+            parent = {0: None, **{i: i - 1 for i in range(1, n)}}
+            _, it = cole_vishkin_3coloring(parent)
+            iters[n] = it
+        assert iters[4096] <= iters[64] + 3
+        assert iters[4096] <= 14
+
+    def test_rejects_checker(self):
+        parent = {0: None, 1: 0}
+        assert not verify_coloring(parent, {0: 1, 1: 1})
+        assert not verify_coloring(parent, {0: 5, 1: 0})
+
+
+@given(st.integers(2, 200), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_random_orientations(n, seed):
+    t = random_tree(n, seed)
+    parent = _oriented(t, root=0)
+    col, _ = cole_vishkin_3coloring(parent)
+    assert verify_coloring(parent, col)

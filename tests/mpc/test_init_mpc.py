@@ -1,0 +1,48 @@
+"""MPC star-merge initialisation: correctness and O(log n) shape."""
+
+import numpy as np
+import pytest
+
+from repro.core.checker import check_global_consistency
+from repro.core.init_build import make_states
+from repro.graphs import kruskal_msf, random_weighted_graph
+from repro.graphs.mst import msf_key_multiset
+from repro.mpc import mpc_init
+from repro.sim import MPCNetwork, lexicographic_edge_partition
+from repro.sim.partition import VertexPartition
+
+
+def _build(graph, k, space=None):
+    space = space or max(4 * graph.m // k, 4 * k, 16)
+    net = MPCNetwork(k, space=space, enforce_budget=False)
+    ep = lexicographic_edge_partition(graph, k)
+    vp = VertexPartition(k, dict(ep.leader))
+    states, tid = make_states(graph, vp, net)
+    msf, tid = mpc_init(net, vp, states, sorted(graph.vertices()), tid,
+                        batch_limit=space)
+    return net, vp, states, msf
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_msf_and_state(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 30))
+        m = int(rng.integers(0, n * (n - 1) // 2 + 1))
+        g = random_weighted_graph(n, m, rng, connected=False)
+        k = int(rng.integers(2, 7))
+        net, vp, states, msf = _build(g, k)
+        assert msf_key_multiset(msf) == msf_key_multiset(kruskal_msf(g))
+        check_global_consistency(states, g, vp)
+
+
+class TestTheorem81Shape:
+    def test_rounds_logarithmic_in_n(self):
+        rng = np.random.default_rng(0)
+        rounds = {}
+        for n in (128, 1024):
+            g = random_weighted_graph(n, 3 * n, rng)
+            net, *_ = _build(g, 8)
+            rounds[n] = net.ledger.rounds
+        # 8x the vertices must cost far less than 8x the rounds.
+        assert rounds[1024] < 3 * rounds[128]

@@ -1,0 +1,53 @@
+"""Process-parallel local-compute helper."""
+
+import numpy as np
+
+from repro.sim.executor import parallel_local_map
+
+
+def _local_msf_size(edge_list):
+    """A machine-local step: cycle deletion over a packed edge array."""
+    from repro.graphs.dsu import DisjointSet
+
+    dsu = DisjointSet()
+    kept = 0
+    for (w, u, v) in sorted(edge_list):
+        if dsu.union(u, v):
+            kept += 1
+    return kept
+
+
+def _inputs(k=6, m=300, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(k):
+        edges = [
+            (float(rng.random()), int(rng.integers(0, 40)), int(rng.integers(40, 80)))
+            for _ in range(m)
+        ]
+        out.append(edges)
+    return out
+
+
+def test_matches_sequential():
+    inputs = _inputs()
+    seq = [_local_msf_size(x) for x in inputs]
+    par = parallel_local_map(_local_msf_size, inputs, workers=3)
+    assert par == seq
+
+
+def test_single_worker_fallback():
+    inputs = _inputs(k=2)
+    assert parallel_local_map(_local_msf_size, inputs, workers=1) == [
+        _local_msf_size(x) for x in inputs
+    ]
+
+
+def test_empty():
+    assert parallel_local_map(_local_msf_size, [], workers=4) == []
+
+
+def test_order_preserved():
+    inputs = [[(0.1, 0, 1)] * i for i in range(1, 7)]
+    got = parallel_local_map(len, inputs, workers=3)
+    assert got == [1, 2, 3, 4, 5, 6]

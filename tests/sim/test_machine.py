@@ -1,0 +1,40 @@
+"""Machine space gauges, peaks and budgets."""
+
+import pytest
+
+from repro.errors import SpaceExceeded
+from repro.sim import Machine
+
+
+class TestGauges:
+    def test_sum_and_peak(self):
+        m = Machine(0)
+        m.set_gauge("a", 10)
+        m.set_gauge("b", 5)
+        assert m.space_words == 15
+        m.set_gauge("a", 2)
+        assert m.space_words == 7
+        assert m.peak_words == 15
+
+    def test_zero_clears(self):
+        m = Machine(0)
+        m.set_gauge("a", 3)
+        m.set_gauge("a", 0)
+        assert m.gauge("a") == 0 and m.space_words == 0
+
+    def test_bump(self):
+        m = Machine(0)
+        m.bump_gauge("x", 4)
+        m.bump_gauge("x", -1)
+        assert m.gauge("x") == 3
+
+    def test_negative_rejected(self):
+        m = Machine(0)
+        with pytest.raises(ValueError):
+            m.set_gauge("a", -1)
+
+    def test_budget_enforced(self):
+        m = Machine(0, budget=10)
+        m.set_gauge("a", 10)
+        with pytest.raises(SpaceExceeded):
+            m.set_gauge("b", 1)

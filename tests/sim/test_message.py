@@ -1,0 +1,20 @@
+"""Message invariants."""
+
+import pytest
+
+from repro.sim import Message
+
+
+def test_positive_words_required():
+    with pytest.raises(ValueError):
+        Message(0, 1, "x", 0)
+
+
+def test_self_message_rejected():
+    with pytest.raises(ValueError):
+        Message(2, 2, "x", 1)
+
+
+def test_fields():
+    m = Message(0, 3, ("a", 1), 4)
+    assert (m.src, m.dst, m.words) == (0, 3, 4)

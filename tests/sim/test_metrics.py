@@ -1,0 +1,50 @@
+"""Ledger accounting: totals, phases, snapshots."""
+
+import pytest
+
+from repro.sim import Ledger
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        led = Ledger()
+        led.charge(2, 5, 10)
+        led.charge(1, 1, 1)
+        assert (led.rounds, led.messages, led.words) == (3, 6, 11)
+
+    def test_negative_rejected(self):
+        led = Ledger()
+        with pytest.raises(ValueError):
+            led.charge(-1)
+
+    def test_phases_nest(self):
+        led = Ledger()
+        with led.phase("outer"):
+            led.charge(1)
+            with led.phase("inner"):
+                led.charge(2)
+        assert led.phases["outer"].rounds == 3
+        assert led.phases["inner"].rounds == 2
+        led.charge(5)
+        assert led.phases["outer"].rounds == 3  # outside the block
+
+    def test_snapshot_delta(self):
+        led = Ledger()
+        led.charge(5, 1, 2)
+        snap = led.snapshot()
+        led.charge(3, 1, 1)
+        d = led.since(snap)
+        assert (d.rounds, d.messages, d.words) == (3, 1, 1)
+
+    def test_reset(self):
+        led = Ledger()
+        led.charge(1, 1, 1)
+        led.reset()
+        assert led.rounds == 0 and not led.phases
+
+    def test_report_format(self):
+        led = Ledger()
+        with led.phase("p"):
+            led.charge(1, 2, 3)
+        text = led.report()
+        assert "total" in text and "p:" in text

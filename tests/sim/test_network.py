@@ -1,0 +1,90 @@
+"""Network cost rules: per-link (k-machine) and per-machine (MPC)."""
+
+import pytest
+
+from repro.errors import BandwidthExceeded
+from repro.sim import KMachineNetwork, MPCNetwork, Message
+
+
+class TestKMachineCosts:
+    def test_single_word_single_round(self):
+        net = KMachineNetwork(4)
+        net.superstep([Message(0, 1, "x", 1)])
+        assert net.ledger.rounds == 1
+
+    def test_parallel_links_one_round(self):
+        net = KMachineNetwork(4)
+        net.superstep([Message(i, (i + 1) % 4, "x", 1) for i in range(4)])
+        assert net.ledger.rounds == 1
+
+    def test_congested_link_multiple_rounds(self):
+        net = KMachineNetwork(4)
+        net.superstep([Message(0, 1, f"m{i}", 1) for i in range(5)])
+        assert net.ledger.rounds == 5
+
+    def test_words_per_round_scales(self):
+        net = KMachineNetwork(4, words_per_round=5)
+        net.superstep([Message(0, 1, f"m{i}", 1) for i in range(5)])
+        assert net.ledger.rounds == 1
+
+    def test_broadcast_cost_is_payload_width(self):
+        net = KMachineNetwork(8)
+        net.broadcast(0, "hello", 3)
+        assert net.ledger.rounds == 3
+
+    def test_empty_superstep_free(self):
+        net = KMachineNetwork(4)
+        net.superstep([])
+        assert net.ledger.rounds == 0
+
+    def test_inboxes_sorted_by_source(self):
+        net = KMachineNetwork(4)
+        inbox = net.superstep([Message(2, 0, "b", 1), Message(1, 0, "a", 1)])
+        assert [src for src, _ in inbox[0]] == [1, 2]
+
+    def test_bad_endpoint(self):
+        net = KMachineNetwork(4)
+        with pytest.raises(BandwidthExceeded):
+            net.superstep([Message(0, 9, "x", 1)])
+
+    def test_ingress_egress_accounting(self):
+        net = KMachineNetwork(4)
+        net.superstep([Message(0, 1, "x", 3), Message(2, 1, "y", 2)])
+        assert net.ingress_words[1] == 5
+        assert net.egress_words[0] == 3 and net.egress_words[2] == 2
+
+    def test_messages_and_words_counted(self):
+        net = KMachineNetwork(4)
+        net.superstep([Message(0, 1, "x", 3), Message(0, 2, "y", 2)])
+        assert net.ledger.messages == 2 and net.ledger.words == 5
+
+
+class TestMPCCosts:
+    def test_aggregate_send_cap(self):
+        net = MPCNetwork(4, space=4)
+        # One machine sends 8 words total -> 2 rounds.
+        net.superstep([Message(0, d, "x", 4) for d in (1, 2)])
+        assert net.ledger.rounds == 2
+
+    def test_aggregate_receive_cap(self):
+        net = MPCNetwork(4, space=4)
+        net.superstep([Message(s, 0, "x", 4) for s in (1, 2, 3)])
+        assert net.ledger.rounds == 3
+
+    def test_within_budget_one_round(self):
+        net = MPCNetwork(4, space=100)
+        net.superstep([Message(i, (i + 1) % 4, "x", 10) for i in range(4)])
+        assert net.ledger.rounds == 1
+
+    def test_relay_multiplicity(self):
+        net = MPCNetwork(4, space=30)
+        assert net.relay_multiplicity(words=1) == 10
+        assert net.relay_multiplicity(words=100) == 1
+        knet = KMachineNetwork(4)
+        assert knet.relay_multiplicity(1) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MPCNetwork(4, space=0)
+        with pytest.raises(ValueError):
+            KMachineNetwork(0)

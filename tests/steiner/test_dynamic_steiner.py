@@ -1,0 +1,128 @@
+"""Dynamic Steiner trees (the §9 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.errors import InconsistentUpdate
+from repro.graphs import (
+    Update,
+    WeightedGraph,
+    churn_stream,
+    kruskal_msf,
+    random_weighted_graph,
+)
+from repro.graphs.validation import path_in_forest
+from repro.steiner import DynamicSteinerTree
+
+
+def _oracle_steiner(msf_edges, terminals):
+    """Union of pairwise terminal paths in the forest."""
+    edges = list(msf_edges)
+    terms = sorted(terminals)
+    out = set()
+    for i in range(len(terms)):
+        for j in range(i + 1, len(terms)):
+            path = path_in_forest(edges, terms[i], terms[j])
+            if path:
+                out.update(e.endpoints for e in path)
+    return out
+
+
+def _dst(graph, terminals, k=4, seed=0):
+    dm = DynamicMST.build(graph, k, rng=seed, init="free")
+    return DynamicSteinerTree(dm, terminals)
+
+
+class TestStatic:
+    def test_path_graph_interior(self):
+        g = WeightedGraph.from_edges([(i, i + 1, 1.0 + i) for i in range(5)])
+        st = _dst(g, [1, 4])
+        got = {e.endpoints for e in st.steiner_edges()}
+        assert got == {(1, 2), (2, 3), (3, 4)}
+        assert st.is_steiner_edge(2, 3)
+        assert not st.is_steiner_edge(0, 1)
+
+    def test_all_vertices_terminal_gives_msf(self, rng):
+        g = random_weighted_graph(15, 40, rng)
+        st = _dst(g, list(g.vertices()), seed=2)
+        assert {e.endpoints for e in st.steiner_edges()} == {
+            e.endpoints for e in kruskal_msf(g)
+        }
+
+    def test_single_terminal_empty(self, rng):
+        g = random_weighted_graph(10, 20, rng)
+        st = _dst(g, [3])
+        assert st.steiner_edges() == set()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_pairwise_path_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 25))
+        g = random_weighted_graph(n, 2 * n, rng)
+        terms = sorted(int(x) for x in rng.choice(n, size=int(rng.integers(2, 6)), replace=False))
+        st = _dst(g, terms, seed=seed)
+        got = {e.endpoints for e in st.steiner_edges()}
+        want = _oracle_steiner(kruskal_msf(g), terms)
+        assert got == want
+
+
+class TestTerminalChurn:
+    def test_add_terminal_grows_tree(self, rng):
+        g = random_weighted_graph(20, 50, rng)
+        st = _dst(g, [0, 1], seed=1)
+        before = st.weight()
+        st.update_terminals(add=[13])
+        assert st.weight() >= before
+        got = {e.endpoints for e in st.steiner_edges()}
+        assert got == _oracle_steiner(kruskal_msf(g), {0, 1, 13})
+
+    def test_remove_terminal_prunes(self, rng):
+        g = random_weighted_graph(20, 50, rng)
+        st = _dst(g, [0, 1, 13], seed=1)
+        st.update_terminals(remove=[13])
+        got = {e.endpoints for e in st.steiner_edges()}
+        assert got == _oracle_steiner(kruskal_msf(g), {0, 1})
+
+    def test_validation(self, rng):
+        g = random_weighted_graph(10, 20, rng)
+        st = _dst(g, [0])
+        with pytest.raises(InconsistentUpdate):
+            st.update_terminals(add=[2], remove=[2])
+        with pytest.raises(InconsistentUpdate):
+            st.update_terminals(remove=[5])
+        with pytest.raises(InconsistentUpdate):
+            st.update_terminals(add=[999])
+
+    def test_terminal_batch_rounds_scale(self):
+        """O(t/k + 1) rounds per terminal batch."""
+        rng = np.random.default_rng(0)
+        g = random_weighted_graph(200, 600, rng)
+        st = _dst(g, [], k=8, seed=0)
+        rep_small = st.update_terminals(add=range(4))
+        rep_big = st.update_terminals(add=range(100, 164))
+        assert rep_big.rounds < 16 * max(rep_small.rounds, 4)
+
+
+class TestEdgeChurn:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tracks_oracle_under_stream(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 24))
+        g = random_weighted_graph(n, 2 * n, rng)
+        terms = sorted(int(x) for x in rng.choice(n, size=3, replace=False))
+        st = _dst(g, terms, seed=seed)
+        for batch in churn_stream(g, 4, 5, rng=rng):
+            st.apply_batch(batch)
+            st.dm.check()
+            got = {e.endpoints for e in st.steiner_edges()}
+            want = _oracle_steiner(kruskal_msf(st.dm.shadow), terms)
+            assert got == want
+
+    def test_disconnection_splits_terminal_groups(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        st = _dst(g, [0, 3])
+        assert st.connected_terminal_groups() == 1
+        st.apply_batch([Update.delete(1, 2)])
+        assert st.connected_terminal_groups() == 2
+        assert st.steiner_edges() == set()
