@@ -1,0 +1,28 @@
+"""simlint: model-compliance static analysis for the simulator.
+
+The simulator's scientific claim is only as good as its accounting —
+every cross-machine word must be charged, every protocol must be a
+deterministic function of (graph, seed), every machine must stay inside
+its own state and space budget.  This package enforces those invariants
+statically (AST rules SIM001..SIM005, ``python -m repro.analysis``);
+:mod:`repro.sim.strict` enforces the same invariants dynamically at
+runtime (``Network(strict=True)`` / ``REPRO_STRICT=1``).
+
+See ``docs/static_analysis.md`` for the rule catalog and the suppression
+syntax.
+"""
+
+from repro.analysis.engine import Report, analyze_source, collect_files, run
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Report",
+    "Rule",
+    "analyze_source",
+    "collect_files",
+    "run",
+    "sort_findings",
+]

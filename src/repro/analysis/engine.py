@@ -1,0 +1,179 @@
+"""The simlint driver: collect files, run rules, apply suppressions.
+
+The engine is deliberately boring — deterministic file order, one AST
+parse per file, every rule sees every file — so that a finding's
+presence depends only on the source text, never on traversal order.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import META_CODE, Finding, sort_findings
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.suppress import parse_suppressions
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressions_used: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format_text(self) -> str:
+        lines = [f.format_text() for f in self.findings]
+        by_code = ", ".join(f"{c}×{n}" for c, n in self.counts_by_code().items())
+        tail = (
+            f"{len(self.findings)} finding(s) [{by_code}]"
+            if self.findings
+            else "clean"
+        )
+        lines.append(
+            f"simlint: {self.files_checked} file(s), "
+            f"{self.suppressions_used} suppression(s) honoured — {tail}"
+        )
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "suppressions_used": self.suppressions_used,
+                "counts": self.counts_by_code(),
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in {"__pycache__", ".git"}
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(dict.fromkeys(out))
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run the rule catalog over one source text (the unit-test surface)."""
+    findings, _used = _analyze(source, path, rules)
+    return findings
+
+
+def _analyze(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """(sorted findings, count of suppressions that silenced something)."""
+    active = list(rules if rules is not None else ALL_RULES)
+    table = parse_suppressions(path, source)
+    findings: List[Finding] = list(table.errors)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(Finding(
+            META_CODE, f"file does not parse: {exc.msg}", path, exc.lineno or 1,
+        ))
+        return sort_findings(findings), 0
+    for rule in active:
+        for finding in rule.check(tree, path):
+            if not table.is_suppressed(finding.code, _finding_lines(tree, finding)):
+                findings.append(finding)
+    used = len({
+        id(s) for sups in table.by_line.values() for s in sups if s.used
+    })
+    for sup in table.unused():
+        findings.append(Finding(
+            META_CODE,
+            f"unused suppression of {', '.join(sup.codes)} — nothing to "
+            "silence on this line; delete it",
+            path, sup.line,
+        ))
+    return sort_findings(findings), used
+
+
+def _finding_lines(tree: ast.Module, finding: Finding) -> range:
+    """Physical lines a suppression may sit on for this finding.
+
+    The flagged statement may span lines (a multi-line call), so accept a
+    directive on any line of the smallest statement containing the
+    finding's anchor line.
+    """
+    best: Optional[range] = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None:
+            continue
+        if lineno <= finding.line <= end:
+            if best is None or (end - lineno) < (best.stop - 1 - best.start):
+                best = range(lineno, end + 1)
+    return best if best is not None else range(finding.line, finding.line + 1)
+
+
+def run(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> Report:
+    """Analyze ``paths``; ``select`` restricts to a subset of rule codes."""
+    active: Sequence[Rule] = list(rules if rules is not None else ALL_RULES)
+    wanted = set(select) if select is not None else None
+    if wanted is not None:
+        unknown = wanted - {r.code for r in ALL_RULES}
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        active = [r for r in active if r.code in wanted]
+    files = collect_files(paths)
+    findings: List[Finding] = []
+    suppressions_used = 0
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        file_findings, used = _analyze(source, path, active)
+        suppressions_used += used
+        if wanted is not None:
+            # SIM000 (suppression hygiene) stays on even under --select,
+            # except unused-suppression noise for rules we did not run.
+            file_findings = [
+                f for f in file_findings
+                if f.code in wanted
+                or (f.code == META_CODE and "unused suppression" not in f.message)
+            ]
+        findings.extend(file_findings)
+    return Report(sort_findings(findings), len(files), suppressions_used)

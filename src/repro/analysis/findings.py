@@ -1,0 +1,47 @@
+"""Findings: what simlint reports.
+
+A finding pins one model-compliance problem to one source location and
+carries a stable rule code (``SIM001``..``SIM005``; ``SIM000`` is
+reserved for analyzer-level problems such as malformed suppressions).
+Stable codes are the contract: suppressions, CI greps and the docs all
+key on them, so codes are never renumbered or reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+#: Analyzer-level problems (bad suppression comment, unparsable file).
+META_CODE = "SIM000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Canonical report order: by location, then code (deterministic)."""
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,574 @@
+"""The simlint rule catalog (SIM001..SIM005).
+
+Each rule is an AST pass over one module.  Rules are deliberately
+syntactic: they flag the *patterns* through which model violations enter
+the codebase (uncharged sends, shared mutable state, unordered
+iteration, unannotated communication loops, unaccounted container
+growth), and pair with the runtime strict mode
+(:mod:`repro.sim.strict`) which checks the same invariants dynamically.
+A finding that is intentional is suppressed inline *with a reason* —
+see :mod:`repro.analysis.suppress`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Dotted name of a Name/Attribute chain (``net.ledger.phase``) or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_tail(call: ast.Call) -> Optional[str]:
+    """Last component of the called name (``phase`` for ``x.y.phase(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_literal_nonpositive(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return not isinstance(node.value, bool) and node.value <= 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        operand = node.operand
+        return isinstance(operand, ast.Constant) and isinstance(
+            operand.value, (int, float)
+        )
+    return False
+
+
+def _node_lines(node: ast.AST) -> range:
+    lineno = getattr(node, "lineno", 1)
+    end = getattr(node, "end_lineno", None) or lineno
+    return range(lineno, end + 1)
+
+
+def _walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class Rule:
+    """Base class: one stable code, one AST pass."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(self, message: str, path: str, node: ast.AST) -> Finding:
+        return Finding(
+            self.code,
+            message,
+            path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+        )
+
+
+# ----------------------------------------------------------------------
+# SIM001 — uncharged send
+# ----------------------------------------------------------------------
+class UnchargedSend(Rule):
+    """A message injected into the network without an honest word cost.
+
+    Every cross-machine word must be declared: a :class:`Message` built
+    without an explicit ``words`` argument silently defaults, and a
+    literal zero/negative cost understates the load the ledger charges.
+    ``broadcast`` calls are held to the same standard.
+    """
+
+    code = "SIM001"
+    name = "uncharged-send"
+    summary = "Message/broadcast with missing or non-positive word cost"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _call_tail(node)
+            if tail == "Message":
+                yield from self._check_message(node, path)
+            elif tail == "broadcast":
+                yield from self._check_broadcast(node, path)
+
+    def _words_arg(
+        self, call: ast.Call, positional_index: int
+    ) -> Tuple[Optional[ast.AST], bool]:
+        """(words expression or None, True if any *args/**kwargs present)."""
+        has_star = any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        )
+        for kw in call.keywords:
+            if kw.arg == "words":
+                return kw.value, has_star
+        if len(call.args) > positional_index:
+            return call.args[positional_index], has_star
+        return None, has_star
+
+    def _check_message(self, call: ast.Call, path: str) -> Iterator[Finding]:
+        words, has_star = self._words_arg(call, 3)
+        if words is None:
+            if not has_star:
+                yield self.finding(
+                    "Message constructed without an explicit word cost "
+                    "(pass words=<size>; the default hides the charge)",
+                    path, call,
+                )
+        elif _is_literal_nonpositive(words):
+            yield self.finding(
+                "Message constructed with a literal non-positive word cost",
+                path, call,
+            )
+
+    def _check_broadcast(self, call: ast.Call, path: str) -> Iterator[Finding]:
+        # Network.broadcast(src, payload, words) vs
+        # MachineProgram.broadcast(payload, words): disambiguate by arity.
+        words, has_star = self._words_arg(call, len(call.args) - 1 if call.args else 0)
+        n_pos = len(call.args)
+        has_kw_words = any(kw.arg == "words" for kw in call.keywords)
+        if n_pos < 2 and not has_kw_words and not has_star:
+            yield self.finding(
+                "broadcast called without an explicit word cost",
+                path, call,
+            )
+            return
+        if words is not None and _is_literal_nonpositive(words):
+            yield self.finding(
+                "broadcast called with a literal non-positive word cost",
+                path, call,
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM002 — cross-machine state access
+# ----------------------------------------------------------------------
+_GROW_METHODS = {"append", "add", "update", "setdefault", "extend", "insert"}
+
+
+class CrossMachineState(Rule):
+    """Machine code touching state it could not own.
+
+    Three patterns break machine isolation: ``global`` declarations
+    (module-level mutable state is visible to every simulated machine at
+    once), mutation of a module-level container from inside a function,
+    and a :class:`MachineProgram` method reaching into another object's
+    ``.state``/``.store``.
+    """
+
+    code = "SIM002"
+    name = "cross-machine-state"
+    summary = "protocol code touches shared or foreign machine state"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        module_containers = self._module_level_containers(tree)
+        for func in _walk_functions(tree):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        f"'global {', '.join(node.names)}' — module-level mutable "
+                        "state is shared across all simulated machines",
+                        path, node,
+                    )
+                elif isinstance(node, ast.Call):
+                    func_expr = node.func
+                    if (
+                        isinstance(func_expr, ast.Attribute)
+                        and func_expr.attr in _GROW_METHODS
+                        and isinstance(func_expr.value, ast.Name)
+                        and func_expr.value.id in module_containers
+                    ):
+                        yield self.finding(
+                            f"mutation of module-level container "
+                            f"'{func_expr.value.id}' from protocol code",
+                            path, node,
+                        )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    for target in self._store_roots(node):
+                        if target in module_containers:
+                            yield self.finding(
+                                f"write into module-level container '{target}' "
+                                "from protocol code",
+                                path, node,
+                            )
+        yield from self._check_programs(tree, path)
+
+    def _module_level_containers(self, tree: ast.Module) -> set:
+        names = set()
+        for node in tree.body:
+            targets: Sequence[ast.AST] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not self._is_container_expr(value):
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        return names
+
+    @staticmethod
+    def _is_container_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"list", "dict", "set", "defaultdict",
+                                    "OrderedDict", "Counter", "deque"}
+        return False
+
+    @staticmethod
+    def _store_roots(node: ast.AST) -> Iterator[str]:
+        # Only subscript stores count as container mutations; a plain
+        # rebind creates a local that shadows the global, it does not mutate.
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            if isinstance(t, ast.Subscript):
+                root = t.value
+                while isinstance(root, ast.Subscript):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    yield root.id
+
+    def _check_programs(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {b for base in node.bases if (b := _dotted(base)) is not None}
+            if not any(b.split(".")[-1] == "MachineProgram" for b in bases):
+                continue
+            for func in node.body:
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                for sub in ast.walk(func):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr in {"state", "store"}
+                        and not (
+                            isinstance(sub.value, ast.Name)
+                            and sub.value.id == "self"
+                        )
+                    ):
+                        owner = _dotted(sub.value) or "<expr>"
+                        yield self.finding(
+                            f"MachineProgram method reads '{owner}.{sub.attr}' — "
+                            "a program may only touch self.state; remote facts "
+                            "must arrive through the network",
+                            path, sub,
+                        )
+
+
+# ----------------------------------------------------------------------
+# SIM003 — nondeterminism
+# ----------------------------------------------------------------------
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                 "PCG64", "Philox"}
+_TIME_CALLS = {
+    "time.time", "time.monotonic", "time.perf_counter", "time.time_ns",
+    "time.monotonic_ns", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.randbelow",
+}
+
+
+class Nondeterminism(Rule):
+    """Sources of run-to-run variation in protocol code.
+
+    Round counts are only reproducible if every protocol is a
+    deterministic function of (graph, seed).  Flags the global
+    ``random`` module, numpy's legacy global RNG, wall-clock reads,
+    the salted builtin ``hash``, and iteration over unordered sets.
+    """
+
+    code = "SIM003"
+    name = "nondeterminism"
+    summary = "unseeded RNG, wall-clock, salted hash, or set iteration"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        imports_random = self._imports_module(tree, "random")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, path, imports_random)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(node.iter, path)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._check_iter(gen.iter, path)
+
+    @staticmethod
+    def _imports_module(tree: ast.Module, name: str) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == name for alias in node.names):
+                    return True
+        return False
+
+    def _check_call(
+        self, node: ast.Call, path: str, imports_random: bool
+    ) -> Iterator[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if imports_random and dotted.startswith("random.") and dotted != "random.Random":
+            yield self.finding(
+                f"call to the unseeded global RNG '{dotted}' — thread a seeded "
+                "Generator through the protocol instead",
+                path, node,
+            )
+        parts = dotted.split(".")
+        if (
+            len(parts) >= 3
+            and parts[-3] in {"np", "numpy"}
+            and parts[-2] == "random"
+            and parts[-1] not in _NP_RANDOM_OK
+        ):
+            yield self.finding(
+                f"call to numpy's legacy global RNG '{dotted}' — use "
+                "numpy.random.default_rng(seed)",
+                path, node,
+            )
+        if dotted in _TIME_CALLS:
+            yield self.finding(
+                f"wall-clock/entropy read '{dotted}' in protocol code — "
+                "round counts must not depend on real time",
+                path, node,
+            )
+        if dotted == "hash":
+            yield self.finding(
+                "builtin hash() is salted per process (PYTHONHASHSEED) — "
+                "use a keyed/explicit hash",
+                path, node,
+            )
+
+    def _check_iter(self, iterable: ast.AST, path: str) -> Iterator[Finding]:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                "iteration over a set literal/comprehension — order is "
+                "unspecified; iterate a sorted() copy",
+                path, iterable,
+            )
+        elif isinstance(iterable, ast.Call):
+            tail = _call_tail(iterable)
+            if tail in {"set", "frozenset"}:
+                yield self.finding(
+                    f"iteration over {tail}(...) — order is unspecified; "
+                    "iterate a sorted() copy or keep the original sequence",
+                    path, iterable,
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM004 — unaccounted rounds
+# ----------------------------------------------------------------------
+#: Calls that charge the ledger (directly or through a comm wrapper).
+_COMM_CALLS = {
+    "superstep", "broadcast", "batched_queries", "scheduled_broadcasts",
+    "lenzen_route", "lenzen_sort", "tree_broadcast", "tree_converge_cast",
+    "run_structural_batch",
+}
+_LEDGER_MARKS = {"charge_rounds", "phase"}
+
+
+class UnaccountedRounds(Rule):
+    """A data-dependent communication loop with no ledger annotation.
+
+    A ``while`` loop (or a ``for`` over a non-``range`` iterable) that
+    fires supersteps runs a data-dependent number of rounds.  That is
+    fine — but only under a ``ledger.phase(...)`` block or with explicit
+    ``charge_rounds`` calls, so the benchmark tables can attribute the
+    cost and a reviewer can match the loop to the paper's bound.
+    """
+
+    code = "SIM004"
+    name = "unaccounted-rounds"
+    summary = "data-dependent superstep loop without phase/charge annotation"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        yield from self._visit(tree.body, path, in_phase=False)
+
+    def _visit(
+        self, body: Sequence[ast.stmt], path: str, in_phase: bool
+    ) -> Iterator[Finding]:
+        for node in body:
+            covered = in_phase
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                covered = covered or any(
+                    isinstance(item.context_expr, ast.Call)
+                    and _call_tail(item.context_expr) == "phase"
+                    for item in node.items
+                )
+            if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+                if self._is_data_dependent(node) and not covered:
+                    if self._loop_communicates(node) and not self._loop_annotated(node):
+                        kind = "while" if isinstance(node, ast.While) else "for"
+                        yield self.finding(
+                            f"data-dependent '{kind}' loop fires supersteps "
+                            "without a ledger.phase(...) block or "
+                            "charge_rounds annotation",
+                            path, node,
+                        )
+            for child_body in self._child_bodies(node):
+                yield from self._visit(child_body, path, covered)
+
+    @staticmethod
+    def _child_bodies(node: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+        for name in ("body", "orelse", "finalbody"):
+            child = getattr(node, name, None)
+            if child:
+                yield child
+        for handler in getattr(node, "handlers", ()):
+            yield handler.body
+
+    @staticmethod
+    def _is_data_dependent(node: ast.stmt) -> bool:
+        if isinstance(node, ast.While):
+            return True
+        assert isinstance(node, (ast.For, ast.AsyncFor))
+        iterable = node.iter
+        if isinstance(iterable, ast.Call) and _call_tail(iterable) in {
+            "range", "enumerate", "zip",
+        }:
+            # ``for _ in range(n)``: bounded by an explicit, auditable count.
+            return False
+        if isinstance(iterable, (ast.Tuple, ast.List)):
+            # A literal sequence has a constant trip count.
+            return False
+        return True
+
+    @staticmethod
+    def _loop_communicates(node: ast.stmt) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and _call_tail(sub) in _COMM_CALLS
+            for sub in ast.walk(node)
+        )
+
+    @staticmethod
+    def _loop_annotated(node: ast.stmt) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and _call_tail(sub) in _LEDGER_MARKS
+            for sub in ast.walk(node)
+        )
+
+
+# ----------------------------------------------------------------------
+# SIM005 — space-budget escape
+# ----------------------------------------------------------------------
+_GAUGE_CALLS = {"set_gauge", "bump_gauge", "_update_gauges", "refresh_gauges"}
+
+
+class SpaceBudgetEscape(Rule):
+    """Container growth that dodges the machine's space gauges.
+
+    Applies to classes that participate in space accounting (their body
+    calls a gauge method somewhere): any method that grows a public
+    ``self.<container>`` without touching a gauge understates
+    ``Machine.space_words`` until some later method happens to refresh
+    it.  Underscore-prefixed attributes are exempt — they are simulator
+    acceleration caches, not modeled machine state.
+    """
+
+    code = "SIM005"
+    name = "space-budget-escape"
+    summary = "state container grown without a space-gauge update"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and self._class_uses_gauges(node):
+                yield from self._check_class(node, path)
+
+    @staticmethod
+    def _class_uses_gauges(cls: ast.ClassDef) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and _call_tail(sub) in _GAUGE_CALLS
+            for sub in ast.walk(cls)
+        )
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> Iterator[Finding]:
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name == "__init__" or self._has_gauge_call(func):
+                continue
+            for growth, attr in self._growth_sites(func):
+                yield self.finding(
+                    f"'{cls.name}.{func.name}' grows 'self.{attr}' without a "
+                    "space-gauge update (call set_gauge/bump_gauge or the "
+                    "class's gauge refresh)",
+                    path, growth,
+                )
+
+    @staticmethod
+    def _has_gauge_call(func: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and _call_tail(sub) in _GAUGE_CALLS
+            for sub in ast.walk(func)
+        )
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        """``self.<attr>`` at the root of an attribute/subscript chain."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _growth_sites(
+        self, func: ast.AST
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = self._self_attr(target.value)
+                        if attr and not attr.startswith("_"):
+                            yield node, attr
+            elif isinstance(node, ast.Call):
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in _GROW_METHODS
+                ):
+                    attr = self._self_attr(func_expr.value)
+                    if attr and not attr.startswith("_"):
+                        yield node, attr
+
+
+#: The catalog, in code order.  Append-only: codes are never reused.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnchargedSend(),
+    CrossMachineState(),
+    Nondeterminism(),
+    UnaccountedRounds(),
+    SpaceBudgetEscape(),
+)

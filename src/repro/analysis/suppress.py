@@ -1,0 +1,128 @@
+"""Inline suppressions: ``# simlint: disable=SIMxxx[,SIMyyy] reason``.
+
+A suppression silences the named rule(s) on the physical line(s) of the
+flagged statement.  Written inline (after code) it covers its own line;
+written on a line of its own it covers the statement that follows.  The
+reason is mandatory — a suppression is a claim
+that the analyzer is wrong *here*, and the claim must be argued where it
+is made.  A bare ``disable=`` without a reason, an unknown rule code, or
+a malformed directive is itself reported as ``SIM000``, so suppressions
+cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import META_CODE, Finding
+
+#: The directive marker; anything after it must parse as ``disable=``.
+_MARKER_RE = re.compile(r"#\s*simlint\s*:\s*(?P<body>.*)$")
+#: ``disable=SIM001,SIM002 reason text`` — codes first, reason after.
+_DISABLE_RE = re.compile(
+    r"^disable\s*=\s*(?P<codes>[A-Za-z0-9_,\s]*?)(?:\s+(?P<reason>\S.*?))?\s*$"
+)
+_CODE_RE = re.compile(r"^SIM\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``disable=`` directive."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+
+@dataclass
+class SuppressionTable:
+    """All suppressions of one file, indexed by physical line."""
+
+    by_line: Dict[int, List[Suppression]]
+    errors: List[Finding]
+
+    def is_suppressed(self, code: str, lines: range) -> bool:
+        """True if ``code`` is disabled on any physical line of the node."""
+        for line in lines:
+            for sup in self.by_line.get(line, ()):
+                if code in sup.codes:
+                    sup.used = True
+                    return True
+        return False
+
+    def unused(self) -> List[Suppression]:
+        out: List[Suppression] = []
+        seen: Set[int] = set()
+        for sups in self.by_line.values():
+            for s in sups:
+                if not s.used and id(s) not in seen:
+                    seen.add(id(s))
+                    out.append(s)
+        return out
+
+
+def parse_suppressions(path: str, source: str) -> SuppressionTable:
+    """Extract and validate every ``# simlint:`` comment in ``source``."""
+    by_line: Dict[int, List[Suppression]] = {}
+    errors: List[Finding] = []
+    known: Set[str] = _known_codes()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return SuppressionTable(by_line, errors)  # parse errors surface elsewhere
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        marker = _MARKER_RE.search(tok.string)
+        if marker is None:
+            continue
+        line, col = tok.start
+        body = marker.group("body").strip()
+        directive = _DISABLE_RE.match(body)
+        if directive is None:
+            errors.append(Finding(
+                META_CODE,
+                f"malformed simlint directive {body!r} "
+                "(expected 'disable=SIMxxx[,SIMyyy] reason')",
+                path, line, col,
+            ))
+            continue
+        codes = tuple(
+            c.strip() for c in directive.group("codes").split(",") if c.strip()
+        )
+        reason = (directive.group("reason") or "").strip()
+        bad = [c for c in codes if not _CODE_RE.match(c) or c not in known]
+        if not codes or bad:
+            errors.append(Finding(
+                META_CODE,
+                f"unknown rule code(s) {', '.join(bad) or '<none>'} in suppression",
+                path, line, col,
+            ))
+            continue
+        if not reason:
+            errors.append(Finding(
+                META_CODE,
+                f"suppression of {', '.join(codes)} has no reason — "
+                "write '# simlint: disable=<code> <why this is safe>'",
+                path, line, col,
+            ))
+            continue
+        sup = Suppression(line, codes, reason)
+        by_line.setdefault(line, []).append(sup)
+        if tok.line[:col].strip() == "":
+            # Standalone directive: it also covers the next physical line
+            # (the statement it annotates).  The object is shared, so a
+            # hit through either registration marks it used.
+            by_line.setdefault(line + 1, []).append(sup)
+    return SuppressionTable(by_line, errors)
+
+
+def _known_codes() -> Set[str]:
+    from repro.analysis.rules import ALL_RULES
+
+    return {rule.code for rule in ALL_RULES}

@@ -80,38 +80,39 @@ def boruvka_engine(
     dsu = DisjointSet(range(n_vertices))
     msf: List[CCEdge] = []
     local = [list(edges) for edges in local_edges]
-    while True:
-        roots = sorted(dsu.find(v) for v in range(n_vertices))
-        roots = sorted(set(roots))
-        if len(roots) <= 1:
-            break
-        per_query: Dict[int, List[Optional[CCEdge]]] = {}
-        for c in roots:
-            per_query[c] = [None] * k
-        for m in range(k):
-            # Machine-local minimum outgoing edge per component.
-            best: Dict[int, CCEdge] = {}
-            for e in local[m]:
-                ru, rv = dsu.find(e.cu), dsu.find(e.cv)
-                if ru == rv:
-                    continue
-                for r in (ru, rv):
-                    cur = best.get(r)
-                    if cur is None or e < cur:
-                        best[r] = e
-            for r, e in best.items():
-                per_query[r][m] = e
-        answers = batched_queries(
-            net, per_query, min, words=WORDS_COMPONENT_EDGE
-        )
-        merged_any = False
-        for c in sorted(answers):
-            e = answers[c]
-            if e is not None and dsu.union(e.cu, e.cv):
-                msf.append(e)
-                merged_any = True
-        if not merged_any:
-            break
+    with net.ledger.phase("cc.boruvka"):
+        while True:
+            roots = sorted(dsu.find(v) for v in range(n_vertices))
+            roots = sorted(set(roots))
+            if len(roots) <= 1:
+                break
+            per_query: Dict[int, List[Optional[CCEdge]]] = {}
+            for c in roots:
+                per_query[c] = [None] * k
+            for m in range(k):
+                # Machine-local minimum outgoing edge per component.
+                best: Dict[int, CCEdge] = {}
+                for e in local[m]:
+                    ru, rv = dsu.find(e.cu), dsu.find(e.cv)
+                    if ru == rv:
+                        continue
+                    for r in (ru, rv):
+                        cur = best.get(r)
+                        if cur is None or e < cur:
+                            best[r] = e
+                for r, e in best.items():
+                    per_query[r][m] = e
+            answers = batched_queries(
+                net, per_query, min, words=WORDS_COMPONENT_EDGE
+            )
+            merged_any = False
+            for c in sorted(answers):
+                e = answers[c]
+                if e is not None and dsu.union(e.cu, e.cv):
+                    msf.append(e)
+                    merged_any = True
+            if not merged_any:
+                break
     # Everyone already knows the MSF (answers were broadcast), so no final
     # result broadcast is needed.
     return sorted(msf)
@@ -138,23 +139,24 @@ def lotker_engine(
         raise ValueError("need one edge list per machine")
     current: List[List[CCEdge]] = [_cc_local_msf(edges) for edges in local_edges]
     stride = 1
-    while stride < k:
-        msgs: List[Message] = []
-        for m in range(0, k, 2 * stride):
-            partner = m + stride
-            if partner < k and current[partner]:
-                msgs.extend(
-                    Message(partner, m, ("cc_edge", e), WORDS_COMPONENT_EDGE)
-                    for e in current[partner]
-                )
-        inboxes = lenzen_route(net, msgs)
-        for m in range(0, k, 2 * stride):
-            partner = m + stride
-            if partner < k:
-                received = [p[1] for _src, p in inboxes.get(m, [])]
-                current[m] = _cc_local_msf(current[m] + received)
-                current[partner] = []
-        stride *= 2
+    with net.ledger.phase("cc.lotker"):
+        while stride < k:
+            msgs: List[Message] = []
+            for m in range(0, k, 2 * stride):
+                partner = m + stride
+                if partner < k and current[partner]:
+                    msgs.extend(
+                        Message(partner, m, ("cc_edge", e), WORDS_COMPONENT_EDGE)
+                        for e in current[partner]
+                    )
+            inboxes = lenzen_route(net, msgs)
+            for m in range(0, k, 2 * stride):
+                partner = m + stride
+                if partner < k:
+                    received = [p[1] for _src, p in inboxes.get(m, [])]
+                    current[m] = _cc_local_msf(current[m] + received)
+                    current[partner] = []
+            stride *= 2
     return _broadcast_result(net, 0, current[0])
 
 

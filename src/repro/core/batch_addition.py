@@ -63,7 +63,7 @@ def batch_add(
             [(vp.home(u), ("add", u, v, w), WORDS_UPDATE) for (u, v, w) in adds],
         )
     for (u, v, w) in adds:
-        for m in set(vp.edge_machines(u, v)):
+        for m in vp.edge_machines(u, v):
             if states[m].hosts_edge(u, v):
                 raise InconsistentUpdate(f"edge ({u},{v}) already present")
             states[m].store_graph_edge(u, v, w)

@@ -84,7 +84,7 @@ def batch_delete(
             mst_dels.append((ETEdge.from_snapshot(list(snap)), size))
     # Local graph-edge removal on the hosting machines.
     for (u, v) in dels:
-        for m in set(vp.edge_machines(u, v)):
+        for m in vp.edge_machines(u, v):
             states[m].drop_graph_edge(u, v)
 
     summary = {"dels": len(dels), "mst_dels": len(mst_dels), "components": 0,

@@ -44,7 +44,7 @@ def make_states(
         MachineState(m, vp.vertices_of[m], machine=net.machines[m]) for m in range(net.k)
     ]
     for e in graph.edges():
-        for m in set(vp.edge_machines(e.u, e.v)):
+        for m in vp.edge_machines(e.u, e.v):
             states[m].store_graph_edge(e.u, e.v, e.weight)
     for st in states:
         for x in st.tracked:

@@ -70,7 +70,7 @@ def single_add(
     if home_u.hosts_edge(u, v):
         raise InconsistentUpdate(f"edge ({u},{v}) already present")
     net.broadcast(vp.home(u), ("add", u, v, w), WORDS_UPDATE)
-    for m in set(vp.edge_machines(u, v)):
+    for m in vp.edge_machines(u, v):
         states[m].store_graph_edge(u, v, w)
 
     same_tour = home_u.tour_of[u] == states[vp.home(v)].tour_of[v]
@@ -132,7 +132,7 @@ def single_delete(
     ete = home_u.mst.get((u, v))
     snap = ete.snapshot() if ete is not None else None
     net.broadcast(vp.home(u), ("delete", u, v, snap), WORDS_ET_EDGE + 1)
-    for m in set(vp.edge_machines(u, v)):
+    for m in vp.edge_machines(u, v):
         states[m].drop_graph_edge(u, v)
     if snap is None:
         return next_tour_id, {"kind": 0, "reconnected": 0}

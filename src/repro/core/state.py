@@ -93,6 +93,7 @@ class MachineState:
             self.tracked.add(x)
             self.witness.setdefault(x, None)
             self.tour_of.setdefault(x, None)
+            self._update_gauges()
 
     # ------------------------------------------------------------------
     # MST-edge bookkeeping

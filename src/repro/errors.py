@@ -17,6 +17,16 @@ class BandwidthExceeded(ModelViolation):
     """A single round tried to push more words over a link than it carries."""
 
 
+class StrictModeViolation(ModelViolation):
+    """A strict-mode (sanitizer) invariant failed at runtime.
+
+    Raised only when strict mode is on (``Network(strict=True)`` or
+    ``REPRO_STRICT=1``): dishonest message word costs, supersteps that
+    move words for zero rounds, hidden global-RNG consumption, or a
+    machine program touching another machine's state.
+    """
+
+
 class InconsistentUpdate(ReproError):
     """An update batch is inconsistent with the current graph state."""
 

@@ -34,6 +34,11 @@ from repro.sim.partition import (
 )
 from repro.sim.program import MachineProgram, run_programs
 from repro.sim.executor import parallel_local_map
+from repro.sim.strict import (
+    GuardedState,
+    estimate_payload_words,
+    strict_from_env,
+)
 
 __all__ = [
     "Message",
@@ -55,4 +60,7 @@ __all__ = [
     "MachineProgram",
     "run_programs",
     "parallel_local_map",
+    "GuardedState",
+    "estimate_payload_words",
+    "strict_from_env",
 ]

@@ -24,10 +24,11 @@ from typing import Any, Callable, List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-_worker_fn: Optional[Callable] = None
+_worker_fn: Optional[Callable[[Any], Any]] = None
 
 
-def _init_pool(fn: Callable) -> None:
+def _init_pool(fn: Callable[[Any], Any]) -> None:
+    # simlint: disable=SIM002 process-pool plumbing: each worker process owns a private copy, no cross-machine sharing
     global _worker_fn
     _worker_fn = fn
 

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import BandwidthExceeded
+from repro.errors import BandwidthExceeded, StrictModeViolation
 from repro.sim.machine import Machine
 from repro.sim.message import Message
 from repro.sim.metrics import Ledger
+from repro.sim.strict import EntropyGuard, check_message_words, strict_from_env
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -29,10 +30,18 @@ def _ceil_div(a: int, b: int) -> int:
 
 
 class Network:
-    """Base synchronous network over ``k`` machines with a shared ledger."""
+    """Base synchronous network over ``k`` machines with a shared ledger.
+
+    ``strict=True`` (or the ``REPRO_STRICT=1`` environment variable)
+    arms the sanitizer checks of :mod:`repro.sim.strict`: honest message
+    word costs, round conservation, and no hidden global-RNG use.
+    Violations raise :class:`~repro.errors.StrictModeViolation` and are
+    counted in ``strict_violations``.
+    """
 
     def __init__(self, k: int, ledger: Optional[Ledger] = None,
-                 machine_budget: Optional[int] = None) -> None:
+                 machine_budget: Optional[int] = None,
+                 strict: Optional[bool] = None) -> None:
         if k < 1:
             raise ValueError("need at least one machine")
         self.k = k
@@ -42,6 +51,11 @@ class Network:
         #: the Theorem 7.1 information argument bounds from below.
         self.ingress_words: List[int] = [0] * k
         self.egress_words: List[int] = [0] * k
+        self.strict = strict_from_env() if strict is None else strict
+        self.strict_violations = 0
+        self._entropy_guard: Optional[EntropyGuard] = (
+            EntropyGuard() if self.strict else None
+        )
 
     # -- model-specific ------------------------------------------------
     def rounds_for_load(
@@ -68,6 +82,8 @@ class Network:
         msgs = list(messages)
         if not msgs:
             return {}
+        if self.strict:
+            self._strict_pre_superstep(msgs)
         pair_words: Dict[Tuple[int, int], int] = {}
         n_msgs = 0
         n_words = 0
@@ -80,6 +96,11 @@ class Network:
             self.ingress_words[m.dst] += m.words
             self.egress_words[m.src] += m.words
         rounds = self.rounds_for_load(pair_words)
+        if self.strict and n_words > 0 and rounds < 1:
+            self._strict_violation(
+                f"superstep moved {n_words} word(s) but "
+                f"{type(self).__name__}.rounds_for_load charged {rounds} rounds"
+            )
         self.ledger.charge(rounds, n_msgs, n_words)
         inboxes: Dict[int, List[Tuple[int, Any]]] = {}
         for m in sorted(msgs, key=lambda m: (m.dst, m.src)):
@@ -100,6 +121,36 @@ class Network:
         if not 0 <= mid < self.k:
             raise BandwidthExceeded(f"machine id {mid} outside [0, {self.k})")
 
+    # -- strict mode -----------------------------------------------------
+    def _strict_violation(self, message: str) -> None:
+        self.strict_violations += 1
+        raise StrictModeViolation(message)
+
+    def _strict_pre_superstep(self, msgs: List[Message]) -> None:
+        guard = self._entropy_guard
+        if guard is not None:
+            try:
+                guard.check("this superstep")
+            except StrictModeViolation:
+                self.strict_violations += 1
+                raise
+        for m in msgs:
+            try:
+                check_message_words(m.src, m.dst, m.payload, m.words)
+            except StrictModeViolation:
+                self.strict_violations += 1
+                raise
+
+    def resync_entropy(self) -> None:
+        """Accept global-RNG use that happened *outside* protocol code.
+
+        Call after intentionally consuming global randomness between
+        supersteps (e.g. test scaffolding); protocols themselves must
+        not need this.
+        """
+        if self._entropy_guard is not None:
+            self._entropy_guard.resync()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(k={self.k}, {self.ledger!r})"
 
@@ -118,8 +169,9 @@ class KMachineNetwork(Network):
         words_per_round: int = 1,
         ledger: Optional[Ledger] = None,
         machine_budget: Optional[int] = None,
+        strict: Optional[bool] = None,
     ) -> None:
-        super().__init__(k, ledger, machine_budget)
+        super().__init__(k, ledger, machine_budget, strict=strict)
         if words_per_round < 1:
             raise ValueError("words_per_round must be >= 1")
         self.words_per_round = words_per_round
@@ -142,8 +194,11 @@ class MPCNetwork(Network):
         space: int,
         ledger: Optional[Ledger] = None,
         enforce_budget: bool = True,
+        strict: Optional[bool] = None,
     ) -> None:
-        super().__init__(k, ledger, machine_budget=space if enforce_budget else None)
+        super().__init__(
+            k, ledger, machine_budget=space if enforce_budget else None, strict=strict
+        )
         if space < 1:
             raise ValueError("space must be >= 1")
         self.space = space

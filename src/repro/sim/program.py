@@ -18,11 +18,12 @@ of round t are delivered at round t+1, charged through the same
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError
 from repro.sim.message import Message
 from repro.sim.network import Network
+from repro.sim.strict import guard_states
 
 #: An inbox: list of (source machine, payload).
 Inbox = List[Tuple[int, Any]]
@@ -39,7 +40,9 @@ class MachineProgram:
     write only ``self.state`` — its machine-local memory.
     """
 
-    def __init__(self, mid: int, k: int, state: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self, mid: int, k: int, state: Optional[Dict[str, Any]] = None
+    ) -> None:
         self.mid = mid
         self.k = k
         self.state: Dict[str, Any] = state if state is not None else {}
@@ -66,11 +69,31 @@ def run_programs(
     Termination: a superstep where every program has signalled done and
     no messages are in flight.  Exceeding ``max_rounds`` supersteps
     raises (a livelocked protocol is a bug, not a hang).
+
+    Under a strict network (``Network(strict=True)`` / ``REPRO_STRICT=1``)
+    every program's state dict is wrapped so that reads or writes from
+    any other machine's callback raise
+    :class:`~repro.errors.StrictModeViolation` — machine isolation is
+    enforced dynamically, not just by convention.
     """
     if len(programs) != net.k:
         raise ProtocolError("need exactly one program per machine")
-    outboxes: List[Outbox] = [list(p.on_start()) for p in programs]
+    active = guard_states(programs) if getattr(net, "strict", False) else None
+
+    def _as_machine(
+        p: MachineProgram, fn: Callable[..., Optional[Outbox]], *args: Any
+    ) -> Optional[Outbox]:
+        if active is None:
+            return fn(*args)
+        active.mid = p.mid
+        try:
+            return fn(*args)
+        finally:
+            active.mid = None
+
+    outboxes: List[Outbox] = [list(_as_machine(p, p.on_start) or []) for p in programs]
     supersteps = 0
+    # simlint: disable=SIM004 this loop IS the round structure: supersteps are the measured quantity and are returned to the caller
     while True:
         msgs = [
             Message(p.mid, dst, payload, words)
@@ -89,7 +112,7 @@ def run_programs(
             if p.done and p.mid not in inboxes:
                 new_outboxes.append([])
                 continue
-            out = p.on_round(inboxes.get(p.mid, []))
+            out = _as_machine(p, p.on_round, inboxes.get(p.mid, []))
             if out is None:
                 p.done = True
                 new_outboxes.append([])

@@ -1,0 +1,237 @@
+"""Runtime strict mode: sanitizer-style checks for the simulator.
+
+The static analyzer (:mod:`repro.analysis`) catches the *patterns*
+through which model violations enter the code; this module catches the
+*behaviors* the AST cannot see.  With ``Network(strict=True)`` — or the
+``REPRO_STRICT=1`` environment variable — every superstep additionally
+verifies:
+
+* **declared word costs are honest** — a message whose payload carries
+  more than twice as many distinct scalars as its declared ``words``
+  understates the load (the factor-2 slack absorbs routing metadata and
+  shared tuple structure, both Θ(1) per message and so free in words of
+  Θ(log n) bits);
+* **rounds are conserved** — a superstep that moves words must charge at
+  least one round;
+* **no hidden entropy** — the global :mod:`random` and legacy
+  ``numpy.random`` states must not advance between supersteps: protocols
+  must thread explicit seeded generators, or round counts silently stop
+  being reproducible.
+
+:func:`guard_states` additionally wraps each
+:class:`~repro.sim.program.MachineProgram`'s state dict so that any read
+or write from a machine other than the owner raises — the dynamic twin
+of rule ``SIM002``.
+
+Violations raise :class:`~repro.errors.StrictModeViolation` immediately
+(fail-fast, like a sanitizer) and are counted on the network in
+``strict_violations`` for post-mortem assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.errors import StrictModeViolation
+
+#: Payloads may carry up to this factor more distinct scalars than their
+#: declared word cost before strict mode calls the cost dishonest.
+WORDS_SLACK_FACTOR = 2
+#: Flat allowance for per-message routing/provenance metadata (source
+#: ids, sequence positions) — Θ(1) identifiers per message that real
+#: implementations pack into the Θ(log n)-bit word envelope.
+WORDS_ROUTING_ALLOWANCE = 2
+
+
+def strict_from_env(default: bool = False) -> bool:
+    """Read the ``REPRO_STRICT`` switch (unset/"0"/"" mean off)."""
+    value = os.environ.get("REPRO_STRICT")
+    if value is None:
+        return default
+    return value.strip() not in ("", "0", "false", "no")
+
+
+# ----------------------------------------------------------------------
+# payload word-cost estimation
+# ----------------------------------------------------------------------
+def _scalar_leaves(payload: Any, out: set, depth: int = 0) -> None:
+    if depth > 8 or payload is None or isinstance(payload, str):
+        # Strings are protocol tags (message type markers), charged to the
+        # Θ(log n)-bit word envelope, not counted as data.
+        return
+    if isinstance(payload, bool):
+        out.add(int(payload))
+    elif isinstance(payload, (int, float)):
+        out.add(payload)
+    elif isinstance(payload, (tuple, list, set, frozenset)):
+        for item in payload:
+            _scalar_leaves(item, out, depth + 1)
+    elif isinstance(payload, dict):
+        for key, value in payload.items():
+            _scalar_leaves(key, out, depth + 1)
+            _scalar_leaves(value, out, depth + 1)
+    elif hasattr(payload, "__dict__"):
+        for value in vars(payload).values():
+            _scalar_leaves(value, out, depth + 1)
+    elif hasattr(payload, "__slots__"):
+        for name in payload.__slots__:
+            _scalar_leaves(getattr(payload, name, None), out, depth + 1)
+    else:
+        try:  # numpy scalars and other number-likes
+            out.add(float(payload))
+        except (TypeError, ValueError):
+            pass
+
+
+def estimate_payload_words(payload: Any) -> int:
+    """A conservative lower bound on the words a payload must occupy.
+
+    Counts *distinct* numeric scalars reachable in the payload: repeated
+    values (shared endpoints, tie-break copies) compress to one word,
+    strings count as tags, structure is free.  By construction this
+    never exceeds the true information content, so a declared cost far
+    below it is a genuine understatement.
+    """
+    leaves: set = set()
+    _scalar_leaves(payload, leaves)
+    return len(leaves)
+
+
+def check_message_words(src: int, dst: int, payload: Any, words: int) -> None:
+    """Raise if ``words`` grossly understates the payload's content.
+
+    The tolerance is ``2·words + 2``: a factor for shared structure and
+    tuple framing plus a flat routing-metadata allowance.  Anything past
+    that cannot be absorbed by Θ(log n)-bit words and means the ledger
+    is charging fewer words than the protocol actually moves.
+    """
+    estimate = estimate_payload_words(payload)
+    if estimate > WORDS_SLACK_FACTOR * words + WORDS_ROUTING_ALLOWANCE:
+        raise StrictModeViolation(
+            f"message {src}->{dst} declares {words} word(s) but its payload "
+            f"carries at least {estimate} distinct scalars "
+            f"({payload!r:.120}); the ledger is being undercharged"
+        )
+
+
+# ----------------------------------------------------------------------
+# hidden-entropy detection
+# ----------------------------------------------------------------------
+def _rng_fingerprint() -> Tuple[int, Optional[bytes]]:
+    state = hash(random.getstate())  # simlint: disable=SIM003 reading RNG state to *detect* its use, not to derive protocol decisions
+    np_state: Optional[bytes] = None
+    try:
+        import numpy as np
+
+        legacy = np.random.get_state()  # simlint: disable=SIM003 reading RNG state to *detect* its use, not to derive protocol decisions
+        np_state = bytes(legacy[1].data) + str((legacy[0], *legacy[2:])).encode()
+    except Exception:  # pragma: no cover - numpy always present in this repo
+        np_state = None
+    return state, np_state
+
+
+@dataclass
+class EntropyGuard:
+    """Detects consumption of global RNG state between checkpoints."""
+
+    _last: Tuple[int, Optional[bytes]] = field(default_factory=_rng_fingerprint)
+
+    def check(self, where: str) -> None:
+        current = _rng_fingerprint()
+        if current != self._last:
+            self._last = current
+            raise StrictModeViolation(
+                f"global RNG state advanced before {where}: protocol code "
+                "consumed random/numpy.random global entropy — thread a "
+                "seeded Generator instead"
+            )
+        self._last = current
+
+    def resync(self) -> None:
+        """Accept the current global state (e.g. after user code ran)."""
+        self._last = _rng_fingerprint()
+
+
+# ----------------------------------------------------------------------
+# machine-state isolation (dynamic SIM002)
+# ----------------------------------------------------------------------
+@dataclass
+class _ActiveMachine:
+    """Shared cell naming the machine whose program is executing."""
+
+    mid: Optional[int] = None
+
+
+class GuardedState(Dict[str, Any]):
+    """A program's state dict that only its owning machine may touch."""
+
+    __slots__ = ("_owner", "_active")
+
+    def __init__(
+        self, data: Dict[str, Any], owner: int, active: _ActiveMachine
+    ) -> None:
+        super().__init__(data)
+        self._owner = owner
+        self._active = active
+
+    def _check(self, op: str) -> None:
+        mid = self._active.mid
+        if mid is not None and mid != self._owner:
+            raise StrictModeViolation(
+                f"machine {mid} {op} machine {self._owner}'s state — "
+                "cross-machine facts must travel through the network"
+            )
+
+    def __getitem__(self, key: Any) -> Any:
+        self._check("read")
+        return super().__getitem__(key)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check("wrote")
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._check("deleted from")
+        super().__delitem__(key)
+
+    def __contains__(self, key: Any) -> bool:
+        self._check("probed")
+        return super().__contains__(key)
+
+    def __iter__(self) -> Iterator[Any]:
+        self._check("iterated")
+        return super().__iter__()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._check("read")
+        return super().get(key, default)
+
+    def pop(self, *args: Any) -> Any:
+        self._check("popped from")
+        return super().pop(*args)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._check("wrote")
+        return super().setdefault(key, default)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._check("wrote")
+        super().update(*args, **kwargs)
+
+
+def guard_states(programs: Any) -> _ActiveMachine:
+    """Wrap every program's state for isolation; returns the active cell.
+
+    The caller (``run_programs``) sets ``cell.mid`` to the machine whose
+    callback is executing and resets it to None between callbacks; any
+    access to a foreign state dict while a different machine is active
+    raises.
+    """
+    cell = _ActiveMachine()
+    for program in programs:
+        if not isinstance(program.state, GuardedState):
+            program.state = GuardedState(program.state, program.mid, cell)
+    return cell

@@ -1,0 +1,24 @@
+"""Clean counterpart to sim001_violations: every send is charged."""
+
+from repro.sim.message import WORDS_EDGE, WORDS_ID, Message
+
+
+def explicit_positional(net, payload):
+    return Message(0, 1, payload, WORDS_EDGE)
+
+
+def explicit_keyword(net, payload, n):
+    return Message(0, 1, payload, words=2 * n + 1)
+
+
+def broadcast_charged(net, payload):
+    net.broadcast(0, payload, WORDS_ID)
+
+
+def program_broadcast_charged(program, payload):
+    return program.broadcast(payload, WORDS_ID * 2)
+
+
+def forwarded_args(net, args, kwargs):
+    # *args/**kwargs construction: size not statically knowable, not flagged.
+    return Message(*args, **kwargs)

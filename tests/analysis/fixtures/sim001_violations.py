@@ -1,0 +1,27 @@
+"""Seeded SIM001 violations: uncharged or understated sends."""
+
+from repro.sim.message import Message
+
+
+def missing_words(net, payload):
+    return Message(0, 1, payload)  # no explicit word cost
+
+
+def zero_words(net, payload):
+    return Message(0, 1, payload, 0)
+
+
+def zero_words_kw(net, payload):
+    return Message(0, 1, payload, words=0)
+
+
+def negative_words(net, payload):
+    return Message(0, 1, payload, words=-3)
+
+
+def broadcast_zero(net, payload):
+    net.broadcast(0, payload, 0)
+
+
+def broadcast_missing(program, payload):
+    return program.broadcast(payload)

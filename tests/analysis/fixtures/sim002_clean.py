@@ -1,0 +1,25 @@
+"""Clean counterpart to sim002_violations: machine-local state only."""
+
+from repro.sim.program import MachineProgram
+
+#: Immutable module constant — fine: it cannot carry cross-machine facts.
+DEFAULT_FANOUT = 4
+
+
+def combine(local_cache, key, value):
+    # Mutating a *parameter* (caller-owned, machine-local) is fine.
+    local_cache[key] = value
+    return local_cache
+
+
+class IsolatedProgram(MachineProgram):
+    def on_start(self):
+        self.state["component"] = self.mid
+        return self.broadcast(("hello", self.mid), 1)
+
+    def on_round(self, inbox):
+        for _src, payload in inbox:
+            self.state["component"] = min(
+                self.state["component"], payload[1]
+            )
+        return None

@@ -1,0 +1,29 @@
+"""Seeded SIM002 violations: state crossing machine boundaries."""
+
+from repro.sim.program import MachineProgram
+
+_SHARED_CACHE = {}
+_SEEN = []
+
+
+def remember(key, value):
+    global _SHARED_CACHE
+    _SHARED_CACHE = {key: value}
+
+
+def memoize(key, value):
+    _SHARED_CACHE[key] = value
+
+
+def log_visit(mid):
+    _SEEN.append(mid)
+
+
+class LeakyProgram(MachineProgram):
+    def __init__(self, mid, k, peers):
+        super().__init__(mid, k)
+        self.peers = peers
+
+    def on_round(self, inbox):
+        neighbour = self.peers[(self.mid + 1) % self.k]
+        return [(0, neighbour.state["component"], 1)]

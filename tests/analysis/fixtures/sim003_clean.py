@@ -1,0 +1,27 @@
+"""Clean counterpart to sim003_violations: seeded, ordered, clock-free."""
+
+import numpy as np
+
+
+def pick_leader(machines, rng):
+    return sorted(machines)[int(rng.integers(0, len(machines)))]
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def visit_components(components):
+    out = []
+    for comp in sorted(set(components)):
+        out.append(comp)
+    return out
+
+
+def membership_is_fine(vertices, probe):
+    # set() used for membership/equality, not iteration order.
+    return probe in set(vertices)
+
+
+def spread(vertices, k):
+    return [v % k for v in sorted({v for v in vertices})]

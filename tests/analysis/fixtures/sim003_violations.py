@@ -1,0 +1,33 @@
+"""Seeded SIM003 violations: nondeterminism in protocol code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def pick_leader(machines):
+    return random.choice(sorted(machines))
+
+
+def jitter():
+    return np.random.rand()
+
+
+def stamp(batch):
+    return (time.time(), batch)
+
+
+def fingerprint(label):
+    return hash(label) % 1024
+
+
+def visit_components(components):
+    out = []
+    for comp in set(components):
+        out.append(comp)
+    return out
+
+
+def spread(vertices, k):
+    return [v % k for v in {v for v in vertices}]

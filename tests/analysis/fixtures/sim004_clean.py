@@ -1,0 +1,23 @@
+"""Clean counterpart to sim004_violations: every loop is accounted."""
+
+from repro.sim.message import Message
+
+
+def converge_in_phase(net, frontier):
+    with net.ledger.phase("converge"):
+        while frontier:
+            msgs = [Message(0, dst, ("probe", dst), 1) for dst in sorted(frontier)]
+            inboxes = net.superstep(msgs)
+            frontier = sorted(inboxes)
+
+
+def fixed_rounds(net, payload, iterations):
+    # Bounded by an explicit count — auditable without an annotation.
+    for _ in range(iterations):
+        net.superstep([Message(0, 1, payload, 1)])
+
+
+def charged_loop(net, queues):
+    for queue in queues:
+        net.charge_rounds(1)
+        net.broadcast(0, ("drain", len(queue)), 1)

@@ -1,0 +1,36 @@
+"""Clean counterpart to sim005_violations: all growth is gauged."""
+
+
+class AccountedState:
+    def __init__(self, machine):
+        self.machine = machine
+        self.edges = {}
+        self.pending = []
+        self._index = {}
+
+    def store_edge(self, key, weight):
+        self.edges[key] = weight
+        self.machine.set_gauge("edges", 3 * len(self.edges))
+
+    def stash(self, update):
+        self.pending.append(update)
+        self.machine.bump_gauge("pending", 1)
+
+    def reindex(self, key):
+        # Underscore attributes are simulator caches, exempt by design.
+        self._index[key] = len(self.edges)
+
+    def forget(self, key):
+        # Shrinking is never flagged — only growth can bust a budget.
+        self.edges.pop(key, None)
+        self.machine.set_gauge("edges", 3 * len(self.edges))
+
+
+class PlainBag:
+    """No gauges anywhere: not a space-accounted class, rule not applied."""
+
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)

@@ -1,0 +1,20 @@
+"""Seeded SIM005 violations: container growth dodging space gauges."""
+
+
+class AccountedState:
+    """Participates in space accounting (gauges), but leaks in places."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.edges = {}
+        self.pending = []
+
+    def store_edge(self, key, weight):
+        self.edges[key] = weight
+        self.machine.set_gauge("edges", 3 * len(self.edges))
+
+    def stash(self, update):
+        self.pending.append(update)  # grows state, no gauge update
+
+    def absorb(self, other):
+        self.edges.update(other)  # grows state, no gauge update

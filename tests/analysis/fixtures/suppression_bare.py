@@ -1,0 +1,15 @@
+"""Bad suppressions: bare (no reason), unknown code, and unused."""
+
+import random
+
+
+def bare(machines):
+    return random.choice(machines)  # simlint: disable=SIM003
+
+
+def unknown_code(ids):
+    return sorted(ids)  # simlint: disable=SIM999 made-up rule code
+
+
+def unused(ids):
+    return sorted(ids)  # simlint: disable=SIM001 nothing on this line sends anything

@@ -1,0 +1,15 @@
+"""Reasoned suppressions: the violations below are silenced, with a why."""
+
+import random
+
+
+def salted_sample(machines):
+    return random.sample(machines, 2)  # simlint: disable=SIM003 fixture: demonstrates a reasoned inline suppression
+
+
+def ordered_anyway(ids):
+    out = []
+    # simlint: disable=SIM003 fixture: demonstrates a standalone suppression covering the next statement
+    for i in set(ids):
+        out.append(i)
+    return sorted(out)

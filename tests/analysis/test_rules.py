@@ -1,0 +1,118 @@
+"""Per-rule unit tests over the seeded fixture files.
+
+Each rule has a positive fixture (every seeded violation must be found,
+with the right code) and a negative fixture (zero findings).  This is
+the acceptance contract of the analyzer: no silent false negatives on
+the patterns it claims to catch, no noise on the idioms the codebase
+actually uses.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.analysis.rules import ALL_RULES
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _findings(name):
+    path = os.path.join(FIXTURES, name)
+    with open(path) as f:
+        return analyze_source(f.read(), path)
+
+
+def _codes(findings):
+    return sorted({f.code for f in findings})
+
+
+@pytest.mark.parametrize("code,min_count", [
+    ("SIM001", 6),
+    ("SIM002", 4),
+    ("SIM003", 6),
+    ("SIM004", 2),
+    ("SIM005", 2),
+])
+def test_violation_fixture_is_caught(code, min_count):
+    findings = _findings(f"{code.lower()}_violations.py")
+    assert _codes(findings) == [code], findings
+    assert len(findings) >= min_count
+
+
+@pytest.mark.parametrize(
+    "code", ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+)
+def test_clean_fixture_is_silent(code):
+    assert _findings(f"{code.lower()}_clean.py") == []
+
+
+def test_rule_codes_are_stable_and_unique():
+    codes = [r.code for r in ALL_RULES]
+    assert codes == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+    assert all(r.name and r.summary for r in ALL_RULES)
+
+
+# ----------------------------------------------------------------------
+# targeted edge cases, inline
+# ----------------------------------------------------------------------
+def test_sim001_star_args_not_flagged():
+    src = "def f(net, a, kw):\n    return Message(*a, **kw)\n"
+    assert analyze_source(src) == []
+
+
+def test_sim003_sorted_set_not_flagged():
+    src = "def f(xs):\n    return [x for x in sorted(set(xs))]\n"
+    assert analyze_source(src) == []
+
+
+def test_sim003_rng_method_on_generator_not_flagged():
+    # ``rng.random()`` on a threaded Generator is the *approved* idiom.
+    src = "def f(rng):\n    return rng.random()\n"
+    assert analyze_source(src) == []
+
+
+def test_sim004_literal_tuple_loop_not_flagged():
+    src = (
+        "def f(net, a, b):\n"
+        "    for home, val in ((a, 1), (b, 2)):\n"
+        "        net.broadcast(home, val, 2)\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_sim004_while_with_inner_phase_is_annotated():
+    src = (
+        "def f(net, work):\n"
+        "    while work:\n"
+        "        with net.ledger.phase('step'):\n"
+        "            work = net.superstep(work)\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_sim005_needs_gauge_participation():
+    # A class with no gauges anywhere is not space-accounted: no findings.
+    src = (
+        "class Bag:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "    def put(self, x):\n"
+        "        self.items.append(x)\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_syntax_error_reported_as_sim000():
+    findings = analyze_source("def broken(:\n")
+    assert [f.code for f in findings] == ["SIM000"]
+    assert "does not parse" in findings[0].message
+
+
+def test_findings_are_deterministically_ordered():
+    with open(os.path.join(FIXTURES, "sim003_violations.py")) as f:
+        src = f.read()
+    first = analyze_source(src, "x.py")
+    second = analyze_source(src, "x.py")
+    assert first == second
+    assert first == sorted(first, key=lambda f: (f.path, f.line, f.col, f.code))

@@ -1,0 +1,26 @@
+"""The repo's own source must stay simlint-clean under plain ``pytest``.
+
+This is the enforcement hook: a model-compliance regression anywhere in
+``src/repro`` fails the test suite with the analyzer's own report, the
+same text a developer would see from ``python -m repro.analysis``.
+"""
+
+import os
+
+from repro.analysis import run
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_src_repro_is_simlint_clean():
+    report = run([os.path.join(REPO_ROOT, "src", "repro")])
+    assert not report.findings, "\n" + report.format_text()
+    assert report.files_checked >= 70
+
+
+def test_suppressions_in_src_are_all_used():
+    # run() already folds unused suppressions into findings as SIM000;
+    # a clean report therefore also certifies every suppression earns
+    # its keep.  Pin the current count so new ones get a second look.
+    report = run([os.path.join(REPO_ROOT, "src", "repro")])
+    assert report.suppressions_used == 7, report.format_text()

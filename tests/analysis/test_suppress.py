@@ -1,0 +1,92 @@
+"""Suppression parsing and hygiene (SIM000) semantics."""
+
+import os
+
+from repro.analysis import analyze_source
+from repro.analysis.suppress import parse_suppressions
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture(name):
+    path = os.path.join(FIXTURES, name)
+    with open(path) as f:
+        return f.read(), path
+
+
+def test_parse_reasoned_fixture():
+    src, path = _fixture("suppression_reasoned.py")
+    table = parse_suppressions(path, src)
+    assert table.errors == []
+    # Inline on line 7; standalone on line 12 also registered for line 13.
+    assert 7 in table.by_line
+    assert 12 in table.by_line and 13 in table.by_line
+    assert table.by_line[12][0] is table.by_line[13][0]
+    for sups in table.by_line.values():
+        assert all(s.reason for s in sups)
+        assert all(s.codes == ("SIM003",) for s in sups)
+
+
+def test_reasoned_suppressions_silence_and_are_counted_used():
+    src, path = _fixture("suppression_reasoned.py")
+    assert analyze_source(src, path) == []
+    table = parse_suppressions(path, src)
+    table.is_suppressed("SIM003", [7])
+    table.is_suppressed("SIM003", [13, 14])
+    assert table.unused() == []
+
+
+def test_bare_suppression_is_error_and_does_not_silence():
+    src, path = _fixture("suppression_bare.py")
+    findings = analyze_source(src, path)
+    by_code = {}
+    for f in findings:
+        by_code.setdefault(f.code, []).append(f)
+    # Bare directive -> SIM000, and the SIM003 it targeted still fires.
+    assert len(by_code["SIM000"]) == 3
+    assert len(by_code["SIM003"]) == 1
+    messages = " | ".join(f.message for f in by_code["SIM000"])
+    assert "reason" in messages  # bare: missing reason
+    assert "SIM999" in messages  # unknown code
+    assert "unused" in messages  # suppression that matched nothing
+
+
+def test_unknown_code_directive_is_error():
+    table = parse_suppressions("x.py", "x = 1  # simlint: disable=SIM999 why\n")
+    assert len(table.errors) == 1
+    assert "SIM999" in table.errors[0].message
+
+
+def test_malformed_directive_is_error():
+    table = parse_suppressions("x.py", "x = 1  # simlint: disabel=SIM001 typo\n")
+    assert len(table.errors) == 1
+
+
+def test_multiple_codes_one_directive():
+    src = (
+        "import random\n"
+        "def f(xs):\n"
+        "    return random.choice(sorted(set(xs)))"
+        "  # simlint: disable=SIM003,SIM001 fixture reason\n"
+    )
+    table = parse_suppressions("x.py", src)
+    assert table.errors == []
+    (sup,) = table.by_line[3]
+    assert sup.codes == ("SIM003", "SIM001")
+    assert analyze_source(src, "x.py") == []
+
+
+def test_unused_shared_standalone_counted_once():
+    src = (
+        "# simlint: disable=SIM001 covers nothing on either line\n"
+        "x = 1\n"
+    )
+    table = parse_suppressions("x.py", src)
+    # Registered at both its own line and the next, but reported once.
+    assert len(table.unused()) == 1
+
+
+def test_non_simlint_comments_ignored():
+    src = "x = 1  # type: ignore\ny = 2  # noqa: E501\n"
+    table = parse_suppressions("x.py", src)
+    assert table.by_line == {} and table.errors == []

@@ -1,0 +1,79 @@
+"""Determinism regression: same seed, byte-identical measurement output.
+
+Round counts in this repo *are* the experimental results, so any hidden
+source of nondeterminism (set iteration order, global RNG use, dict
+ordering across processes) silently corrupts the paper's tables.  These
+tests run a full k-machine scenario and a full MPC scenario twice from
+the same seed and require the serialized ledger + per-batch reports to
+match byte for byte.  They are the dynamic counterpart of the SIM003
+static rule.
+"""
+
+import numpy as np
+
+from repro.core import DynamicMST
+from repro.graphs import churn_stream, random_weighted_graph
+from repro.mpc import MPCDynamicMST
+
+
+def _serialize(dm) -> bytes:
+    """Everything an experiment would record, in one canonical blob."""
+    lines = [dm.net.ledger.report()]
+    for r in dm.reports:
+        details = ",".join(f"{k}={v}" for k, v in sorted(r.details.items()))
+        lines.append(
+            f"batch size={r.size} rounds={r.rounds} messages={r.messages} "
+            f"words={r.words} mode={r.mode} details[{details}]"
+        )
+    lines.append(f"msf={sorted(dm.msf_edges())!r}")
+    lines.append(f"weight={dm.total_weight()!r}")
+    lines.append(f"init_rounds={dm.init_rounds}")
+    return "\n".join(lines).encode()
+
+
+def _kmachine_scenario(seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(120, 360, rng)
+    dm = DynamicMST.build(g, k=8, rng=rng)
+    for batch in churn_stream(dm.shadow.copy(), 12, 5, rng=rng):
+        if batch:
+            dm.apply_batch(batch)
+    dm.check()
+    return _serialize(dm)
+
+
+def _mpc_scenario(seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(120, 360, rng)
+    dm = MPCDynamicMST.build(g, k=8, rng=rng)
+    for batch in churn_stream(dm.shadow.copy(), 12, 5, rng=rng):
+        if batch:
+            dm.apply_batch(batch)
+    dm.check()
+    return _serialize(dm)
+
+
+def test_kmachine_scenario_is_deterministic():
+    assert _kmachine_scenario(1234) == _kmachine_scenario(1234)
+
+
+def test_mpc_scenario_is_deterministic():
+    assert _mpc_scenario(1234) == _mpc_scenario(1234)
+
+
+def test_distinct_seeds_actually_vary():
+    # Guard against the serializer going blind: different seeds must
+    # produce different transcripts, or the equality above proves nothing.
+    assert _kmachine_scenario(1234) != _kmachine_scenario(4321)
+
+
+def test_single_update_path_is_deterministic():
+    def run(seed):
+        rng = np.random.default_rng(seed)
+        g = random_weighted_graph(60, 150, rng)
+        dm = DynamicMST.build(g, k=4, rng=rng)
+        dm.add_edge(0, 59, 0.001)
+        dm.delete_edge(0, 59)
+        return _serialize(dm)
+
+    assert run(7) == run(7)

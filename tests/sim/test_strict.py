@@ -1,0 +1,201 @@
+"""Runtime strict mode: sanitizer checks armed by ``Network(strict=True)``.
+
+These mirror the static rules at runtime: SIM001 (dishonest word
+declarations), SIM003 (hidden global-RNG entropy), and SIM002 (state
+isolation between machine programs).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import StrictModeViolation
+from repro.sim import (
+    GuardedState,
+    KMachineNetwork,
+    MachineProgram,
+    Message,
+    MPCNetwork,
+    estimate_payload_words,
+    run_programs,
+    strict_from_env,
+)
+from repro.sim.strict import EntropyGuard, check_message_words
+
+
+# ----------------------------------------------------------------------
+# configuration plumbing
+# ----------------------------------------------------------------------
+def test_strict_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_STRICT", raising=False)
+    assert KMachineNetwork(4).strict is False
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("yes", True), ("on", True),
+    ("0", False), ("false", False), ("no", False), ("", False),
+])
+def test_strict_from_env_parsing(monkeypatch, value, expected):
+    monkeypatch.setenv("REPRO_STRICT", value)
+    assert strict_from_env() is expected
+    assert KMachineNetwork(4).strict is expected
+
+
+def test_explicit_flag_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_STRICT", "1")
+    assert KMachineNetwork(4, strict=False).strict is False
+    monkeypatch.delenv("REPRO_STRICT")
+    assert MPCNetwork(4, space=64, strict=True).strict is True
+
+
+# ----------------------------------------------------------------------
+# honest word declarations
+# ----------------------------------------------------------------------
+def test_estimate_counts_distinct_scalars():
+    # ((w, u, v), u, v): 5 leaves, 3 distinct values -> one edge's worth.
+    assert estimate_payload_words(((7, 2, 5), 2, 5)) == 3
+    assert estimate_payload_words("protocol-tag") == 0
+    assert estimate_payload_words(("tag", 42)) == 1
+
+
+def test_dishonest_words_raise_in_strict_superstep():
+    net = KMachineNetwork(4, strict=True)
+    fat_payload = tuple(range(100))
+    with pytest.raises(StrictModeViolation, match="undercharged"):
+        net.superstep([Message(0, 1, fat_payload, words=1)])
+    assert net.strict_violations == 1
+
+
+def test_honest_words_pass_in_strict_superstep():
+    net = KMachineNetwork(4, strict=True)
+    inboxes = net.superstep([Message(0, 1, (7, 2, 5), words=3)])
+    assert inboxes == {1: [(0, (7, 2, 5))]}
+    assert net.strict_violations == 0
+
+
+def test_check_message_words_allows_routing_slack():
+    # Lenzen-routing envelopes add a bounded number of header scalars.
+    check_message_words(0, 1, ((10, 3), 3, 1), words=1)
+    with pytest.raises(StrictModeViolation):
+        check_message_words(0, 1, tuple(range(9)), words=3)
+
+
+def test_non_strict_network_never_checks():
+    net = KMachineNetwork(4, strict=False)
+    net.superstep([Message(0, 1, tuple(range(100)), words=1)])
+    assert net.strict_violations == 0
+
+
+# ----------------------------------------------------------------------
+# hidden entropy
+# ----------------------------------------------------------------------
+def test_entropy_guard_fires_on_global_random():
+    guard = EntropyGuard()
+    guard.check("t0")
+    random.random()
+    with pytest.raises(StrictModeViolation, match="global RNG"):
+        guard.check("t1")
+
+
+def test_entropy_guard_fires_on_numpy_legacy_rng():
+    guard = EntropyGuard()
+    np.random.rand()
+    with pytest.raises(StrictModeViolation):
+        guard.check("numpy")
+
+
+def test_entropy_guard_ignores_seeded_generators():
+    guard = EntropyGuard()
+    rng = np.random.default_rng(7)
+    rng.integers(0, 10, size=32)
+    random.Random(7).random()
+    guard.check("generators are fine")
+
+
+def test_strict_superstep_detects_rng_between_supersteps():
+    net = KMachineNetwork(4, strict=True)
+    net.superstep([Message(0, 1, 5, words=1)])
+    random.random()
+    with pytest.raises(StrictModeViolation):
+        net.superstep([Message(1, 0, 6, words=1)])
+
+
+def test_resync_entropy_forgives_sanctioned_use():
+    net = KMachineNetwork(4, strict=True)
+    net.superstep([Message(0, 1, 5, words=1)])
+    random.random()
+    net.resync_entropy()
+    net.superstep([Message(1, 0, 6, words=1)])
+    assert net.strict_violations == 0
+
+
+# ----------------------------------------------------------------------
+# state isolation
+# ----------------------------------------------------------------------
+def test_guarded_state_blocks_foreign_access():
+    class Cell:
+        mid = 0
+
+    cell = Cell()
+    state = GuardedState({"x": 1}, owner=3, active=cell)
+    with pytest.raises(StrictModeViolation, match="machine 0"):
+        state["x"]
+    cell.mid = 3
+    state["y"] = 2
+    assert state["x"] == 1 and state["y"] == 2
+    cell.mid = None  # outside any callback: driver access is allowed
+    assert dict(state) == {"x": 1, "y": 2}
+
+
+class _LeakyProgram(MachineProgram):
+    """Machine 0 pokes machine 1's state directly — a model violation."""
+
+    def __init__(self, mid, k, peers):
+        super().__init__(mid, k)
+        self.peers = peers
+
+    def on_start(self):
+        self.state["seen"] = 0
+        return [((self.mid + 1) % self.k, "hi", 1)] if self.mid == 0 else []
+
+    def on_round(self, inbox):
+        if self.mid == 0:
+            self.peers[1].state["seen"] = 99  # cross-machine write
+        self.done = True
+        return None
+
+
+class _PoliteProgram(MachineProgram):
+    def on_start(self):
+        self.state["got"] = []
+        return [((self.mid + 1) % self.k, self.mid, 1)]
+
+    def on_round(self, inbox):
+        self.state["got"].extend(payload for _, payload in inbox)
+        self.done = True
+        return None
+
+
+def test_run_programs_strict_catches_cross_machine_state():
+    net = KMachineNetwork(2, strict=True)
+    programs = []
+    programs.extend(_LeakyProgram(i, 2, programs) for i in range(2))
+    with pytest.raises(StrictModeViolation, match="machine 1's state"):
+        run_programs(net, programs)
+
+
+def test_run_programs_strict_allows_clean_protocol():
+    net = KMachineNetwork(3, strict=True)
+    programs = [_PoliteProgram(i, 3) for i in range(3)]
+    supersteps = run_programs(net, programs)
+    assert supersteps == 1
+    assert all(p.state["got"] == [(i - 1) % 3] for i, p in enumerate(programs))
+
+
+def test_run_programs_not_strict_is_unwrapped():
+    net = KMachineNetwork(2, strict=False)
+    programs = []
+    programs.extend(_LeakyProgram(i, 2, programs) for i in range(2))
+    run_programs(net, programs)  # no guard, no raise
+    assert programs[1].state["seen"] == 99
