@@ -2,9 +2,12 @@
 
 The round counts are the reproduction; this tracks how fast the
 simulator itself processes updates, against the single-machine
-sequential oracle — the price of simulating k machines faithfully.
+sequential oracle — the price of simulating k machines faithfully —
+and how much the columnar fast path (:mod:`repro.perf`) buys over the
+scalar reference engine at identical ledgers.
 """
 
+import os
 import time
 
 import numpy as np
@@ -50,3 +53,58 @@ def test_throughput_table(benchmark):
     )
     assert all(r[2] > 20 for r in rows)  # usable scale for experiments
     benchmark(_throughput, 200, 8, 8, 2)
+
+
+def _fast_vs_reference(n, k, batch, n_batches, seed=0):
+    """Same trajectory on both engines; returns (ref_ups, fast_ups, digest)."""
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, 3 * n, rng)
+    stream = list(churn_stream(g.copy(), batch, n_batches, rng=rng))
+    n_updates = sum(len(b) for b in stream)
+
+    out = []
+    digests = []
+    for fast in (False, True):
+        dm = DynamicMST.build(g, k, rng=np.random.default_rng(seed),
+                              init="free", fast=fast)
+        t0 = time.perf_counter()
+        for b in stream:
+            dm.apply_batch(b)
+        out.append(n_updates / max(time.perf_counter() - t0, 1e-9))
+        dm.check()
+        digests.append(dm.net.ledger.digest())
+    assert digests[0] == digests[1], "fast path charged a different ledger"
+    return out[0], out[1], digests[0]
+
+
+def test_fast_path_speedup_table():
+    """Columnar fast path vs scalar reference at byte-identical ledgers.
+
+    The speedup scales with *steps per structural script* (batch size),
+    not with n: both engines are linear in n, but the fast path pays a
+    fixed pack/scatter cost per script that amortises over its steps.
+    The large row is the headline: batch 64 must be >= 3x (override the
+    floor with REPRO_BENCH_MIN_SPEEDUP).
+    """
+    scenarios = (
+        ("small", 300, 8, 8, 4),
+        ("wide", 1000, 32, 32, 3),
+        ("large", 3000, 16, 64, 3),
+    )
+    rows = []
+    speedups = {}
+    for name, n, k, batch, n_batches in scenarios:
+        ref_ups, fast_ups, digest = _fast_vs_reference(n, k, batch, n_batches)
+        speedups[name] = fast_ups / ref_ups
+        rows.append((name, n, k, batch, round(ref_ups), round(fast_ups),
+                     round(speedups[name], 2), digest[:12]))
+    emit_table(
+        "fast_path_speedup",
+        "Columnar fast path vs scalar reference (identical ledger digests)",
+        ["scenario", "n", "k", "batch", "reference_ups", "fast_ups",
+         "speedup_x", "ledger_digest"],
+        rows,
+    )
+    floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+    assert speedups["large"] >= floor, (
+        f"large scenario speedup {speedups['large']:.2f}x < {floor}x")

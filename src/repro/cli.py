@@ -26,6 +26,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     else:
         g = random_weighted_graph(args.n, args.m, rng)
     dm = DynamicMST.build(g, args.k, rng=rng, init=args.init, engine=args.engine)
+    if args.profile:
+        from repro.sim.metrics import PhaseProfiler
+
+        dm.net.ledger.profiler = PhaseProfiler()
     print(f"n={args.n} m={args.m} k={args.k} engine={args.engine}")
     print(f"init: {dm.init_rounds} rounds; MSF weight {dm.total_weight():.3f}")
     for i, batch in enumerate(
@@ -36,6 +40,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"weight {dm.total_weight():.3f}")
     dm.check()
     print("consistency check passed")
+    if args.profile:
+        print(dm.net.ledger.profiler.report())
     return 0
 
 
@@ -112,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--init", choices=["distributed", "free"], default="distributed")
     demo.add_argument("--engine", default="sample_gather",
                       choices=["boruvka", "lotker", "sample_gather"])
+    demo.add_argument("--profile", action="store_true",
+                      help="print per-phase wall-time/allocation counters")
     demo.set_defaults(fn=_cmd_demo)
 
     verify = sub.add_parser("verify", help="randomized self-check vs the oracle")

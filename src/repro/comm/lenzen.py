@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_ID, Message
 from repro.sim.network import Network
+from repro.sim.plane import MessagePlane
 
 
 def _bipartite_edge_coloring(pairs: List[Tuple[int, int]]) -> List[int]:
@@ -99,23 +101,30 @@ def lenzen_route(
     msgs.sort(key=lambda m: (m.src, m.dst, repr(m.payload)))
     colours = _bipartite_edge_coloring([(m.src, m.dst) for m in msgs])
 
-    phase1: List[Message] = []
+    fast = fast_path_enabled()
+    phase1: List[Tuple[int, int, Any, int]] = []
     at_intermediate: List[Tuple[int, Message]] = []  # (intermediate, original)
     for m, c in zip(msgs, colours):
         inter = c % k
         at_intermediate.append((inter, m))
         if inter != m.src:
             # Envelope carries (dst, payload); same width + 1 id word.
-            phase1.append(Message(m.src, inter, ("fwd", m.dst, m.payload), m.words + 1))
-    net.superstep(phase1)
+            phase1.append((m.src, inter, ("fwd", m.dst, m.payload), m.words + 1))
+    if fast:
+        net.superstep_plane(MessagePlane.point_to_point(phase1))
+    else:
+        net.superstep(Message(s, d, p, w) for (s, d, p, w) in phase1)
 
-    phase2: List[Message] = []
+    phase2: List[Tuple[int, int, Any, int]] = []
     inboxes: Dict[int, List[Tuple[int, Any]]] = {}
     for inter, m in at_intermediate:
         if inter != m.dst:
-            phase2.append(Message(inter, m.dst, ("src", m.src, m.payload), m.words + 1))
+            phase2.append((inter, m.dst, ("src", m.src, m.payload), m.words + 1))
         inboxes.setdefault(m.dst, []).append((m.src, m.payload))
-    net.superstep(phase2)
+    if fast:
+        net.superstep_plane(MessagePlane.point_to_point(phase2))
+    else:
+        net.superstep(Message(s, d, p, w) for (s, d, p, w) in phase2)
     for dst in inboxes:
         inboxes[dst].sort(key=lambda sp: (sp[0], repr(sp[1])))
     return inboxes

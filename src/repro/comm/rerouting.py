@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence, Tuple
 
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_ID, Message
 from repro.sim.network import Network
+from repro.sim.plane import MessagePlane
 
 #: A broadcast request: (source machine, payload, payload width in words).
 BroadcastReq = Tuple[int, Any, int]
@@ -41,17 +43,23 @@ def scheduled_broadcasts(
     if not reqs:
         return []
     k = net.k
+    fast = fast_path_enabled()
     if announce and k > 1:
         # Step 1: every machine broadcasts its request count (1 word).
         counts: dict[int, int] = {}
         for src, _p, _w in reqs:
             counts[src] = counts.get(src, 0) + 1
-        net.superstep(
-            Message(src, dst, ("count", counts.get(src, 0)), WORDS_ID)
-            for src in counts
-            for dst in range(k)
-            if dst != src
-        )
+        if fast:
+            net.superstep_plane(MessagePlane.fanout(
+                [(src, ("count", counts[src]), WORDS_ID) for src in counts], k
+            ))
+        else:
+            net.superstep(
+                Message(src, dst, ("count", counts.get(src, 0)), WORDS_ID)
+                for src in counts
+                for dst in range(k)
+                if dst != src
+            )
     # Global order: by source machine, then local order.  Each iteration
     # hands g messages to each of the k relay machines, where g is how
     # many broadcasts a relay can emit per round in this model (1 in the
@@ -63,21 +71,27 @@ def scheduled_broadcasts(
     for base in range(0, len(ordered), k * g):
         chunk = [reqs[i] for i in ordered[base : base + k * g]]
         # Step 2a: message j of the chunk hops to relay machine j mod k.
-        hop_msgs = []
+        hops: List[Tuple[int, int, Any, int]] = []
         relay: List[Tuple[int, Any, int]] = []
         for j, (src, payload, words) in enumerate(chunk):
             target = j % k
             relay.append((target, payload, words))
             if src != target:
-                hop_msgs.append(Message(src, target, payload, words))
-        net.superstep(hop_msgs)
+                hops.append((src, target, payload, words))
+        if fast:
+            net.superstep_plane(MessagePlane.point_to_point(hops))
+        else:
+            net.superstep(Message(s, t, p, w) for (s, t, p, w) in hops)
         # Step 2b: every relay machine broadcasts its message(s).
-        net.superstep(
-            Message(j, dst, payload, words)
-            for (j, payload, words) in relay
-            for dst in range(k)
-            if dst != j
-        )
+        if fast:
+            net.superstep_plane(MessagePlane.fanout(relay, k))
+        else:
+            net.superstep(
+                Message(j, dst, payload, words)
+                for (j, payload, words) in relay
+                for dst in range(k)
+                if dst != j
+            )
         out.extend((reqs[i][0], reqs[i][1]) for i in ordered[base : base + k * g])
     return out
 

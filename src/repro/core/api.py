@@ -29,6 +29,7 @@ from repro.errors import InconsistentUpdate
 from repro.graphs.generators import RngLike, as_rng
 from repro.graphs.graph import Edge, WeightedGraph, normalize
 from repro.graphs.streams import Update
+from repro.perf.config import override_fast_path
 from repro.sim.network import KMachineNetwork
 from repro.sim.partition import VertexPartition, random_vertex_partition
 
@@ -62,6 +63,9 @@ class DynamicMST:
         self.vp = vp
         self.engine = engine
         self.rng = as_rng(rng)
+        #: Tri-state columnar-fast-path pin: True/False force it for every
+        #: operation on this instance; None defers to the process default.
+        self.fast: Optional[bool] = None
         self.shadow = graph.copy()
         self.states, self._next_tour_id = make_states(graph, vp, net)
         self.init_rounds = 0
@@ -80,28 +84,36 @@ class DynamicMST:
         init: str = "distributed",
         words_per_round: int = 1,
         vp: Optional[VertexPartition] = None,
+        fast: Optional[bool] = None,
     ) -> "DynamicMST":
         """Partition ``graph`` over ``k`` machines and build the structure.
 
         ``init="distributed"`` runs the Theorem 5.8 protocol (O(n/k +
         log n) measured rounds); ``init="free"`` installs the structure
         from the oracle without charging the ledger (for update-focused
-        benchmarks).
+        benchmarks).  ``fast`` pins the columnar fast path on (True) or
+        off (False) for this instance regardless of the process default;
+        both settings produce byte-identical ledgers (see
+        :mod:`repro.perf`).
         """
         rng = as_rng(rng)
         net = KMachineNetwork(k, words_per_round=words_per_round)
         if vp is None:
             vp = random_vertex_partition(sorted(graph.vertices()), k, rng)
         dm = cls(graph, k, vp, net, engine=engine, rng=rng)
+        dm.fast = fast
         before = net.ledger.snapshot()
-        if init == "distributed":
-            _msf, dm._next_tour_id = distributed_init(
-                net, vp, dm.states, sorted(graph.vertices()), dm._next_tour_id
-            )
-        elif init == "free":
-            _msf, dm._next_tour_id = free_init(graph, vp, dm.states, dm._next_tour_id)
-        else:
-            raise ValueError(f"unknown init mode {init!r}")
+        with override_fast_path(fast):
+            if init == "distributed":
+                _msf, dm._next_tour_id = distributed_init(
+                    net, vp, dm.states, sorted(graph.vertices()), dm._next_tour_id
+                )
+            elif init == "free":
+                _msf, dm._next_tour_id = free_init(
+                    graph, vp, dm.states, dm._next_tour_id
+                )
+            else:
+                raise ValueError(f"unknown init mode {init!r}")
         dm.init_rounds = net.ledger.since(before).rounds
         return dm
 
@@ -131,6 +143,10 @@ class DynamicMST:
 
     def apply_batch(self, batch: Sequence[Update]) -> BatchReport:
         """Apply a mixed batch: deletions first (§6.2), then additions (§6.1)."""
+        with override_fast_path(self.fast):
+            return self._apply_batch(batch)
+
+    def _apply_batch(self, batch: Sequence[Update]) -> BatchReport:
         adds, dels = self._validate_batch(batch)
         before = self.net.ledger.snapshot()
         details: Dict[str, int] = {}
@@ -160,6 +176,10 @@ class DynamicMST:
 
     def apply_one_at_a_time(self, batch: Sequence[Update]) -> BatchReport:
         """Baseline: process a batch as individual §5.4 updates."""
+        with override_fast_path(self.fast):
+            return self._apply_one_at_a_time(batch)
+
+    def _apply_one_at_a_time(self, batch: Sequence[Update]) -> BatchReport:
         adds, dels = self._validate_batch(batch)
         before = self.net.ledger.snapshot()
         for (u, v) in dels:
@@ -236,8 +256,7 @@ class DynamicMST:
             s2.tracked.discard(x)
             s2.witness.pop(x, None)
             s2.tour_of.pop(x, None)
-        del self.vp.machine_of[x]
-        self.vp.vertices_of[home].remove(x)
+        self.vp.remove_vertex(x)
         self._prune_tours()
         return report
 

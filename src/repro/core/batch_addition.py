@@ -39,6 +39,8 @@ from repro.core.scripts import run_structural_batch, _repair_witnesses
 from repro.core.state import MachineState
 from repro.errors import InconsistentUpdate
 from repro.graphs.graph import normalize
+from repro.perf.config import fast_path_enabled
+from repro.perf.steiner import m_prime_members, steiner_degrees
 from repro.sim.message import WORDS_EDGE, WORDS_ID, WORDS_UPDATE
 from repro.sim.network import Network
 from repro.sim.partition import VertexPartition
@@ -94,8 +96,18 @@ def batch_add(
         entries.sort()
 
     # Step 3: B-anchors — a home machine checks each of its own vertices.
+    # Fast path: the incident-M′ degree of every vertex of a tour falls
+    # out of one batched membership pass (repro.perf.steiner) instead of
+    # per-vertex bisect loops; the counted edge sets are identical.
+    use_fast = fast_path_enabled()
+    eligible = {
+        tid: entries
+        for tid, entries in a_entries_by_tour.items()
+        if len(entries) >= 2
+    }
     b_reqs = []
     for st in states:
+        deg_map = steiner_degrees(st, eligible) if use_fast else None
         for x in sorted(st.vertices):
             if x in a_anchors:
                 continue
@@ -103,11 +115,14 @@ def batch_add(
             entries = a_entries_by_tour.get(tid)
             if not entries or len(entries) < 2:
                 continue
-            deg = sum(
-                1
-                for e in st.incident_mst(x)
-                if e.tour == tid and in_m_prime(e.labels(), entries)
-            )
+            if deg_map is not None:
+                deg = deg_map.get(x, 0)
+            else:
+                deg = sum(
+                    1
+                    for e in st.incident_mst(x)
+                    if e.tour == tid and in_m_prime(e.labels(), entries)
+                )
             if deg >= 3:
                 interval = st.parent_interval(x)
                 if interval is None:
@@ -133,15 +148,28 @@ def batch_add(
         paths_by_tour.setdefault(p.tour, []).append(p)
     for st in states:
         best: Dict[Tuple[int, int], Tuple] = {}
-        for ete in st.mst.values():
-            tour_paths = paths_by_tour.get(ete.tour)
-            if not tour_paths:
-                continue
-            labels = ete.labels()
-            entries = a_entries_by_tour[ete.tour]  # kept sorted above
-            if not in_m_prime(labels, entries, assume_sorted=True):
-                continue
-            for p in tour_paths:
+        if use_fast:
+            # Batched membership first; only the Steiner slice reaches
+            # the per-edge path matching below.
+            members = [
+                (ete, labels)
+                for tid in paths_by_tour
+                for (ete, labels) in m_prime_members(
+                    st, tid, a_entries_by_tour[tid]
+                )
+            ]
+        else:
+            members = []
+            for ete in st.mst.values():
+                tour_paths = paths_by_tour.get(ete.tour)
+                if not tour_paths:
+                    continue
+                labels = ete.labels()
+                entries = a_entries_by_tour[ete.tour]  # kept sorted above
+                if in_m_prime(labels, entries, assume_sorted=True):
+                    members.append((ete, labels))
+        for ete, labels in members:
+            for p in paths_by_tour[ete.tour]:
                 if p.matches_interval(labels):
                     cand = (ete.key, ete.u, ete.v)
                     cur = best.get(p.query_id)

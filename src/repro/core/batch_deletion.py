@@ -40,6 +40,7 @@ from repro.euler.brackets import BracketComponents
 from repro.euler.tour import ETEdge
 from repro.graphs.generators import RngLike
 from repro.graphs.graph import normalize
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import (
     WORDS_COMPONENT_EDGE,
     WORDS_ET_EDGE,
@@ -114,16 +115,44 @@ def batch_delete(
             return None
         w = st.witness.get(x)
         if w is None:
-            raise ProtocolError(f"machine {st.mid}: no witness for {x} in split tour")
+            raise ProtocolError(
+                f"machine {st.mid}: no witness for {x} in split tour"
+            )
         return comp_base[tid] + brackets[tid].component_of_vertex(w, x)
+
+    # Fast path: batch the bracket search over every queried vertex of a
+    # machine (repro.perf.components); undecidable rows fall back to the
+    # scalar comp_of, so values and error behaviour match the reference.
+    use_fast = fast_path_enabled()
+    if use_fast:
+        from repro.perf.components import (
+            SCALAR_FALLBACK,
+            machine_component_map,
+            tour_interval_arrays,
+        )
+
+        interval_arrays = tour_interval_arrays(brackets)
 
     # Steps 2–3: label candidate edges, machine-local cycle deletion.
     local: List[List[Tuple[Tuple[int, int], Tuple, Tuple]]] = []
     n_candidates = 0
     for st in states:
+        cmap = (
+            machine_component_map(st, brackets, comp_base, interval_arrays)
+            if use_fast
+            else None
+        )
         cands: List[CCEdge] = []
         for (x, y), w in sorted(st.graph_edges.items()):
-            cx, cy = comp_of(st, x), comp_of(st, y)
+            if cmap is None:
+                cx, cy = comp_of(st, x), comp_of(st, y)
+            else:
+                cx = cmap[x]
+                if cx is SCALAR_FALLBACK:
+                    cx = comp_of(st, x)
+                cy = cmap[y]
+                if cy is SCALAR_FALLBACK:
+                    cy = comp_of(st, y)
             if cx is None and cy is None:
                 continue
             if cx is None or cy is None:

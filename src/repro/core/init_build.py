@@ -125,6 +125,16 @@ def free_init(
     offset = next_tour_id
     remap = {t: offset + t for t in ef.tour_size}
 
+    # Min-key incident MST edge per vertex, computed once: the witness
+    # fallback below would otherwise rescan every oracle edge for every
+    # tracked neighbour on every machine (O(tracked · |MSF|)).
+    best_incident: Dict[int, ETEdge] = {}
+    for e in ef.edges.values():
+        for x in (e.u, e.v):
+            cur = best_incident.get(x)
+            if cur is None or e.key < cur.key:
+                best_incident[x] = e
+
     for st in states:
         for (u, v), w in st.graph_edges.items():
             ete = ef.edges.get((u, v))
@@ -144,9 +154,8 @@ def free_init(
                 # Any incident MST edge this machine happens to hold; if
                 # none, copy from the oracle (the home machine would have
                 # broadcast it during a real init).
-                cands = [e for e in ef.edges.values() if x in (e.u, e.v)]
-                if cands:
-                    e = min(cands, key=lambda e: e.key)
+                e = best_incident.get(x)
+                if e is not None:
                     st.witness[x] = ETEdge(e.u, e.v, e.weight, e.t_uv, e.t_vu, remap[e.tour])
                 else:
                     st.witness[x] = None

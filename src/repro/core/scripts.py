@@ -42,6 +42,7 @@ from repro.euler.labels import (
 from repro.euler.tour import ETEdge
 from repro.core.state import MachineState
 from repro.graphs.graph import normalize
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_ET_EDGE, WORDS_ID
 from repro.sim.network import Network
 from repro.sim.partition import VertexPartition
@@ -401,6 +402,12 @@ def run_structural_batch(
     |links|) broadcasts in O(1) dependency sets → O((|cuts|+|links|)/k + 1)
     rounds, measured on ``net.ledger``.
     """
+    if fast_path_enabled():
+        from repro.perf.columnar import run_structural_batch_columnar
+
+        return run_structural_batch_columnar(
+            net, vp, states, cuts, links, next_tour_id
+        )
     if cuts:
         params = _collect_cut_params(net, vp, states, cuts)
         script, next_tour_id = build_cut_script(params, next_tour_id)

@@ -25,6 +25,7 @@ from repro.euler.labels import reroot_label
 from repro.euler.predicates import side_of_cut
 from repro.euler.tour import ETEdge
 from repro.graphs.graph import normalize
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_EDGE, WORDS_ET_EDGE, WORDS_ID, WORDS_UPDATE
 from repro.sim.network import Network
 from repro.sim.partition import VertexPartition
@@ -44,15 +45,21 @@ def run_reroot(
         return
     d = home.outgoing_value(x)
     net.broadcast(vp.home(x), ("reroot", tid, d), WORDS_ID * 2)
-    for st in states:
-        for ete in st.mst.values():
-            if ete.tour == tid:
-                ete.t_uv = reroot_label(ete.t_uv, d, size)
-                ete.t_vu = reroot_label(ete.t_vu, d, size)
-        for w in st.witness.values():
-            if w is not None and w.tour == tid:
-                w.t_uv = reroot_label(w.t_uv, d, size)
-                w.t_vu = reroot_label(w.t_vu, d, size)
+    if fast_path_enabled():
+        from repro.perf.columnar import reroot_machine_labels
+
+        for st in states:
+            reroot_machine_labels(st, tid, d, size)
+    else:
+        for st in states:
+            for ete in st.mst.values():
+                if ete.tour == tid:
+                    ete.t_uv = reroot_label(ete.t_uv, d, size)
+                    ete.t_vu = reroot_label(ete.t_vu, d, size)
+            for w in st.witness.values():
+                if w is not None and w.tour == tid:
+                    w.t_uv = reroot_label(w.t_uv, d, size)
+                    w.t_vu = reroot_label(w.t_vu, d, size)
 
 
 def single_add(

@@ -128,6 +128,23 @@ class MachineState:
     def mst_keys_in_tour(self, tid: int) -> List[Tuple[int, int]]:
         return list(self._mst_by_tour.get(tid, ()))
 
+    def replace_tour_groups(
+        self,
+        stale: Iterable[int],
+        groups: Dict[int, Set[Tuple[int, int]]],
+    ) -> None:
+        """Swap the tour-index buckets of the affected tours (columnar scatter).
+
+        The caller guarantees ``groups`` regroups, by current ``tour``
+        field, exactly the MST edges whose pre-batch tour was in
+        ``stale`` — i.e. after dropping the stale buckets and merging
+        ``groups``, the index equals what :meth:`rebuild_indexes` would
+        recompute from scratch.
+        """
+        for tid in stale:
+            self._mst_by_tour.pop(tid, None)
+        self._mst_by_tour.update(groups)
+
     def rebuild_indexes(self) -> None:
         """Recompute the acceleration indexes from self.mst (restore path)."""
         self._mst_by_vertex = {}

@@ -62,6 +62,36 @@ def join_m2_labels(labels: np.ndarray, spec: JoinSpec) -> np.ndarray:
     return spec.a + 1 + ((labels - spec.b) % spec.size2)
 
 
+def innermost_intervals(
+    starts: np.ndarray, ends: np.ndarray, parents: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``BracketComponents._innermost`` over a label array.
+
+    ``starts``/``ends``/``parents`` describe the sorted, properly nesting
+    deleted intervals of one tour (§6.2, Figure 4); the result holds, per
+    label, the index of the innermost interval strictly containing it, or
+    ``-1`` for the outer region.  Labels must be valid survivors (inside
+    the tour, not deleted) — the callers validate before dispatching here.
+    """
+    idx = np.searchsorted(starts, labels, side="right") - 1
+    # Walk parents while the candidate interval closes at or before the
+    # label.  Nesting depth bounds the iteration count (≤ #intervals).
+    for _ in range(len(starts)):
+        active = idx >= 0
+        if not bool(active.any()):
+            break
+        step = np.zeros_like(active)
+        step[active] = ends[idx[active]] <= labels[active]
+        if not bool(step.any()):
+            break
+        idx[step] = parents[idx[step]]
+    # A label equal to an interval's start belongs to the region outside it.
+    at_start = idx >= 0
+    at_start[at_start] = starts[idx[at_start]] == labels[at_start]
+    idx[at_start] = parents[idx[at_start]]
+    return idx
+
+
 def apply_split_inplace(
     t_uv: np.ndarray, t_vu: np.ndarray, tours: np.ndarray, spec: SplitSpec
 ) -> None:

@@ -1,0 +1,108 @@
+"""Batched §6.2 component labelling for the deletion candidate scan.
+
+Step 2 of :func:`repro.core.batch_deletion.batch_delete` asks, for every
+endpoint of every surviving graph edge, which bracket component the
+vertex fell into.  The reference path answers one vertex at a time with
+:meth:`repro.euler.brackets.BracketComponents.component_of_vertex` —
+a bisect plus a parent walk per call, and the single hottest scalar loop
+of a deletion batch.
+
+This module precomputes the answer for *all* queried vertices of one
+machine in a few NumPy passes: group the vertices by affected tour, feed
+their witnesses' lower labels through
+:func:`repro.euler.vectorized.innermost_intervals`, and add the tour's
+component base.  Rows the kernel cannot decide — a missing witness, a
+witness that *is* a deleted edge (Figure 4's boundary-value rule), or a
+label the scalar validator would reject — are marked
+:data:`SCALAR_FALLBACK` so the caller re-derives them with the scalar
+``comp_of``, keeping both the values and the error behaviour (message
+text *and* raise order) identical to the reference scan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.euler.vectorized import innermost_intervals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.state import MachineState
+    from repro.euler.brackets import BracketComponents
+
+#: Marker: this vertex must be resolved by the scalar ``comp_of`` (which
+#: may legitimately raise — e.g. a missing witness in a split tour).
+SCALAR_FALLBACK = object()
+
+_TourArrays = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def tour_interval_arrays(
+    brackets: Mapping[int, "BracketComponents"],
+) -> Dict[int, _TourArrays]:
+    """Array form (starts, ends, parents, sorted deleted labels) per tour."""
+    out: Dict[int, _TourArrays] = {}
+    for tid, bc in brackets.items():
+        starts = np.array([a for a, _ in bc.intervals], dtype=np.int64)
+        ends = np.array([b for _, b in bc.intervals], dtype=np.int64)
+        parents = np.array(bc.parent, dtype=np.int64)
+        deleted = np.sort(np.concatenate((starts, ends)))
+        out[tid] = (starts, ends, parents, deleted)
+    return out
+
+
+def machine_component_map(
+    state: "MachineState",
+    brackets: Mapping[int, "BracketComponents"],
+    comp_base: Mapping[int, int],
+    arrays: Mapping[int, _TourArrays],
+) -> Dict[int, object]:
+    """Component of every graph-edge endpoint of ``state``, batched.
+
+    Returns ``{x: component | None | SCALAR_FALLBACK}`` covering exactly
+    the endpoints of ``state.graph_edges``; ``None`` means x's tour is
+    unaffected (same meaning as the scalar ``comp_of``).
+    """
+    out: Dict[int, object] = {}
+    by_tid: Dict[int, List[Tuple[int, object]]] = {}
+    tour_of = state.tour_of
+    witness = state.witness
+    for pair in state.graph_edges:
+        for x in pair:
+            if x in out:
+                continue
+            tid = tour_of.get(x)
+            if tid not in brackets:
+                out[x] = None
+                continue
+            w = witness.get(x)
+            if w is None:
+                out[x] = SCALAR_FALLBACK
+                continue
+            out[x] = SCALAR_FALLBACK  # provisional; overwritten below
+            by_tid.setdefault(tid, []).append((x, w))
+    for tid, rows in by_tid.items():
+        starts, ends, parents, deleted = arrays[tid]
+        base = comp_base[tid]
+        size = brackets[tid].size
+        t1 = np.array([w.t_uv for (_x, w) in rows], dtype=np.int64)
+        t2 = np.array([w.t_vu for (_x, w) in rows], dtype=np.int64)
+        wmin = np.minimum(t1, t2)
+        # The scalar path resolves a surviving witness through its lower
+        # label alone (``component_of_label(labels[0])``), so only that
+        # label's validity matters here.
+        bad = (wmin < 0) | (wmin >= size)
+        pos = np.searchsorted(deleted, wmin)
+        in_rng = pos < deleted.size
+        hit = np.zeros(wmin.shape, dtype=bool)
+        hit[in_rng] = deleted[pos[in_rng]] == wmin[in_rng]
+        bad |= hit  # deleted-edge witnesses and corrupt labels alike
+        good_idx = np.flatnonzero(~bad)
+        if good_idx.size:
+            comps = innermost_intervals(starts, ends, parents, wmin[good_idx])
+            for j, c in zip(good_idx.tolist(), comps.tolist()):
+                out[rows[j][0]] = base + c + 1
+        for j in np.flatnonzero(bad).tolist():
+            out[rows[j][0]] = SCALAR_FALLBACK
+    return out

@@ -1,0 +1,65 @@
+"""Batched M′ membership tests for the §6.1 addition protocol.
+
+Steps 3 and 5 of :func:`repro.core.batch_addition.batch_add` test every
+local MST edge of an affected tour for membership in the Steiner tree M′
+(:func:`repro.core.decomposition.in_m_prime` — two bisects per edge).
+The reference path runs the test edge by edge; these helpers run it for
+a whole tour at once with two ``np.searchsorted`` calls and hand back
+only the members, so the per-edge Python work that remains (path
+matching, degree counting) touches the small Steiner slice instead of
+the whole machine.  The membership predicate is evaluated on the exact
+same ``(e_min, e_max, sorted entries)`` inputs as the scalar function,
+so the surviving edge sets are identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.state import MachineState
+    from repro.euler.tour import ETEdge
+
+
+def m_prime_members(
+    state: "MachineState", tid: int, entries: Sequence[int]
+) -> List[Tuple["ETEdge", Tuple[int, int]]]:
+    """This tour's M′-member MST edges as ``(ete, (e_min, e_max))`` rows.
+
+    ``entries`` must be the tour's sorted A-entry values (the protocols
+    keep them sorted), matching ``in_m_prime(..., assume_sorted=True)``.
+    """
+    keys = sorted(state.mst_keys_in_tour(tid))
+    if not keys or len(entries) < 2:
+        return []
+    mst = state.mst
+    etes = [mst[k] for k in keys]
+    t1 = np.array([e.t_uv for e in etes], dtype=np.int64)
+    t2 = np.array([e.t_vu for e in etes], dtype=np.int64)
+    lo = np.minimum(t1, t2)
+    hi = np.maximum(t1, t2)
+    ent = np.asarray(entries, dtype=np.int64)
+    cnt = np.searchsorted(ent, hi, side="right") - np.searchsorted(ent, lo, side="left")
+    member = (cnt >= 1) & (cnt <= len(entries) - 1)
+    lo_l = lo.tolist()
+    hi_l = hi.tolist()
+    return [(etes[i], (lo_l[i], hi_l[i])) for i in np.flatnonzero(member).tolist()]
+
+
+def steiner_degrees(
+    state: "MachineState", eligible: Mapping[int, Sequence[int]]
+) -> Dict[int, int]:
+    """Per-vertex count of incident M′ edges, over all eligible tours.
+
+    Counts both endpoints of every member edge; the caller filters to
+    the vertices it cares about (B-anchor candidates are owned, non-A
+    vertices) — extra keys are harmless.
+    """
+    deg: Dict[int, int] = {}
+    for tid, entries in eligible.items():
+        for ete, _labels in m_prime_members(state, tid, entries):
+            deg[ete.u] = deg.get(ete.u, 0) + 1
+            deg[ete.v] = deg.get(ete.v, 0) + 1
+    return deg

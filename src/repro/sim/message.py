@@ -25,9 +25,14 @@ WORDS_UPDATE = 4
 WORDS_COMPONENT_EDGE = 5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """A point-to-point message inside one communication super-step."""
+    """A point-to-point message inside one communication super-step.
+
+    ``slots=True`` drops the per-instance ``__dict__``: the reference
+    path allocates one ``Message`` per (src, dst) word batch, so the
+    layout matters at bench scales (measured by ``tools/bench_run.py``).
+    """
 
     src: int
     dst: int

@@ -3,13 +3,28 @@
 Every communication super-step reports its cost here.  The benchmark
 harness reads ledgers to regenerate the paper's complexity claims, so the
 ledger is the single source of truth for "how many rounds did that take".
+
+Two instrumentation hooks ride along:
+
+* the **charge transcript** — every ``charge`` call is appended to
+  ``transcript`` as a ``(rounds, messages, words)`` tuple, and
+  :meth:`Ledger.digest` hashes it.  Two runs are *ledger-equivalent* iff
+  their digests match: same charges, same order, byte for byte.  This is
+  the contract the columnar fast path (:mod:`repro.perf`) is held to.
+* the **phase profiler** — attach a :class:`PhaseProfiler` to
+  ``ledger.profiler`` and every ``ledger.phase(...)`` block additionally
+  records wall time and allocation counts (``sys.getallocatedblocks``
+  deltas), surfaced by the ``--profile`` CLI flag and the bench harness.
 """
 
 from __future__ import annotations
 
+import hashlib
+import sys
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -36,6 +51,56 @@ class PhaseStats:
         )
 
 
+@dataclass
+class ProfileStats:
+    """Wall-clock and allocation cost of one named phase (inclusive)."""
+
+    wall_s: float = 0.0
+    alloc_blocks: int = 0
+    calls: int = 0
+
+    def add(self, wall_s: float, alloc_blocks: int) -> None:
+        self.wall_s += wall_s
+        self.alloc_blocks += alloc_blocks
+        self.calls += 1
+
+
+class PhaseProfiler:
+    """Lightweight per-phase wall-time / allocation counters.
+
+    Attached to a :class:`Ledger` (``ledger.profiler = PhaseProfiler()``)
+    it samples ``time.perf_counter`` and ``sys.getallocatedblocks`` around
+    every ``ledger.phase(...)`` block.  Nested phases each record their
+    own inclusive cost.  Overhead is two clock reads per phase — cheap
+    enough to leave on for whole benchmark runs.
+    """
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, ProfileStats] = {}
+
+    def record(self, name: str, wall_s: float, alloc_blocks: int) -> None:
+        self.phases.setdefault(name, ProfileStats()).add(wall_s, alloc_blocks)
+
+    def report(self) -> str:
+        lines = ["phase                         wall_s    allocs    calls"]
+        for name in sorted(self.phases, key=lambda n: -self.phases[n].wall_s):
+            s = self.phases[name]
+            lines.append(
+                f"{name:<28} {s.wall_s:>8.3f} {s.alloc_blocks:>9d} {s.calls:>8d}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {
+                "wall_s": s.wall_s,
+                "alloc_blocks": float(s.alloc_blocks),
+                "calls": float(s.calls),
+            }
+            for name, s in self.phases.items()
+        }
+
+
 class Ledger:
     """Accumulates communication cost, optionally split by nested phases."""
 
@@ -45,6 +110,10 @@ class Ledger:
         self.words = 0
         self.phases: Dict[str, PhaseStats] = {}
         self._phase_stack: List[str] = []
+        #: Ordered record of every charge — the equivalence contract.
+        self.transcript: List[Tuple[int, int, int]] = []
+        #: Optional wall-time/allocation profiler fed by :meth:`phase`.
+        self.profiler: Optional[PhaseProfiler] = None
 
     # ------------------------------------------------------------------
     def charge(self, rounds: int, messages: int = 0, words: int = 0) -> None:
@@ -53,17 +122,42 @@ class Ledger:
         self.rounds += rounds
         self.messages += messages
         self.words += words
+        self.transcript.append((rounds, messages, words))
         for name in self._phase_stack:
             self.phases.setdefault(name, PhaseStats()).add(rounds, messages, words)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Attribute all charges inside the block to ``name`` (nestable)."""
+        profiler = self.profiler
+        if profiler is not None:
+            # simlint: disable=SIM003 profiling instrumentation only; wall time never feeds back into round accounting
+            t0 = time.perf_counter()
+            a0 = sys.getallocatedblocks()
         self._phase_stack.append(name)
         try:
             yield
         finally:
             self._phase_stack.pop()
+            if profiler is not None:
+                profiler.record(
+                    name,
+                    # simlint: disable=SIM003 profiling instrumentation only; wall time never feeds back into round accounting
+                    time.perf_counter() - t0,
+                    sys.getallocatedblocks() - a0,
+                )
+
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over the charge transcript (order-sensitive).
+
+        Two protocol runs with equal digests made byte-identical charge
+        sequences — the strongest form of "same rounds/messages/words".
+        """
+        h = hashlib.sha256()
+        for rounds, messages, words in self.transcript:
+            h.update(f"{rounds},{messages},{words};".encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> "LedgerSnapshot":
@@ -81,6 +175,7 @@ class Ledger:
         self.messages = 0
         self.words = 0
         self.phases.clear()
+        self.transcript.clear()
 
     def report(self) -> str:
         lines = [f"total: rounds={self.rounds} messages={self.messages} words={self.words}"]

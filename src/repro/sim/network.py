@@ -18,10 +18,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import BandwidthExceeded, StrictModeViolation
 from repro.sim.machine import Machine
 from repro.sim.message import Message
 from repro.sim.metrics import Ledger
+from repro.sim.plane import MessagePlane
 from repro.sim.strict import EntropyGuard, check_message_words, strict_from_env
 
 
@@ -107,11 +110,66 @@ class Network:
             inboxes.setdefault(m.dst, []).append((m.src, m.payload))
         return inboxes
 
+    def superstep_plane(self, plane: MessagePlane) -> Dict[int, List[Tuple[int, Any]]]:
+        """Columnar twin of :meth:`superstep`: same charges, array math.
+
+        Per-pair loads, ingress/egress gauges and message/word totals are
+        computed with ``np.bincount`` instead of a Python accumulation
+        loop, then fed through the **same** ``rounds_for_load`` — so the
+        ledger's charge transcript is byte-identical to delivering the
+        equivalent ``Message`` list.  Returns the same sorted inboxes.
+        """
+        n = len(plane)
+        if n == 0:
+            return {}
+        if self.strict:
+            self._strict_pre_plane(plane)
+        src, dst, words = plane.src, plane.dst, plane.words
+        bad = (src < 0) | (src >= self.k) | (dst < 0) | (dst >= self.k)
+        if bool(bad.any()):
+            i = int(np.argmax(bad))
+            offender = int(src[i]) if not 0 <= int(src[i]) < self.k else int(dst[i])
+            raise BandwidthExceeded(f"machine id {offender} outside [0, {self.k})")
+        pair = src * self.k + dst
+        loads = np.bincount(pair, weights=words)
+        nonzero = np.flatnonzero(loads)
+        pair_words: Dict[Tuple[int, int], int] = {
+            (int(p) // self.k, int(p) % self.k): int(loads[p]) for p in nonzero
+        }
+        n_words = int(words.sum())
+        in_words = np.bincount(dst, weights=words, minlength=self.k)
+        out_words = np.bincount(src, weights=words, minlength=self.k)
+        for m in np.flatnonzero(in_words).tolist():
+            self.ingress_words[m] += int(in_words[m])
+        for m in np.flatnonzero(out_words).tolist():
+            self.egress_words[m] += int(out_words[m])
+        rounds = self.rounds_for_load(pair_words)
+        if self.strict and n_words > 0 and rounds < 1:
+            self._strict_violation(
+                f"superstep moved {n_words} word(s) but "
+                f"{type(self).__name__}.rounds_for_load charged {rounds} rounds"
+            )
+        self.ledger.charge(rounds, n, n_words)
+        inboxes: Dict[int, List[Tuple[int, Any]]] = {}
+        payloads = plane.payloads
+        src_list = src.tolist()
+        dst_list = dst.tolist()
+        for i in np.lexsort((src, dst)).tolist():
+            inboxes.setdefault(dst_list[i], []).append((src_list[i], payloads[i]))
+        return inboxes
+
     def broadcast(self, src: int, payload: Any, words: int) -> None:
         """One machine sends the same ``words`` over all its links."""
-        self.superstep(
-            Message(src, dst, payload, words) for dst in range(self.k) if dst != src
-        )
+        from repro.perf.config import fast_path_enabled
+
+        if fast_path_enabled():
+            self.superstep_plane(MessagePlane.fanout([(src, payload, words)], self.k))
+        else:
+            self.superstep(
+                Message(src, dst, payload, words)
+                for dst in range(self.k)
+                if dst != src
+            )
 
     def charge_rounds(self, rounds: int) -> None:
         """Charge rounds with no messages (e.g. synchronization barriers)."""
@@ -137,6 +195,24 @@ class Network:
         for m in msgs:
             try:
                 check_message_words(m.src, m.dst, m.payload, m.words)
+            except StrictModeViolation:
+                self.strict_violations += 1
+                raise
+
+    def _strict_pre_plane(self, plane: MessagePlane) -> None:
+        guard = self._entropy_guard
+        if guard is not None:
+            try:
+                guard.check("this superstep")
+            except StrictModeViolation:
+                self.strict_violations += 1
+                raise
+        src = plane.src.tolist()
+        dst = plane.dst.tolist()
+        words = plane.words.tolist()
+        for i, payload in enumerate(plane.payloads):
+            try:
+                check_message_words(src[i], dst[i], payload, words[i])
             except StrictModeViolation:
                 self.strict_violations += 1
                 raise

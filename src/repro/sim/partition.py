@@ -20,11 +20,24 @@ from repro.graphs.graph import WeightedGraph
 
 @dataclass
 class VertexPartition:
-    """Assignment of vertices to machines in the random-vertex-partition model."""
+    """Assignment of vertices to machines in the random-vertex-partition model.
+
+    ``edge_machines`` is a hot lookup (every graph edge consults it on
+    every routing decision), so its results are memoized.  The cache is
+    invalidation-safe: it is keyed to ``len(machine_of)``, so any
+    size-changing mutation of the assignment — :meth:`add_vertex`,
+    :meth:`remove_vertex`, or even a direct ``del`` — flushes it before
+    the next lookup.  (Reassigning an existing vertex in place is not a
+    supported operation anywhere in the codebase.)
+    """
 
     k: int
     machine_of: Dict[int, int]
     vertices_of: List[List[int]] = field(default_factory=list)
+    _edge_cache: Dict[Tuple[int, int], Tuple[int, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _cache_len: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.vertices_of:
@@ -38,14 +51,29 @@ class VertexPartition:
 
     def edge_machines(self, u: int, v: int) -> Tuple[int, ...]:
         """The (one or two) machines storing edge (u, v)."""
-        mu, mv = self.machine_of[u], self.machine_of[v]
-        return (mu,) if mu == mv else (mu, mv)
+        if len(self.machine_of) != self._cache_len:
+            self._edge_cache.clear()
+            self._cache_len = len(self.machine_of)
+        key = (u, v) if u <= v else (v, u)
+        got = self._edge_cache.get(key)
+        if got is None:
+            mu, mv = self.machine_of[u], self.machine_of[v]
+            got = (mu,) if mu == mv else (mu, mv)
+            self._edge_cache[key] = got
+        return got
 
     def add_vertex(self, v: int, machine: int) -> None:
         if v in self.machine_of:
             raise ValueError(f"vertex {v} already placed")
         self.machine_of[v] = machine
         self.vertices_of[machine].append(v)
+
+    def remove_vertex(self, v: int) -> None:
+        """Unplace ``v`` and flush the edge-machine cache."""
+        machine = self.machine_of.pop(v)
+        self.vertices_of[machine].remove(v)
+        self._edge_cache.clear()
+        self._cache_len = len(self.machine_of)
 
 
 def random_vertex_partition(

@@ -1,0 +1,120 @@
+"""Columnar message batches: one superstep as NumPy arrays.
+
+A :class:`MessagePlane` is the columnar twin of a list of
+:class:`~repro.sim.message.Message` objects: parallel ``src``/``dst``/
+``words`` ``int64`` arrays plus an aligned payload list.  It exists so
+hot communication patterns (broadcast fan-outs, relay hops) can skip the
+per-word Python object churn of the reference path while charging the
+**exact same ledger**: :meth:`Network.superstep_plane
+<repro.sim.network.Network.superstep_plane>` computes per-pair loads
+with ``np.bincount`` and then routes the result through the same
+``rounds_for_load`` as the per-``Message`` path, so the charge
+transcript is byte-identical by construction.
+
+Validation mirrors ``Message.__post_init__`` (no self-messages, positive
+word counts) at plane construction time, and strict mode runs the same
+per-message honesty checks as the reference path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.sim.message import Message
+
+IntArray = Any  # np.ndarray[int64]; kept loose for the strict-typed sim layer
+
+
+class MessagePlane:
+    """A batch of point-to-point messages in columnar (structure-of-arrays) form."""
+
+    __slots__ = ("src", "dst", "words", "payloads")
+
+    def __init__(
+        self,
+        src: IntArray,
+        dst: IntArray,
+        words: IntArray,
+        payloads: Sequence[Any],
+    ) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.words = np.asarray(words, dtype=np.int64)
+        n = len(self.src)
+        if len(self.dst) != n or len(self.words) != n or len(payloads) != n:
+            raise ValueError("plane columns must have equal length")
+        self.payloads: List[Any] = list(payloads)
+        if n:
+            # Same contract as Message.__post_init__, checked columnar-ly.
+            if bool((self.words <= 0).any()):
+                raise ValueError("message size must be positive")
+            if bool((self.src == self.dst).any()):
+                raise ValueError("self-messages are free; do not send them")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "MessagePlane":
+        zero = np.empty(0, dtype=np.int64)
+        return cls(zero, zero.copy(), zero.copy(), [])
+
+    @classmethod
+    def from_messages(cls, messages: Iterable[Message]) -> "MessagePlane":
+        msgs = list(messages)
+        return cls(
+            np.fromiter((m.src for m in msgs), dtype=np.int64, count=len(msgs)),
+            np.fromiter((m.dst for m in msgs), dtype=np.int64, count=len(msgs)),
+            np.fromiter((m.words for m in msgs), dtype=np.int64, count=len(msgs)),
+            [m.payload for m in msgs],
+        )
+
+    @classmethod
+    def point_to_point(
+        cls, triples: Sequence[Any]
+    ) -> "MessagePlane":
+        """Build from ``(src, dst, payload, words)`` tuples."""
+        return cls(
+            np.fromiter((t[0] for t in triples), dtype=np.int64, count=len(triples)),
+            np.fromiter((t[1] for t in triples), dtype=np.int64, count=len(triples)),
+            np.fromiter((t[3] for t in triples), dtype=np.int64, count=len(triples)),
+            [t[2] for t in triples],
+        )
+
+    @classmethod
+    def fanout(
+        cls, requests: Sequence[Any], k: int
+    ) -> "MessagePlane":
+        """All-destination broadcasts: ``(src, payload, words)`` requests.
+
+        Each request becomes ``k - 1`` messages (one per machine except
+        the source) — the exact multiset the reference path's generator
+        expressions produce, without materializing ``Message`` objects.
+        """
+        n = len(requests)
+        if n == 0 or k <= 1:
+            return cls.empty()
+        srcs = np.fromiter((r[0] for r in requests), dtype=np.int64, count=n)
+        wrds = np.fromiter((r[2] for r in requests), dtype=np.int64, count=n)
+        src = np.repeat(srcs, k - 1)
+        words = np.repeat(wrds, k - 1)
+        # Destinations 0..k-1 minus the source, preserved in ascending
+        # order exactly like ``for dst in range(k) if dst != src``.
+        grid = np.tile(np.arange(k - 1, dtype=np.int64), n)
+        dst = grid + (grid >= srcs.repeat(k - 1))
+        payloads: List[Any] = []
+        for r in requests:
+            payloads.extend([r[1]] * (k - 1))
+        return cls(src, dst, words, payloads)
+
+    # ------------------------------------------------------------------
+    def total_words(self) -> int:
+        return int(self.words.sum()) if len(self) else 0
+
+    def __repr__(self) -> str:
+        return f"MessagePlane(n={len(self)}, words={self.total_words()})"

@@ -1,0 +1,81 @@
+"""MessagePlane ≡ a list of Messages: same charges, same inboxes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.message import Message
+from repro.sim.network import KMachineNetwork, MPCNetwork
+from repro.sim.plane import MessagePlane
+
+
+def _random_messages(rng, k, count):
+    msgs = []
+    for _ in range(count):
+        src = int(rng.integers(0, k))
+        dst = int(rng.integers(0, k - 1))
+        if dst >= src:
+            dst += 1
+        msgs.append(Message(src, dst, ("p", int(rng.integers(100))),
+                            int(rng.integers(1, 6))))
+    return msgs
+
+
+class TestEquivalentDelivery:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("make_net", [
+        lambda: KMachineNetwork(5),
+        lambda: MPCNetwork(5, space=64),
+    ])
+    def test_same_charges_and_inboxes(self, seed, make_net):
+        rng = np.random.default_rng(seed)
+        msgs = _random_messages(rng, 5, int(rng.integers(1, 40)))
+
+        ref = make_net()
+        ref_in = ref.superstep(list(msgs))
+        fast = make_net()
+        fast_in = fast.superstep_plane(MessagePlane.from_messages(msgs))
+
+        assert fast.ledger.transcript == ref.ledger.transcript
+        assert fast_in == ref_in
+        assert fast.ingress_words == ref.ingress_words
+        assert fast.egress_words == ref.egress_words
+
+    def test_empty_plane_is_free(self):
+        net = KMachineNetwork(3)
+        assert net.superstep_plane(MessagePlane.empty()) == {}
+        assert net.ledger.transcript == []
+
+
+class TestFanout:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_matches_reference_generator(self, k):
+        reqs = [(0, "a", 2), (k - 1, "b", 1)]
+        plane = MessagePlane.fanout(reqs, k)
+        want = [
+            (src, dst, payload, words)
+            for (src, payload, words) in reqs
+            for dst in range(k)
+            if dst != src
+        ]
+        got = list(zip(plane.src.tolist(), plane.dst.tolist(),
+                       plane.payloads, plane.words.tolist()))
+        assert got == want
+
+    def test_degenerate_cases(self):
+        assert len(MessagePlane.fanout([], 4)) == 0
+        assert len(MessagePlane.fanout([(0, "x", 1)], 1)) == 0
+
+
+class TestValidation:
+    def test_mismatched_columns(self):
+        one = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            MessagePlane(one, np.array([1, 2], dtype=np.int64), one, ["p"])
+
+    def test_nonpositive_words(self):
+        with pytest.raises(ValueError):
+            MessagePlane.point_to_point([(0, 1, "p", 0)])
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            MessagePlane.point_to_point([(2, 2, "p", 1)])

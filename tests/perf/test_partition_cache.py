@@ -1,0 +1,50 @@
+"""The memoized ``edge_machines`` lookup and its invalidation rule."""
+
+import numpy as np
+
+from repro.sim.partition import (
+    VertexPartition,
+    random_vertex_partition,
+    round_robin_vertex_partition,
+)
+
+
+class TestEdgeMachinesCache:
+    def test_matches_direct_computation(self):
+        vp = random_vertex_partition(range(50), 7, np.random.default_rng(0))
+        for u in range(50):
+            for v in range(u + 1, 50):
+                mu, mv = vp.machine_of[u], vp.machine_of[v]
+                want = (mu,) if mu == mv else (mu, mv)
+                assert vp.edge_machines(u, v) == want
+                assert vp.edge_machines(v, u) == want  # orientation-free
+
+    def test_repeated_lookup_hits_cache(self):
+        vp = round_robin_vertex_partition(range(10), 3)
+        first = vp.edge_machines(2, 7)
+        assert vp.edge_machines(2, 7) is first  # same memoized tuple
+        assert (2, 7) in vp._edge_cache
+
+    def test_remove_vertex_flushes(self):
+        vp = VertexPartition(3, {0: 0, 1: 1, 2: 2})
+        assert vp.edge_machines(0, 1) == (0, 1)
+        vp.remove_vertex(1)
+        assert not vp._edge_cache
+        vp.add_vertex(1, 0)  # re-placed on a different machine
+        assert vp.edge_machines(0, 1) == (0,)
+
+    def test_size_keyed_invalidation_catches_direct_mutation(self):
+        # The cache is keyed to len(machine_of): even a raw del (no
+        # helper) must flush it before the next lookup.
+        vp = VertexPartition(2, {0: 0, 1: 1, 2: 0})
+        assert vp.edge_machines(0, 1) == (0, 1)
+        del vp.machine_of[1]
+        vp.machine_of[1] = 0
+        vp.machine_of[3] = 1  # size change → flush on next call
+        assert vp.edge_machines(0, 1) == (0,)
+
+    def test_add_vertex_then_lookup(self):
+        vp = VertexPartition(2, {0: 0})
+        vp.add_vertex(5, 1)
+        assert vp.edge_machines(0, 5) == (0, 1)
+        assert vp.home(5) == 1

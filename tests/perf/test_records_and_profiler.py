@@ -1,0 +1,61 @@
+"""Hot-record layout (``__slots__``) and the phase profiler."""
+
+import pytest
+
+from repro.euler.tour import ETEdge
+from repro.sim.message import Message
+from repro.sim.metrics import Ledger, PhaseProfiler
+
+
+class TestSlots:
+    def test_message_has_no_dict(self):
+        msg = Message(0, 1, ("x",), 2)
+        assert not hasattr(msg, "__dict__")
+        # frozen + slots: no stray attributes (the generated __setattr__
+        # raises TypeError under slots on this interpreter).
+        with pytest.raises((AttributeError, TypeError)):
+            msg.extra = 1
+
+    def test_etedge_has_no_dict(self):
+        ete = ETEdge(0, 1, 1.5, 0, 3, 7)
+        assert not hasattr(ete, "__dict__")
+        with pytest.raises(AttributeError):
+            ete.extra = 1
+
+    def test_message_validation_still_runs(self):
+        # slots=True must not silence __post_init__.
+        with pytest.raises(ValueError):
+            Message(0, 0, None, 1)
+        with pytest.raises(ValueError):
+            Message(0, 1, None, 0)
+
+
+class TestPhaseProfiler:
+    def test_phases_recorded_only_when_attached(self):
+        ledger = Ledger()
+        with ledger.phase("warmup"):
+            ledger.charge(1, 2, 3)
+        prof = PhaseProfiler()
+        ledger.profiler = prof
+        with ledger.phase("work"):
+            ledger.charge(1, 1, 1)
+        with ledger.phase("work"):
+            ledger.charge(1, 1, 1)
+        assert "warmup" not in prof.phases
+        assert prof.phases["work"].calls == 2
+        assert prof.phases["work"].wall_s >= 0.0
+
+    def test_nested_phases_each_record(self):
+        ledger = Ledger()
+        ledger.profiler = PhaseProfiler()
+        with ledger.phase("outer"):
+            with ledger.phase("inner"):
+                ledger.charge(1, 0, 0)
+        assert set(ledger.profiler.phases) == {"outer", "inner"}
+
+    def test_report_and_dict_forms(self):
+        prof = PhaseProfiler()
+        prof.record("p", 0.5, 10)
+        d = prof.as_dict()
+        assert d["p"]["calls"] == 1.0 and d["p"]["wall_s"] == 0.5
+        assert "p" in prof.report()

@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Benchmark-trajectory harness for the columnar fast path.
+
+Runs every scenario twice — once with the scalar reference engine, once
+with the columnar fast path — asserts the two ledgers are byte-identical
+(same :meth:`repro.sim.metrics.Ledger.digest`), and emits a
+machine-readable ``BENCH_<date>.json`` trajectory file: updates/second
+per engine, speedups, ledger digests, kernel microbenchmarks, and the
+``__slots__`` allocation win on the hot ``Message``/``ETEdge`` records.
+
+    PYTHONPATH=src python tools/bench_run.py              # full run
+    PYTHONPATH=src python tools/bench_run.py --smoke      # CI-sized
+    PYTHONPATH=src python tools/bench_run.py --strict     # REPRO_STRICT=1
+    PYTHONPATH=src python tools/bench_run.py --profile    # phase counters
+
+The digest assertion is the harness's reason to exist: a speedup from a
+path that charges a different ledger is a model violation, not an
+optimisation, and the run fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import datetime
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+import numpy as np
+
+# (name, n, k, batch, n_batches, seed)
+FULL_SCENARIOS: List[Tuple[str, int, int, int, int, int]] = [
+    ("small", 300, 8, 8, 6, 0),
+    ("medium", 1000, 8, 8, 6, 0),
+    ("wide", 1000, 32, 32, 6, 0),
+    ("large", 3000, 16, 64, 3, 0),
+]
+SMOKE_SCENARIOS: List[Tuple[str, int, int, int, int, int]] = [
+    ("smoke-small", 120, 4, 4, 3, 0),
+    ("smoke-medium", 240, 8, 8, 3, 1),
+]
+
+
+def _run_engine(graph, stream, k: int, seed: int, fast: bool,
+                profile: bool) -> Dict[str, Any]:
+    """One full trajectory on a fresh structure; returns timing + ledger."""
+    from repro.core import DynamicMST
+    from repro.sim.metrics import PhaseProfiler
+
+    rng = np.random.default_rng(seed)
+    dm = DynamicMST.build(graph, k, rng=rng, init="free", fast=fast)
+    if profile:
+        dm.net.ledger.profiler = PhaseProfiler()
+    t0 = time.perf_counter()
+    for batch in stream:
+        dm.apply_batch(batch)
+    wall_s = time.perf_counter() - t0
+    dm.check()
+    ledger = dm.net.ledger
+    out: Dict[str, Any] = {
+        "wall_s": wall_s,
+        "rounds": ledger.rounds,
+        "messages": ledger.messages,
+        "words": ledger.words,
+        "digest": ledger.digest(),
+        "msf_weight": round(dm.total_weight(), 9),
+        "strict_violations": dm.net.strict_violations,
+    }
+    if profile:
+        out["profile"] = dm.net.ledger.profiler.as_dict()
+    return out
+
+
+def run_scenario(name: str, n: int, k: int, batch: int, n_batches: int,
+                 seed: int, profile: bool) -> Dict[str, Any]:
+    from repro.graphs import churn_stream, random_weighted_graph
+
+    rng = np.random.default_rng(seed)
+    graph = random_weighted_graph(n, 3 * n, rng)
+    stream = list(churn_stream(graph.copy(), batch, n_batches, rng=rng))
+    n_updates = sum(len(b) for b in stream)
+
+    reference = _run_engine(graph, stream, k, seed, fast=False, profile=False)
+    fastpath = _run_engine(graph, stream, k, seed, fast=True, profile=profile)
+
+    if fastpath["digest"] != reference["digest"]:
+        raise AssertionError(
+            f"{name}: ledger digests diverge — fast {fastpath['digest'][:16]} "
+            f"vs reference {reference['digest'][:16]}"
+        )
+    if fastpath["msf_weight"] != reference["msf_weight"]:
+        raise AssertionError(f"{name}: MSF weights diverge")
+    if fastpath["strict_violations"] or reference["strict_violations"]:
+        raise AssertionError(f"{name}: strict violations recorded")
+
+    speedup = reference["wall_s"] / max(fastpath["wall_s"], 1e-9)
+    result = {
+        "name": name,
+        "n": n,
+        "k": k,
+        "batch": batch,
+        "n_batches": n_batches,
+        "seed": seed,
+        "n_updates": n_updates,
+        "reference": reference,
+        "fast": fastpath,
+        "updates_per_s_reference": round(n_updates / max(reference["wall_s"], 1e-9), 2),
+        "updates_per_s_fast": round(n_updates / max(fastpath["wall_s"], 1e-9), 2),
+        "speedup": round(speedup, 3),
+        "ledgers_identical": True,
+    }
+    print(
+        f"  {name:<14} n={n:<5} k={k:<3} "
+        f"ref {result['updates_per_s_reference']:>8.1f} up/s  "
+        f"fast {result['updates_per_s_fast']:>8.1f} up/s  "
+        f"speedup {speedup:>5.2f}x  digest {reference['digest'][:12]}"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# kernel microbenchmarks: vectorized Euler transforms vs scalar loops
+# ----------------------------------------------------------------------
+
+def _time(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernels(rows: int) -> Dict[str, Any]:
+    from repro.euler.labels import (JoinSpec, SplitSpec, join_m1_label,
+                                    reroot_label, split_label)
+    from repro.euler.vectorized import (join_m1_labels, reroot_labels,
+                                        split_labels)
+
+    rng = np.random.default_rng(7)
+    size = 2 * (rows + 1)  # tour over rows+2 vertices
+    labels = rng.integers(0, size, size=rows).astype(np.int64)
+
+    out: Dict[str, Any] = {"rows": rows}
+
+    d = size // 3
+    t_vec = _time(lambda: reroot_labels(labels, d, size))
+    t_sca = _time(lambda: [reroot_label(int(w), d, size) for w in labels])
+    out["reroot"] = {"vector_s": t_vec, "scalar_s": t_sca,
+                     "speedup": round(t_sca / max(t_vec, 1e-9), 1)}
+
+    e_min = size // 4
+    e_max = e_min + size // 2
+    spec = SplitSpec(e_min=e_min, e_max=e_max, size=size, old_tour=1, inside_tour=2)
+    in_domain = labels[(labels != e_min) & (labels != e_max)]
+    t_vec = _time(lambda: split_labels(in_domain, spec))
+    t_sca = _time(lambda: [split_label(int(w), spec) for w in in_domain])
+    out["split"] = {"vector_s": t_vec, "scalar_s": t_sca,
+                    "speedup": round(t_sca / max(t_vec, 1e-9), 1)}
+
+    jspec = JoinSpec(a=size // 3, b=size // 5, size1=size, size2=size, tour1=1, tour2=2)
+    jl = rng.integers(0, size, size=rows).astype(np.int64)
+    t_vec = _time(lambda: join_m1_labels(jl, jspec))
+    t_sca = _time(lambda: [join_m1_label(int(w), jspec) for w in jl])
+    out["join_m1"] = {"vector_s": t_vec, "scalar_s": t_sca,
+                      "speedup": round(t_sca / max(t_vec, 1e-9), 1)}
+
+    for k in ("reroot", "split", "join_m1"):
+        print(f"  kernel {k:<8} rows={rows}  vector {out[k]['vector_s'] * 1e3:7.3f} ms  "
+              f"scalar {out[k]['scalar_s'] * 1e3:8.3f} ms  {out[k]['speedup']:>6.1f}x")
+    return out
+
+
+# ----------------------------------------------------------------------
+# __slots__ allocation win on the hot per-message / per-edge records
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class _DictMessage:
+    """``Message`` minus ``slots=True`` — isolates the layout effect."""
+
+    src: int
+    dst: int
+    payload: Any
+    words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise ValueError("message size must be positive")
+        if self.src == self.dst:
+            raise ValueError("self-messages are free; do not send them")
+
+
+def bench_alloc(count: int) -> Dict[str, Any]:
+    from repro.euler.tour import ETEdge
+    from repro.sim.message import Message
+
+    def make_slots() -> list:
+        return [Message(0, 1, None, 1) for _ in range(count)]
+
+    def make_dict() -> list:
+        return [_DictMessage(0, 1, None, 1) for _ in range(count)]
+
+    t_slots = _time(lambda: make_slots(), repeats=3)
+    t_dict = _time(lambda: make_dict(), repeats=3)
+
+    msg = Message(0, 1, None, 1)
+    et = ETEdge(0, 1, 1.0, 0, 1, 0)
+    dct = _DictMessage(0, 1, None, 1)
+    size_slots = sys.getsizeof(msg)
+    size_dict = sys.getsizeof(dct) + sys.getsizeof(dct.__dict__)
+
+    out = {
+        "count": count,
+        "message_has_slots": not hasattr(msg, "__dict__"),
+        "etedge_has_slots": not hasattr(et, "__dict__"),
+        "alloc_s_slots": t_slots,
+        "alloc_s_dict_equiv": t_dict,
+        "alloc_speedup": round(t_dict / max(t_slots, 1e-9), 2),
+        "bytes_per_message_slots": size_slots,
+        "bytes_per_message_dict_equiv": size_dict,
+        "bytes_saved_per_message": size_dict - size_slots,
+    }
+    print(f"  alloc {count} Messages: slots {t_slots * 1e3:.1f} ms vs dict-equiv "
+          f"{t_dict * 1e3:.1f} ms ({out['alloc_speedup']}x); "
+          f"{size_slots} B/obj vs {size_dict} B/obj "
+          f"({out['bytes_saved_per_message']} B saved)")
+    return out
+
+
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI-sized scenarios (still asserts equivalence)")
+    ap.add_argument("--strict", action="store_true",
+                    help="run all scenarios under REPRO_STRICT=1")
+    ap.add_argument("--profile", action="store_true",
+                    help="attach the phase profiler to the fast runs")
+    ap.add_argument("--out", default=None,
+                    help="output JSON path (default BENCH_<date>.json)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail unless the largest scenario is at least this "
+                         "much faster with the fast path")
+    args = ap.parse_args(argv)
+
+    if args.strict:
+        os.environ["REPRO_STRICT"] = "1"
+
+    scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
+    kernel_rows = 2048 if args.smoke else 65536
+    alloc_count = 20_000 if args.smoke else 200_000
+
+    print(f"bench_run: {'smoke' if args.smoke else 'full'} trajectory, "
+          f"strict={'on' if args.strict else 'off'}")
+    print("scenarios (reference vs columnar fast path):")
+    scenario_results = [run_scenario(*s, profile=args.profile) for s in scenarios]
+    print("kernels:")
+    kernels = bench_kernels(kernel_rows)
+    print("allocation:")
+    alloc = bench_alloc(alloc_count)
+
+    payload = {
+        "schema": "repro-bench-trajectory/1",
+        "date": datetime.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "mode": "smoke" if args.smoke else "full",
+        "strict": bool(args.strict),
+        "scenarios": scenario_results,
+        "kernels": kernels,
+        "allocation": alloc,
+    }
+
+    out_path = args.out or f"BENCH_{payload['date']}.json"
+    with open(out_path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if args.min_speedup is not None:
+        largest = max(scenario_results, key=lambda r: r["n"] * r["k"])
+        if largest["speedup"] < args.min_speedup:
+            print(f"FAIL: {largest['name']} speedup {largest['speedup']}x "
+                  f"< required {args.min_speedup}x", file=sys.stderr)
+            return 1
+    print("all ledgers byte-identical; ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
