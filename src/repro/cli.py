@@ -3,6 +3,9 @@
     python -m repro demo --n 200 --m 600 --k 8 --batches 5 --batch-size 8
     python -m repro verify --seed 3
     python -m repro lowerbound --k 4 --delta 1.0
+    python -m repro trace small -o run.jsonl
+    python -m repro report run.jsonl
+    python -m repro trace-diff a.jsonl b.jsonl
 """
 
 from __future__ import annotations
@@ -49,6 +52,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core import DynamicMST
     from repro.graphs import churn_stream, random_weighted_graph
 
+    profiler = None
+    if args.profile:
+        from repro.sim.metrics import PhaseProfiler
+
+        # One profiler across all trials: the counters aggregate.
+        profiler = PhaseProfiler()
     rng = np.random.default_rng(args.seed)
     failures = 0
     for trial in range(args.trials):
@@ -57,6 +66,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         k = int(rng.integers(2, 9))
         g = random_weighted_graph(n, m, rng, connected=False)
         dm = DynamicMST.build(g, k, rng=rng, init="free", engine=args.engine)
+        if profiler is not None:
+            dm.net.ledger.profiler = profiler
         try:
             for batch in churn_stream(g, int(rng.integers(1, k + 2)), 5, rng=rng):
                 dm.apply_batch(batch)
@@ -65,6 +76,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             failures += 1
             print(f"trial {trial}: FAILED — {type(exc).__name__}: {exc}")
     print(f"{args.trials - failures}/{args.trials} randomized trials passed")
+    if profiler is not None:
+        print(profiler.report())
     return 1 if failures else 0
 
 
@@ -74,6 +87,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     stream = read_stream(args.stream)
     dm = DynamicMST.build(stream.initial, args.k, rng=args.seed, init=args.init)
+    if args.profile:
+        from repro.sim.metrics import PhaseProfiler
+
+        dm.net.ledger.profiler = PhaseProfiler()
     print(f"replaying {len(stream)} batches over k={args.k} machines "
           f"(init {dm.init_rounds} rounds)")
     for i, batch in enumerate(stream):
@@ -83,7 +100,77 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"batch {i}: {rep.size:>3} updates  {rep.rounds:>5} rounds")
     dm.check()
     print(f"done; total {dm.rounds} rounds, MSF weight {dm.total_weight():.4f}")
+    if args.profile:
+        print(dm.net.ledger.profiler.report())
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import get_scenario, run_traced
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    fast: Optional[bool] = None
+    if args.fast:
+        fast = True
+    elif args.scalar:
+        fast = False
+    out = args.out or f"{scenario.name}.trace.jsonl"
+    summary = run_traced(
+        scenario, out, fast=fast, engine=args.engine, init=args.init,
+        profile=args.profile, perturb_batch=args.perturb_batch,
+    )
+    print(f"traced scenario {scenario.name}: n={scenario.n} k={scenario.k} "
+          f"batch={scenario.batch}x{scenario.n_batches}")
+    print(f"rounds={summary['rounds']} messages={summary['messages']} "
+          f"words={summary['words']} events={summary['events']}")
+    print(f"ledger digest {summary['digest'][:16]}")
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.trace import read_trace, render_text, summarize, to_json, to_prometheus
+    from repro.trace.events import TraceFormatError
+
+    try:
+        events = read_trace(args.trace)
+        summary = summarize(events, envelope=args.envelope)
+    except (TraceFormatError, OSError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(to_json(summary), indent=2))
+    elif args.prometheus:
+        print(to_prometheus(summary), end="")
+    else:
+        print(render_text(summary))
+    return 1 if summary.budget_violations or summary.violations else 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.trace import first_divergence, read_trace, render_divergence
+    from repro.trace.events import TraceFormatError
+
+    try:
+        events_a = read_trace(args.a)
+        events_b = read_trace(args.b)
+        divergence = first_divergence(events_a, events_b)
+    except (TraceFormatError, OSError) as exc:
+        print(f"cannot diff traces: {exc}", file=sys.stderr)
+        return 2
+    print(
+        render_divergence(
+            divergence, events_a, events_b,
+            name_a=args.a, name_b=args.b, context=args.context,
+        )
+    )
+    return 1 if divergence is not None else 0
 
 
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
@@ -127,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--engine", default="sample_gather",
                         choices=["boruvka", "lotker", "sample_gather"])
+    verify.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-time/allocation counters "
+                             "aggregated over all trials")
     verify.set_defaults(fn=_cmd_verify)
 
     replay = sub.add_parser("replay", help="replay a JSON update stream")
@@ -134,7 +224,54 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--k", type=int, default=8)
     replay.add_argument("--seed", type=int, default=0)
     replay.add_argument("--init", choices=["distributed", "free"], default="free")
+    replay.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-time/allocation counters")
     replay.set_defaults(fn=_cmd_replay)
+
+    trace = sub.add_parser(
+        "trace", help="record a named scenario as a structured JSONL trace"
+    )
+    trace.add_argument("scenario",
+                       help="scenario name (see repro.trace.scenarios.SCENARIOS)")
+    trace.add_argument("-o", "--out", default=None,
+                       help="output path (default <scenario>.trace.jsonl)")
+    trace.add_argument("--engine", default="sample_gather",
+                       choices=["boruvka", "lotker", "sample_gather"])
+    trace.add_argument("--init", choices=["distributed", "free"], default="free")
+    trace.add_argument("--profile", action="store_true",
+                       help="embed per-phase wall/alloc counters in run_end")
+    engine_pin = trace.add_mutually_exclusive_group()
+    engine_pin.add_argument("--fast", action="store_true",
+                            help="pin the columnar fast path on")
+    engine_pin.add_argument("--scalar", action="store_true",
+                            help="pin the scalar reference path on")
+    trace.add_argument("--perturb-batch", type=int, default=None,
+                       help="charge one extra round before this batch index "
+                            "(seeded fault for trace-diff demos)")
+    trace.set_defaults(fn=_cmd_trace)
+
+    report = sub.add_parser(
+        "report", help="per-phase/per-machine metrics report from a trace"
+    )
+    report.add_argument("trace", help="JSONL trace from 'repro trace'")
+    fmt = report.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="machine-readable JSON")
+    fmt.add_argument("--prometheus", action="store_true",
+                     help="Prometheus text exposition")
+    report.add_argument("--envelope", type=int, default=None,
+                        help="rounds allowed per ceil(batch/capacity) unit "
+                             "(default: repro.trace.budgets.DEFAULT_ENVELOPE)")
+    report.set_defaults(fn=_cmd_report)
+
+    tdiff = sub.add_parser(
+        "trace-diff",
+        help="locate the first divergent charge between two traces",
+    )
+    tdiff.add_argument("a")
+    tdiff.add_argument("b")
+    tdiff.add_argument("--context", type=int, default=3,
+                       help="events of context to print around the divergence")
+    tdiff.set_defaults(fn=_cmd_trace_diff)
 
     lb = sub.add_parser("lowerbound", help="run the Theorem 7.1 adversary")
     lb.add_argument("--n", type=int, default=150)

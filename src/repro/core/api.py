@@ -30,6 +30,7 @@ from repro.graphs.generators import RngLike, as_rng
 from repro.graphs.graph import Edge, WeightedGraph, normalize
 from repro.graphs.streams import Update
 from repro.perf.config import override_fast_path
+from repro.sim.metrics import TraceSink
 from repro.sim.network import KMachineNetwork
 from repro.sim.partition import VertexPartition, random_vertex_partition
 
@@ -118,6 +119,50 @@ class DynamicMST:
         return dm
 
     # ------------------------------------------------------------------
+    # observability (repro.trace)
+    # ------------------------------------------------------------------
+    def _trace_meta(self) -> Dict[str, object]:
+        """Model metadata stamped into the ``run_start`` trace event."""
+        return {
+            "model": "k-machine",
+            "k": self.k,
+            "words_per_round": getattr(self.net, "words_per_round", None),
+            "engine": self.engine,
+            "n": self.shadow.n,
+            "m": self.shadow.m,
+            "strict": self.net.strict,
+        }
+
+    def attach_trace(self, recorder: TraceSink) -> None:
+        """Install a trace recorder and announce the run's model metadata.
+
+        ``recorder`` is any :class:`~repro.sim.metrics.TraceSink` — in
+        practice a :class:`repro.trace.recorder.TraceRecorder`.  Every
+        subsequent superstep/charge/phase/violation is emitted as a
+        structured event until :meth:`detach_trace`.
+        """
+        self.net.ledger.recorder = recorder
+        recorder.emit("run_start", **self._trace_meta())
+
+    def detach_trace(self) -> None:
+        """Emit the ``run_end`` totals and detach the recorder."""
+        ledger = self.net.ledger
+        recorder = ledger.recorder
+        if recorder is None:
+            return
+        fields: Dict[str, object] = {
+            "rounds": ledger.rounds,
+            "messages": ledger.messages,
+            "words": ledger.words,
+            "digest": ledger.digest(),
+            "strict_violations": self.net.strict_violations,
+        }
+        if ledger.profiler is not None:
+            fields["profile"] = ledger.profiler.as_dict()
+        recorder.emit("run_end", **fields)
+        ledger.recorder = None
+
+    # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def _validate_batch(self, batch: Sequence[Update]) -> Tuple[List, List]:
@@ -148,6 +193,9 @@ class DynamicMST:
 
     def _apply_batch(self, batch: Sequence[Update]) -> BatchReport:
         adds, dels = self._validate_batch(batch)
+        recorder = self.net.ledger.recorder
+        if recorder is not None:
+            recorder.emit("batch_start", size=len(batch), mode="batch")
         before = self.net.ledger.snapshot()
         details: Dict[str, int] = {}
         if dels:
@@ -170,6 +218,12 @@ class DynamicMST:
             size=len(batch), rounds=delta.rounds, messages=delta.messages,
             words=delta.words, mode="batch", details=details,
         )
+        if recorder is not None:
+            recorder.emit(
+                "batch_end", size=report.size, mode=report.mode,
+                rounds=report.rounds, messages=report.messages,
+                words=report.words, details=details,
+            )
         self.reports.append(report)  # simlint: disable=SIM005 driver-side measurement log, not machine state
         self._prune_tours()
         return report
@@ -181,6 +235,9 @@ class DynamicMST:
 
     def _apply_one_at_a_time(self, batch: Sequence[Update]) -> BatchReport:
         adds, dels = self._validate_batch(batch)
+        recorder = self.net.ledger.recorder
+        if recorder is not None:
+            recorder.emit("batch_start", size=len(batch), mode="one_at_a_time")
         before = self.net.ledger.snapshot()
         for (u, v) in dels:
             self._next_tour_id, _ = single_delete(
@@ -197,6 +254,12 @@ class DynamicMST:
             size=len(batch), rounds=delta.rounds, messages=delta.messages,
             words=delta.words, mode="one_at_a_time",
         )
+        if recorder is not None:
+            recorder.emit(
+                "batch_end", size=report.size, mode=report.mode,
+                rounds=report.rounds, messages=report.messages,
+                words=report.words,
+            )
         self.reports.append(report)  # simlint: disable=SIM005 driver-side measurement log, not machine state
         self._prune_tours()
         return report

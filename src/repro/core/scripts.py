@@ -408,6 +408,9 @@ def run_structural_batch(
         return run_structural_batch_columnar(
             net, vp, states, cuts, links, next_tour_id
         )
+    recorder = net.ledger.recorder
+    if recorder is not None and (cuts or links):
+        recorder.on_engine("structural_batch", "scalar")
     if cuts:
         params = _collect_cut_params(net, vp, states, cuts)
         script, next_tour_id = build_cut_script(params, next_tour_id)

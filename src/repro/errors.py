@@ -24,7 +24,15 @@ class StrictModeViolation(ModelViolation):
     ``REPRO_STRICT=1``): dishonest message word costs, supersteps that
     move words for zero rounds, hidden global-RNG consumption, or a
     machine program touching another machine's state.
+
+    ``kind`` is a stable machine-readable category (see
+    :data:`repro.sim.strict.VIOLATION_KINDS`) used by the trace layer
+    to emit typed ``violation`` events.
     """
+
+    def __init__(self, message: str, kind: str = "other") -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 class InconsistentUpdate(ReproError):

@@ -20,7 +20,7 @@ both layouts.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.api import DynamicMST
 from repro.core.init_build import free_init
@@ -82,3 +82,11 @@ class MPCDynamicMST(DynamicMST):
                 f"MPC batch of {len(batch)} exceeds the per-round budget S={self.space}"
             )
         return super().apply_batch(batch)
+
+    def _trace_meta(self) -> Dict[str, object]:
+        """MPC runs are budgeted against Theorem 8.1: capacity is S, not k."""
+        meta = super()._trace_meta()
+        meta["model"] = "mpc"
+        meta["space"] = self.space
+        meta.pop("words_per_round", None)
+        return meta

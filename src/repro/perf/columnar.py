@@ -577,6 +577,9 @@ def run_structural_batch_columnar(
 
     if not cuts and not links:
         return next_tour_id
+    recorder = net.ledger.recorder
+    if recorder is not None:
+        recorder.on_engine("structural_batch", "columnar")
     base = next_tour_id
     cut_script = None
     if cuts:

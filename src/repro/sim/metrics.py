@@ -4,7 +4,7 @@ Every communication super-step reports its cost here.  The benchmark
 harness reads ledgers to regenerate the paper's complexity claims, so the
 ledger is the single source of truth for "how many rounds did that take".
 
-Two instrumentation hooks ride along:
+Three instrumentation hooks ride along:
 
 * the **charge transcript** — every ``charge`` call is appended to
   ``transcript`` as a ``(rounds, messages, words)`` tuple, and
@@ -15,6 +15,12 @@ Two instrumentation hooks ride along:
   ``ledger.profiler`` and every ``ledger.phase(...)`` block additionally
   records wall time and allocation counts (``sys.getallocatedblocks``
   deltas), surfaced by the ``--profile`` CLI flag and the bench harness.
+* the **trace recorder** — attach any :class:`TraceSink` (in practice a
+  :class:`repro.trace.recorder.TraceRecorder`) to ``ledger.recorder``
+  and every charge and phase boundary is reported as a structured
+  event; the network layer additionally reports per-superstep load
+  vectors and strict violations through the same sink.  Detached (the
+  default) the hooks cost one attribute read per charge.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 
 @dataclass
@@ -101,6 +107,38 @@ class PhaseProfiler:
         }
 
 
+class TraceSink(Protocol):
+    """The hook protocol the simulator speaks to a trace recorder.
+
+    Implemented by :class:`repro.trace.recorder.TraceRecorder`; declared
+    here so the mypy-strict simulator kernel needs no import of (and no
+    dependency on) the observability layer.  All hooks must be cheap
+    and must not touch the ledger they observe.
+    """
+
+    def on_charge(
+        self, rounds: int, messages: int, words: int,
+        index: int, phases: Sequence[str],
+    ) -> None: ...
+
+    def on_phase_start(self, name: str, depth: int) -> None: ...
+
+    def on_phase_end(
+        self, name: str, depth: int, rounds: int, messages: int, words: int
+    ) -> None: ...
+
+    def on_superstep(
+        self, engine: str, n_messages: int, n_words: int,
+        send: Sequence[int], recv: Sequence[int], sizes: Dict[int, int],
+    ) -> None: ...
+
+    def on_violation(self, kind: str, message: str) -> None: ...
+
+    def on_engine(self, feature: str, engine: str) -> None: ...
+
+    def emit(self, etype: str, **fields: object) -> None: ...
+
+
 class Ledger:
     """Accumulates communication cost, optionally split by nested phases."""
 
@@ -114,6 +152,8 @@ class Ledger:
         self.transcript: List[Tuple[int, int, int]] = []
         #: Optional wall-time/allocation profiler fed by :meth:`phase`.
         self.profiler: Optional[PhaseProfiler] = None
+        #: Optional structured-event recorder (see :mod:`repro.trace`).
+        self.recorder: Optional[TraceSink] = None
 
     # ------------------------------------------------------------------
     def charge(self, rounds: int, messages: int = 0, words: int = 0) -> None:
@@ -125,11 +165,21 @@ class Ledger:
         self.transcript.append((rounds, messages, words))
         for name in self._phase_stack:
             self.phases.setdefault(name, PhaseStats()).add(rounds, messages, words)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_charge(
+                rounds, messages, words, len(self.transcript) - 1, self._phase_stack
+            )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Attribute all charges inside the block to ``name`` (nestable)."""
         profiler = self.profiler
+        recorder = self.recorder
+        depth = len(self._phase_stack)
+        if recorder is not None:
+            recorder.on_phase_start(name, depth)
+            r0, m0, w0 = self.rounds, self.messages, self.words
         if profiler is not None:
             # simlint: disable=SIM003 profiling instrumentation only; wall time never feeds back into round accounting
             t0 = time.perf_counter()
@@ -145,6 +195,11 @@ class Ledger:
                     # simlint: disable=SIM003 profiling instrumentation only; wall time never feeds back into round accounting
                     time.perf_counter() - t0,
                     sys.getallocatedblocks() - a0,
+                )
+            if recorder is not None:
+                recorder.on_phase_end(
+                    name, depth,
+                    self.rounds - r0, self.messages - m0, self.words - w0,
                 )
 
     # ------------------------------------------------------------------

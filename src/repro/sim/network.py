@@ -25,7 +25,12 @@ from repro.sim.machine import Machine
 from repro.sim.message import Message
 from repro.sim.metrics import Ledger
 from repro.sim.plane import MessagePlane
-from repro.sim.strict import EntropyGuard, check_message_words, strict_from_env
+from repro.sim.strict import (
+    EntropyGuard,
+    check_message_words,
+    strict_from_env,
+    violation_kind,
+)
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -98,6 +103,16 @@ class Network:
             n_words += m.words
             self.ingress_words[m.dst] += m.words
             self.egress_words[m.src] += m.words
+        recorder = self.ledger.recorder
+        if recorder is not None:
+            send = [0] * self.k
+            recv = [0] * self.k
+            sizes: Dict[int, int] = {}
+            for m in msgs:
+                send[m.src] += m.words
+                recv[m.dst] += m.words
+                sizes[m.words] = sizes.get(m.words, 0) + 1
+            recorder.on_superstep("scalar", n_msgs, n_words, send, recv, sizes)
         rounds = self.rounds_for_load(pair_words)
         if self.strict and n_words > 0 and rounds < 1:
             self._strict_violation(
@@ -143,6 +158,15 @@ class Network:
             self.ingress_words[m] += int(in_words[m])
         for m in np.flatnonzero(out_words).tolist():
             self.egress_words[m] += int(out_words[m])
+        recorder = self.ledger.recorder
+        if recorder is not None:
+            size_vals, size_counts = np.unique(words, return_counts=True)
+            recorder.on_superstep(
+                "columnar", n, n_words,
+                [int(w) for w in out_words], [int(w) for w in in_words],
+                dict(zip((int(w) for w in size_vals),
+                         (int(c) for c in size_counts))),
+            )
         rounds = self.rounds_for_load(pair_words)
         if self.strict and n_words > 0 and rounds < 1:
             self._strict_violation(
@@ -180,23 +204,31 @@ class Network:
             raise BandwidthExceeded(f"machine id {mid} outside [0, {self.k})")
 
     # -- strict mode -----------------------------------------------------
-    def _strict_violation(self, message: str) -> None:
+    def _count_violation(self, exc: StrictModeViolation) -> None:
+        """Count a violation and surface it to an attached trace recorder."""
         self.strict_violations += 1
-        raise StrictModeViolation(message)
+        recorder = self.ledger.recorder
+        if recorder is not None:
+            recorder.on_violation(violation_kind(exc), str(exc))
+
+    def _strict_violation(self, message: str) -> None:
+        exc = StrictModeViolation(message, kind="round-conservation")
+        self._count_violation(exc)
+        raise exc
 
     def _strict_pre_superstep(self, msgs: List[Message]) -> None:
         guard = self._entropy_guard
         if guard is not None:
             try:
                 guard.check("this superstep")
-            except StrictModeViolation:
-                self.strict_violations += 1
+            except StrictModeViolation as exc:
+                self._count_violation(exc)
                 raise
         for m in msgs:
             try:
                 check_message_words(m.src, m.dst, m.payload, m.words)
-            except StrictModeViolation:
-                self.strict_violations += 1
+            except StrictModeViolation as exc:
+                self._count_violation(exc)
                 raise
 
     def _strict_pre_plane(self, plane: MessagePlane) -> None:
@@ -204,8 +236,8 @@ class Network:
         if guard is not None:
             try:
                 guard.check("this superstep")
-            except StrictModeViolation:
-                self.strict_violations += 1
+            except StrictModeViolation as exc:
+                self._count_violation(exc)
                 raise
         src = plane.src.tolist()
         dst = plane.dst.tolist()
@@ -213,8 +245,8 @@ class Network:
         for i, payload in enumerate(plane.payloads):
             try:
                 check_message_words(src[i], dst[i], payload, words[i])
-            except StrictModeViolation:
-                self.strict_violations += 1
+            except StrictModeViolation as exc:
+                self._count_violation(exc)
                 raise
 
     def resync_entropy(self) -> None:

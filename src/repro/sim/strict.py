@@ -37,6 +37,24 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.errors import StrictModeViolation
 
+#: Stable machine-readable categories for strict violations; every
+#: raiser passes one as ``StrictModeViolation(..., kind=...)`` and the
+#: trace layer surfaces it in typed ``violation`` events.
+VIOLATION_KINDS = (
+    "undercharged-words",   # declared word cost understates the payload
+    "round-conservation",   # words moved for zero charged rounds
+    "hidden-entropy",       # global RNG advanced between supersteps
+    "state-isolation",      # a machine touched another machine's state
+    "other",
+)
+
+
+def violation_kind(exc: BaseException) -> str:
+    """The category of a strict violation (``"other"`` if untagged)."""
+    kind = getattr(exc, "kind", "other")
+    return kind if kind in VIOLATION_KINDS else "other"
+
+
 #: Payloads may carry up to this factor more distinct scalars than their
 #: declared word cost before strict mode calls the cost dishonest.
 WORDS_SLACK_FACTOR = 2
@@ -113,7 +131,8 @@ def check_message_words(src: int, dst: int, payload: Any, words: int) -> None:
         raise StrictModeViolation(
             f"message {src}->{dst} declares {words} word(s) but its payload "
             f"carries at least {estimate} distinct scalars "
-            f"({payload!r:.120}); the ledger is being undercharged"
+            f"({payload!r:.120}); the ledger is being undercharged",
+            kind="undercharged-words",
         )
 
 
@@ -146,7 +165,8 @@ class EntropyGuard:
             raise StrictModeViolation(
                 f"global RNG state advanced before {where}: protocol code "
                 "consumed random/numpy.random global entropy — thread a "
-                "seeded Generator instead"
+                "seeded Generator instead",
+                kind="hidden-entropy",
             )
         self._last = current
 
@@ -182,7 +202,8 @@ class GuardedState(Dict[str, Any]):
         if mid is not None and mid != self._owner:
             raise StrictModeViolation(
                 f"machine {mid} {op} machine {self._owner}'s state — "
-                "cross-machine facts must travel through the network"
+                "cross-machine facts must travel through the network",
+                kind="state-isolation",
             )
 
     def __getitem__(self, key: Any) -> Any:

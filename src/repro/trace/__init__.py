@@ -1,0 +1,38 @@
+"""repro.trace — structured round-event tracing and metrics export.
+
+The observability layer over the round-accurate simulator: attach a
+:class:`TraceRecorder` to a ledger and every superstep, charge, phase
+boundary, strict violation and engine selection becomes one line of
+schema-versioned JSONL; roll traces into per-phase / per-machine
+metrics (:mod:`repro.trace.report`); and, when two runs that should be
+ledger-equivalent are not, locate the first divergent charge
+(:mod:`repro.trace.diff`).
+
+CLI surface: ``repro trace``, ``repro report``, ``repro trace-diff``.
+"""
+
+from repro.trace.diff import Divergence, first_divergence, render_divergence
+from repro.trace.events import TRACE_SCHEMA, TraceFormatError, validate_events
+from repro.trace.recorder import TraceRecorder, read_trace, recording
+from repro.trace.report import render_text, summarize, to_json, to_prometheus
+from repro.trace.scenarios import SCENARIOS, Scenario, get_scenario, run_traced
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Divergence",
+    "SCENARIOS",
+    "Scenario",
+    "TraceFormatError",
+    "TraceRecorder",
+    "first_divergence",
+    "get_scenario",
+    "read_trace",
+    "recording",
+    "render_divergence",
+    "render_text",
+    "run_traced",
+    "summarize",
+    "to_json",
+    "to_prometheus",
+    "validate_events",
+]

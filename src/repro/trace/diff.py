@@ -1,0 +1,169 @@
+"""Divergence diagnostics: find *where* two ledgers stopped agreeing.
+
+The fast-path contract (:mod:`repro.perf`) is a digest equality — two
+runs are ledger-equivalent iff their charge transcripts hash the same.
+A digest mismatch says *that* the engines diverged but not where.  This
+module compares two trace files charge by charge and pinpoints the
+first divergent charge with its phase stack, call site, engine, and the
+surrounding events from both traces — turning an opaque hash mismatch
+into a named protocol step.
+
+Divergence is decided on exactly what the digest hashes: the ordered
+``(rounds, messages, words)`` triples.  Context fields (phases, sites,
+engines, load vectors) may legitimately differ between a scalar and a
+columnar trace and are reported, not compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.events import charge_events, charge_triple, validate_events
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point at which two charge transcripts disagree."""
+
+    #: Transcript index of the first divergent charge.
+    index: int
+    #: ``"mismatch"`` — both traces charged here but differently;
+    #: ``"truncated-a"`` / ``"truncated-b"`` — one transcript ended early.
+    kind: str
+    a: Optional[Dict[str, Any]]
+    b: Optional[Dict[str, Any]]
+
+
+def first_divergence(
+    events_a: Sequence[Dict[str, Any]],
+    events_b: Sequence[Dict[str, Any]],
+    validate: bool = True,
+) -> Optional[Divergence]:
+    """First divergent charge between two traces, or None if equivalent."""
+    if validate:
+        validate_events(events_a)
+        validate_events(events_b)
+    charges_a = charge_events(events_a)
+    charges_b = charge_events(events_b)
+    for i, (ca, cb) in enumerate(zip(charges_a, charges_b)):
+        if charge_triple(ca) != charge_triple(cb):
+            return Divergence(index=i, kind="mismatch", a=ca, b=cb)
+    if len(charges_a) < len(charges_b):
+        return Divergence(
+            index=len(charges_a), kind="truncated-a",
+            a=None, b=charges_b[len(charges_a)],
+        )
+    if len(charges_b) < len(charges_a):
+        return Divergence(
+            index=len(charges_b), kind="truncated-b",
+            a=charges_a[len(charges_b)], b=None,
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _describe_charge(event: Optional[Dict[str, Any]], label: str) -> List[str]:
+    if event is None:
+        return [f"  {label}: <transcript ended — no charge at this index>"]
+    rounds, messages, words = charge_triple(event)
+    lines = [
+        f"  {label}: {event['type']} index={event['index']} "
+        f"rounds={rounds} messages={messages} words={words}"
+    ]
+    phases = event.get("phases") or []
+    lines.append(f"      phase: {' > '.join(phases) if phases else '(top level)'}")
+    if event.get("site"):
+        lines.append(f"      site:  {event['site']}")
+    if event.get("engine"):
+        lines.append(f"      engine: {event['engine']}")
+    sizes = event.get("sizes")
+    if sizes:
+        mix = "  ".join(f"{w}w×{c}" for w, c in sorted(sizes.items(), key=lambda kv: int(kv[0])))
+        lines.append(f"      sizes: {mix}")
+    return lines
+
+
+def _event_line(event: Dict[str, Any], highlight: bool) -> str:
+    marker = ">>" if highlight else "  "
+    etype = event["type"]
+    if etype in ("superstep", "charge"):
+        phases = event.get("phases") or []
+        tail = f" [{phases[-1]}]" if phases else ""
+        engine = f" {event['engine']}" if event.get("engine") else ""
+        return (
+            f"{marker} #{event['index']:<6}{etype}{engine} "
+            f"r={event['rounds']} m={event['messages']} w={event['words']}{tail}"
+        )
+    if etype in ("phase_start", "phase_end"):
+        return f"{marker}        {etype} {event['name']!r} (depth {event['depth']})"
+    if etype in ("batch_start", "batch_end"):
+        return f"{marker}        {etype} size={event['size']} mode={event['mode']}"
+    if etype == "violation":
+        return f"{marker}        violation [{event['kind']}]"
+    if etype == "engine":
+        return f"{marker}        engine {event['feature']} -> {event['engine']}"
+    return f"{marker}        {etype}"
+
+
+def _context_window(
+    events: Sequence[Dict[str, Any]],
+    charge_index: int,
+    context: int,
+) -> Tuple[List[str], bool]:
+    """Render events around the charge with transcript index ``charge_index``.
+
+    Returns the lines and whether the charge itself was found (it is
+    absent from a truncated trace, in which case the tail is shown).
+    """
+    anchor: Optional[int] = None
+    for pos, event in enumerate(events):
+        if event["type"] in ("superstep", "charge") and event["index"] == charge_index:
+            anchor = pos
+            break
+    if anchor is None:
+        tail = [e for e in events if e["type"] != "trace_start"][-(2 * context + 1):]
+        return [_event_line(e, False) for e in tail], False
+    lo = max(0, anchor - context)
+    hi = min(len(events), anchor + context + 1)
+    lines = []
+    if lo > 0:
+        lines.append("   ...")
+    lines.extend(_event_line(events[p], p == anchor) for p in range(lo, hi))
+    if hi < len(events):
+        lines.append("   ...")
+    return lines, True
+
+
+def render_divergence(
+    divergence: Optional[Divergence],
+    events_a: Sequence[Dict[str, Any]],
+    events_b: Sequence[Dict[str, Any]],
+    name_a: str = "A",
+    name_b: str = "B",
+    context: int = 3,
+) -> str:
+    """Human-readable divergence report (or the all-clear)."""
+    n_charges = len(charge_events(events_a))
+    if divergence is None:
+        return (
+            f"traces equivalent: {n_charges} charges, "
+            "identical (rounds, messages, words) at every index"
+        )
+    lines = [
+        f"first divergent charge at transcript index {divergence.index} "
+        f"({divergence.kind})",
+        "",
+    ]
+    lines.extend(_describe_charge(divergence.a, name_a))
+    lines.extend(_describe_charge(divergence.b, name_b))
+    lines.append("")
+    lines.append(f"context — {name_a}:")
+    ctx, _found = _context_window(events_a, divergence.index, context)
+    lines.extend(ctx)
+    lines.append(f"context — {name_b}:")
+    ctx, _found = _context_window(events_b, divergence.index, context)
+    lines.extend(ctx)
+    return "\n".join(lines)

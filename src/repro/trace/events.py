@@ -1,0 +1,167 @@
+"""The trace event schema: typed, versioned JSONL round events.
+
+A trace is a JSON-Lines file.  Every line is one event object carrying at
+least ``type`` and ``seq`` (a per-trace monotone counter).  The first
+event is always ``trace_start`` and carries the schema tag; readers must
+refuse traces whose major schema differs.
+
+Event types (``repro-trace/1``):
+
+``trace_start``
+    ``schema``, optional ``meta`` (free-form context supplied at
+    recorder construction — scenario name, CLI arguments, …).
+``run_start`` / ``run_end``
+    Emitted by :meth:`repro.core.api.DynamicMST.attach_trace` and
+    :meth:`TraceRecorder.close`.  ``run_start`` carries the model
+    metadata (``model``, ``k``, ``words_per_round`` or ``space``,
+    ``engine``); ``run_end`` carries ledger totals and, when a
+    :class:`~repro.sim.metrics.PhaseProfiler` was attached, its
+    per-phase wall/alloc summary under ``profile``.
+``superstep``
+    One communication superstep *and* its ledger charge, merged: the
+    transcript ``index``, the charge triple ``rounds``/``messages``/
+    ``words``, the active ledger ``phases`` stack, the charging call
+    ``site`` (``file:line``), the ``engine`` that delivered it
+    (``"scalar"`` or ``"columnar"``), per-machine ``send``/``recv``
+    word vectors, and ``sizes`` — a ``{words: count}`` histogram of
+    message sizes.
+``charge``
+    A ledger charge with no superstep attached (synchronization
+    barriers via ``charge_rounds``, protocol-level lump charges).
+    Fields: ``index``, ``rounds``, ``messages``, ``words``,
+    ``phases``, ``site``.
+``phase_start`` / ``phase_end``
+    Ledger phase boundaries.  ``phase_end`` carries the phase's charge
+    delta (``rounds``/``messages``/``words``) for that activation.
+``batch_start`` / ``batch_end``
+    Update-batch boundaries from the :class:`DynamicMST` facade:
+    ``size`` and ``mode`` on start; the ledger delta plus ``details``
+    on end.
+``engine``
+    A fast-path engine selection at a dispatch point: ``feature``
+    (e.g. ``"structural_batch"``) and ``engine``.
+``violation``
+    A strict-mode violation: ``kind`` (see
+    :func:`repro.sim.strict.violation_kind`) and ``message``.
+``trace_end``
+    Totals: ``events``, ``charges``, ``rounds``, ``messages``,
+    ``words``.
+
+Events with an ``index`` field ("charge-bearing" events) are the
+equivalence contract: two traces are ledger-equivalent iff their
+charge-bearing events agree on ``(rounds, messages, words)`` at every
+index — the exact content hashed by
+:meth:`repro.sim.metrics.Ledger.digest`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: Schema tag stamped into every ``trace_start`` event.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Every event type the version-1 schema may emit.
+EVENT_TYPES: Tuple[str, ...] = (
+    "trace_start",
+    "run_start",
+    "run_end",
+    "superstep",
+    "charge",
+    "phase_start",
+    "phase_end",
+    "batch_start",
+    "batch_end",
+    "engine",
+    "violation",
+    "trace_end",
+)
+
+#: Event types that carry a ledger-transcript ``index`` and the charge
+#: triple — the events :mod:`repro.trace.diff` compares.
+CHARGE_BEARING: Tuple[str, ...] = ("superstep", "charge")
+
+#: Required fields per event type (beyond ``type`` and ``seq``).
+REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "trace_start": ("schema",),
+    "run_start": ("model", "k"),
+    "run_end": ("rounds", "messages", "words"),
+    "superstep": ("index", "rounds", "messages", "words", "engine", "send", "recv"),
+    "charge": ("index", "rounds", "messages", "words"),
+    "phase_start": ("name", "depth"),
+    "phase_end": ("name", "depth", "rounds", "messages", "words"),
+    "batch_start": ("size", "mode"),
+    "batch_end": ("size", "mode", "rounds", "messages", "words"),
+    "engine": ("feature", "engine"),
+    "violation": ("kind", "message"),
+    "trace_end": ("events", "charges", "rounds", "messages", "words"),
+}
+
+
+class TraceFormatError(ValueError):
+    """A trace file does not conform to the schema this reader speaks."""
+
+
+def is_charge_bearing(event: Dict[str, Any]) -> bool:
+    return event.get("type") in CHARGE_BEARING
+
+
+def charge_triple(event: Dict[str, Any]) -> Tuple[int, int, int]:
+    """The ``(rounds, messages, words)`` a charge-bearing event recorded."""
+    return (int(event["rounds"]), int(event["messages"]), int(event["words"]))
+
+
+def validate_event(event: Dict[str, Any]) -> None:
+    """Raise :class:`TraceFormatError` unless ``event`` fits the schema."""
+    etype = event.get("type")
+    if not isinstance(etype, str) or etype not in EVENT_TYPES:
+        raise TraceFormatError(f"unknown event type {etype!r}")
+    if not isinstance(event.get("seq"), int):
+        raise TraceFormatError(f"event {etype!r} lacks an integer 'seq'")
+    missing = [f for f in REQUIRED_FIELDS[etype] if f not in event]
+    if missing:
+        raise TraceFormatError(
+            f"event {etype!r} (seq {event['seq']}) missing fields: {missing}"
+        )
+
+
+def check_schema(first_event: Dict[str, Any]) -> None:
+    """Validate the header event that must open every trace."""
+    if first_event.get("type") != "trace_start":
+        raise TraceFormatError(
+            f"trace does not start with 'trace_start' (got {first_event.get('type')!r})"
+        )
+    schema = first_event.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise TraceFormatError(
+            f"unsupported trace schema {schema!r} (this reader speaks {TRACE_SCHEMA!r})"
+        )
+
+
+def validate_events(events: Sequence[Dict[str, Any]]) -> None:
+    """Validate a whole event stream: header, per-event fields, ordering."""
+    if not events:
+        raise TraceFormatError("empty trace")
+    check_schema(events[0])
+    last_seq = -1
+    last_index = -1
+    for event in events:
+        validate_event(event)
+        seq = int(event["seq"])
+        if seq <= last_seq:
+            raise TraceFormatError(
+                f"event seq {seq} not strictly increasing (after {last_seq})"
+            )
+        last_seq = seq
+        if is_charge_bearing(event):
+            index = int(event["index"])
+            if index != last_index + 1:
+                raise TraceFormatError(
+                    f"charge index {index} out of order (expected {last_index + 1})"
+                )
+            last_index = index
+
+
+def charge_events(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The charge-bearing subsequence, in transcript order."""
+    return [e for e in events if is_charge_bearing(e)]

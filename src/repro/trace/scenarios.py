@@ -1,0 +1,131 @@
+"""Named trace/benchmark scenarios and the traced-run driver.
+
+One registry serves both surfaces: ``repro trace <scenario>`` records a
+single named run, and ``tools/bench_run.py`` iterates the same
+definitions for its reference-vs-fast trajectories — so a trace
+captured from a benchmark scenario is the *same workload*, not a
+lookalike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A seeded churn workload over a random weighted graph."""
+
+    name: str
+    n: int
+    k: int
+    batch: int
+    n_batches: int
+    seed: int = 0
+    #: Edge density: m = m_per_n * n (the benchmark harness's 3n).
+    m_per_n: int = 3
+
+    @property
+    def m(self) -> int:
+        return self.m_per_n * self.n
+
+
+FULL_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("small", n=300, k=8, batch=8, n_batches=6, seed=0),
+    Scenario("medium", n=1000, k=8, batch=8, n_batches=6, seed=0),
+    Scenario("wide", n=1000, k=32, batch=32, n_batches=6, seed=0),
+    Scenario("large", n=3000, k=16, batch=64, n_batches=3, seed=0),
+)
+SMOKE_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("smoke-small", n=120, k=4, batch=4, n_batches=3, seed=0),
+    Scenario("smoke-medium", n=240, k=8, batch=8, n_batches=3, seed=1),
+)
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s for s in FULL_SCENARIOS + SMOKE_SCENARIOS
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def run_traced(
+    scenario: Scenario,
+    sink: Union[str, IO[str]],
+    fast: Optional[bool] = None,
+    engine: str = "sample_gather",
+    init: str = "free",
+    profile: bool = False,
+    perturb_batch: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run one scenario with a recorder attached; returns a run summary.
+
+    ``fast`` pins the columnar path on/off (None = process default).
+    ``perturb_batch`` deliberately charges one extra bookkeeping round
+    before that batch index — a seeded fault for exercising
+    ``repro trace-diff`` (the acceptance path for divergence
+    diagnostics); it is never set in normal operation.
+    """
+    import numpy as np
+
+    from repro.core import DynamicMST
+    from repro.graphs import churn_stream, random_weighted_graph
+    from repro.sim.metrics import PhaseProfiler
+    from repro.trace.recorder import TraceRecorder
+
+    rng = np.random.default_rng(scenario.seed)
+    graph = random_weighted_graph(scenario.n, scenario.m, rng)
+    stream = list(
+        churn_stream(graph.copy(), scenario.batch, scenario.n_batches, rng=rng)
+    )
+
+    dm = DynamicMST.build(
+        graph, scenario.k, rng=rng, init=init, engine=engine, fast=fast
+    )
+    if profile:
+        dm.net.ledger.profiler = PhaseProfiler()
+    rec = TraceRecorder(
+        sink,
+        meta={
+            "scenario": scenario.name,
+            "n": scenario.n,
+            "m": scenario.m,
+            "k": scenario.k,
+            "batch": scenario.batch,
+            "n_batches": scenario.n_batches,
+            "seed": scenario.seed,
+            "init": init,
+        },
+    )
+    dm.attach_trace(rec)
+    try:
+        batch_reports: List[Dict[str, int]] = []
+        for i, batch in enumerate(stream):
+            if perturb_batch is not None and i == perturb_batch:
+                with dm.net.ledger.phase("perturbation"):
+                    dm.net.charge_rounds(1)
+            report = dm.apply_batch(batch)
+            batch_reports.append(
+                {"size": report.size, "rounds": report.rounds,
+                 "messages": report.messages, "words": report.words}
+            )
+        dm.check()
+    finally:
+        dm.detach_trace()
+        rec.close()
+    return {
+        "scenario": scenario.name,
+        "rounds": dm.net.ledger.rounds,
+        "messages": dm.net.ledger.messages,
+        "words": dm.net.ledger.words,
+        "digest": dm.net.ledger.digest(),
+        "msf_weight": round(dm.total_weight(), 9),
+        "batches": batch_reports,
+        "events": rec.seq,
+    }

@@ -1,0 +1,91 @@
+"""CLI surface for the observability commands: trace, report, trace-diff."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory, request):
+    tmp = tmp_path_factory.mktemp("cli-traces")
+    a = str(tmp / "a.jsonl")
+    b = str(tmp / "b.jsonl")
+    p = str(tmp / "p.jsonl")
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    with capmanager.global_and_fixture_disabled():
+        assert main(["trace", "smoke-small", "-o", a]) == 0
+        assert main(["trace", "smoke-small", "-o", b]) == 0
+        assert main(["trace", "smoke-small", "-o", p, "--perturb-batch", "1"]) == 0
+    return a, b, p
+
+
+def test_trace_writes_a_valid_trace(traces):
+    from repro.trace import read_trace, validate_events
+
+    a, _b, _p = traces
+    events = read_trace(a)
+    validate_events(events)
+    assert events[0]["meta"]["scenario"] == "smoke-small"
+
+
+def test_trace_unknown_scenario_exits_2(capsys):
+    assert main(["trace", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_report_text(traces, capsys):
+    a, _b, _p = traces
+    assert main(["report", a]) == 0
+    out = capsys.readouterr().out
+    assert "scenario smoke-small" in out
+    assert "batches over budget" in out
+
+
+def test_report_json(traces, capsys):
+    a, _b, _p = traces
+    assert main(["report", a, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro-trace-report/1"
+    assert doc["budget"]["violations"] == 0
+
+
+def test_report_prometheus(traces, capsys):
+    a, _b, _p = traces
+    assert main(["report", a, "--prometheus"]) == 0
+    assert "# TYPE repro_rounds_total counter" in capsys.readouterr().out
+
+
+def test_report_tight_envelope_exits_1(traces, capsys):
+    a, _b, _p = traces
+    assert main(["report", a, "--envelope", "1"]) == 1
+    assert "OVER BUDGET" in capsys.readouterr().out
+
+
+def test_report_unreadable_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["report", str(bad)]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+    assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+
+
+def test_trace_diff_equivalent_exits_0(traces, capsys):
+    a, b, _p = traces
+    assert main(["trace-diff", a, b]) == 0
+    assert "traces equivalent" in capsys.readouterr().out
+
+
+def test_trace_diff_perturbed_exits_1(traces, capsys):
+    a, _b, p = traces
+    assert main(["trace-diff", a, p]) == 1
+    out = capsys.readouterr().out
+    assert "first divergent charge" in out
+    assert "perturbation" in out
+
+
+def test_trace_diff_unreadable_exits_2(traces, tmp_path, capsys):
+    a, _b, _p = traces
+    assert main(["trace-diff", a, str(tmp_path / "missing.jsonl")]) == 2
+    assert "cannot diff traces" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Schema validation for the repro-trace/1 event format."""
+
+import pytest
+
+from repro.trace.events import (
+    TRACE_SCHEMA,
+    TraceFormatError,
+    charge_events,
+    charge_triple,
+    is_charge_bearing,
+    validate_event,
+    validate_events,
+)
+
+
+def header():
+    return {"type": "trace_start", "seq": 0, "schema": TRACE_SCHEMA, "meta": {}}
+
+
+def charge(seq, index, rounds=1, messages=0, words=0):
+    return {"type": "charge", "seq": seq, "index": index,
+            "rounds": rounds, "messages": messages, "words": words}
+
+
+def test_minimal_valid_stream():
+    validate_events([header(), charge(1, 0), charge(2, 1)])
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceFormatError, match="empty"):
+        validate_events([])
+
+
+def test_missing_header_rejected():
+    with pytest.raises(TraceFormatError, match="trace_start"):
+        validate_events([charge(0, 0)])
+
+
+def test_wrong_schema_rejected():
+    bad = header()
+    bad["schema"] = "repro-trace/99"
+    with pytest.raises(TraceFormatError, match="unsupported trace schema"):
+        validate_events([bad])
+
+
+def test_unknown_event_type_rejected():
+    with pytest.raises(TraceFormatError, match="unknown event type"):
+        validate_event({"type": "telemetry", "seq": 3})
+
+
+def test_missing_required_field_rejected():
+    bad = charge(1, 0)
+    del bad["words"]
+    with pytest.raises(TraceFormatError, match="missing fields"):
+        validate_event(bad)
+
+
+def test_missing_seq_rejected():
+    with pytest.raises(TraceFormatError, match="seq"):
+        validate_event({"type": "engine", "feature": "f", "engine": "scalar"})
+
+
+def test_non_monotone_seq_rejected():
+    with pytest.raises(TraceFormatError, match="not strictly increasing"):
+        validate_events([header(), charge(2, 0), charge(2, 1)])
+
+
+def test_non_contiguous_charge_index_rejected():
+    with pytest.raises(TraceFormatError, match="out of order"):
+        validate_events([header(), charge(1, 0), charge(2, 2)])
+
+
+def test_charge_index_must_start_at_zero():
+    with pytest.raises(TraceFormatError, match="out of order"):
+        validate_events([header(), charge(1, 1)])
+
+
+def test_charge_bearing_predicates():
+    c = charge(1, 0, rounds=2, messages=3, words=7)
+    assert is_charge_bearing(c)
+    assert charge_triple(c) == (2, 3, 7)
+    assert not is_charge_bearing(header())
+    phase = {"type": "phase_start", "seq": 1, "name": "x", "depth": 0}
+    events = [header(), phase, c]
+    assert charge_events(events) == [c]

@@ -1,0 +1,213 @@
+"""The recorder: no-op when detached, ledger-faithful when attached."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.graphs import churn_stream, random_weighted_graph
+from repro.sim.metrics import Ledger
+from repro.trace.events import charge_events, charge_triple, validate_events
+from repro.trace.recorder import TraceRecorder, read_trace, recording
+
+
+def events_of(buf: io.StringIO):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def run_trajectory(recorder=None, seed=0):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(60, 180, rng)
+    dm = DynamicMST.build(g, 4, rng=rng, init="free")
+    if recorder is not None:
+        dm.attach_trace(recorder)
+    for batch in churn_stream(g.copy(), 3, 2, rng=rng):
+        dm.apply_batch(batch)
+    dm.check()
+    if recorder is not None:
+        dm.detach_trace()
+    return dm
+
+
+def test_recorder_detached_by_default():
+    assert Ledger().recorder is None
+    dm = run_trajectory()
+    assert dm.net.ledger.recorder is None
+
+
+def test_attached_run_charges_identical_ledger():
+    """Recording observes the ledger; it must never change what is charged."""
+    plain = run_trajectory()
+    buf = io.StringIO()
+    with TraceRecorder(buf) as rec:
+        traced = run_trajectory(recorder=rec)
+    assert traced.net.ledger.digest() == plain.net.ledger.digest()
+    assert traced.net.ledger.transcript == plain.net.ledger.transcript
+
+
+def test_trace_mirrors_the_transcript():
+    buf = io.StringIO()
+    with TraceRecorder(buf) as rec:
+        dm = run_trajectory(recorder=rec)
+    events = events_of(buf)
+    validate_events(events)
+    charges = charge_events(events)
+    assert [charge_triple(e) for e in charges] == dm.net.ledger.transcript
+    assert [e["index"] for e in charges] == list(range(len(charges)))
+
+
+def test_traces_are_deterministic():
+    """No timestamps: same seed, byte-identical event stream."""
+    bufs = []
+    for _ in range(2):
+        buf = io.StringIO()
+        with TraceRecorder(buf) as rec:
+            run_trajectory(recorder=rec, seed=7)
+        bufs.append(buf.getvalue())
+    assert bufs[0] == bufs[1]
+
+
+def test_run_lifecycle_events():
+    buf = io.StringIO()
+    with TraceRecorder(buf, meta={"note": "unit"}) as rec:
+        dm = run_trajectory(recorder=rec)
+    events = events_of(buf)
+    assert events[0]["type"] == "trace_start"
+    assert events[0]["meta"] == {"note": "unit"}
+    (start,) = [e for e in events if e["type"] == "run_start"]
+    assert start["model"] == "k-machine"
+    assert start["k"] == 4
+    (end,) = [e for e in events if e["type"] == "run_end"]
+    assert end["digest"] == dm.net.ledger.digest()
+    assert end["rounds"] == dm.net.ledger.rounds
+    trailer = events[-1]
+    assert trailer["type"] == "trace_end"
+    assert trailer["charges"] == len(dm.net.ledger.transcript)
+    assert trailer["rounds"] == dm.net.ledger.rounds
+
+
+def test_superstep_context_merges_into_the_charge():
+    buf = io.StringIO()
+    rec = TraceRecorder(buf)
+    ledger = Ledger()
+    ledger.recorder = rec
+    rec.on_superstep("scalar", 3, 5, send=[5, 0], recv=[0, 5], sizes={1: 1, 2: 2})
+    ledger.charge(2, 3, 5)
+    ledger.charge(1)  # a bare round charge: no superstep context
+    rec.close()
+    events = events_of(buf)
+    step = events[1]
+    assert step["type"] == "superstep"
+    assert step["engine"] == "scalar"
+    assert step["send"] == [5, 0] and step["recv"] == [0, 5]
+    assert step["sizes"] == {"1": 1, "2": 2}
+    assert charge_triple(step) == (2, 3, 5)
+    assert "site" in step
+    bare = events[2]
+    assert bare["type"] == "charge"
+    assert "engine" not in bare
+
+
+def test_violation_clears_pending_superstep_context():
+    """An aborted superstep must not leak its load vectors into a later charge."""
+    buf = io.StringIO()
+    rec = TraceRecorder(buf)
+    ledger = Ledger()
+    ledger.recorder = rec
+    rec.on_superstep("scalar", 1, 1, send=[1], recv=[1], sizes={1: 1})
+    rec.on_violation("undercharged-words", "boom")
+    ledger.charge(1)
+    rec.close()
+    events = events_of(buf)
+    assert events[1]["type"] == "violation"
+    assert events[1]["kind"] == "undercharged-words"
+    assert events[2]["type"] == "charge"
+
+
+def test_phase_boundaries_carry_the_delta():
+    buf = io.StringIO()
+    rec = TraceRecorder(buf)
+    ledger = Ledger()
+    ledger.recorder = rec
+    with ledger.phase("outer"):
+        ledger.charge(2, 1, 4)
+        with ledger.phase("inner"):
+            ledger.charge(3)
+    rec.close()
+    events = events_of(buf)
+    starts = [e for e in events if e["type"] == "phase_start"]
+    ends = {e["name"]: e for e in events if e["type"] == "phase_end"}
+    assert [(e["name"], e["depth"]) for e in starts] == [("outer", 0), ("inner", 1)]
+    assert (ends["inner"]["rounds"], ends["inner"]["words"]) == (3, 0)
+    assert (ends["outer"]["rounds"], ends["outer"]["words"]) == (5, 4)
+
+
+def test_call_site_attribution_skips_the_sim_layer():
+    buf = io.StringIO()
+    rec = TraceRecorder(buf)
+    ledger = Ledger()
+    ledger.recorder = rec
+    ledger.charge(1)
+    rec.close()
+    charge = events_of(buf)[1]
+    # The charging frame inside sim/metrics.py is skipped; the site is
+    # this test file (outside the package root, so basename:line).
+    assert charge["site"].startswith("test_recorder.py:")
+
+
+def test_recording_context_manager_restores_previous():
+    ledger = Ledger()
+    with recording(io.StringIO(), ledger) as rec:
+        assert ledger.recorder is rec
+        ledger.charge(1)
+    assert ledger.recorder is None
+    assert rec.closed
+
+
+def test_close_is_idempotent_and_emit_after_close_raises():
+    buf = io.StringIO()
+    rec = TraceRecorder(buf)
+    rec.close()
+    rec.close()
+    assert buf.getvalue().count('"trace_end"') == 1
+    with pytest.raises(ValueError, match="closed"):
+        rec.emit("engine", feature="f", engine="scalar")
+
+
+def test_path_sink_round_trips_through_read_trace(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rec = TraceRecorder(path, meta={"x": 1})
+    rec.on_engine("structural_batch", "columnar")
+    rec.close()
+    events = read_trace(path)
+    validate_events(events)
+    assert [e["type"] for e in events] == ["trace_start", "engine", "trace_end"]
+
+
+def test_read_trace_rejects_garbage(tmp_path):
+    from repro.trace.events import TraceFormatError
+
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "trace_start"\nnot json\n')
+    with pytest.raises(TraceFormatError, match="not valid JSON"):
+        read_trace(path)
+
+
+def test_mpc_run_start_carries_space():
+    from repro.mpc import MPCDynamicMST
+
+    rng = np.random.default_rng(0)
+    g = random_weighted_graph(40, 120, rng)
+    dm = MPCDynamicMST.build(g, 4, rng=rng, init="free")
+    buf = io.StringIO()
+    with TraceRecorder(buf) as rec:
+        dm.attach_trace(rec)
+        for batch in churn_stream(g.copy(), 3, 1, rng=rng):
+            dm.apply_batch(batch)
+        dm.detach_trace()
+    (start,) = [e for e in events_of(buf) if e["type"] == "run_start"]
+    assert start["model"] == "mpc"
+    assert start["space"] == dm.space
+    assert "words_per_round" not in start

@@ -12,6 +12,7 @@ per engine, speedups, ledger digests, kernel microbenchmarks, and the
     PYTHONPATH=src python tools/bench_run.py --smoke      # CI-sized
     PYTHONPATH=src python tools/bench_run.py --strict     # REPRO_STRICT=1
     PYTHONPATH=src python tools/bench_run.py --profile    # phase counters
+    PYTHONPATH=src python tools/bench_run.py --trace-dir traces/  # JSONL traces
 
 The digest assertion is the harness's reason to exist: a speedup from a
 path that charges a different ledger is a model violation, not an
@@ -27,27 +28,19 @@ import json
 import os
 import sys
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 import numpy as np
 
-# (name, n, k, batch, n_batches, seed)
-FULL_SCENARIOS: List[Tuple[str, int, int, int, int, int]] = [
-    ("small", 300, 8, 8, 6, 0),
-    ("medium", 1000, 8, 8, 6, 0),
-    ("wide", 1000, 32, 32, 6, 0),
-    ("large", 3000, 16, 64, 3, 0),
-]
-SMOKE_SCENARIOS: List[Tuple[str, int, int, int, int, int]] = [
-    ("smoke-small", 120, 4, 4, 3, 0),
-    ("smoke-medium", 240, 8, 8, 3, 1),
-]
+# One scenario registry serves the bench harness and `repro trace`: a
+# trace captured from a benchmark scenario is the same workload.
+from repro.trace.scenarios import FULL_SCENARIOS, SMOKE_SCENARIOS, Scenario
 
 
 def _run_engine(graph, stream, k: int, seed: int, fast: bool,
-                profile: bool) -> Dict[str, Any]:
+                profile: bool, trace_path: Optional[str] = None) -> Dict[str, Any]:
     """One full trajectory on a fresh structure; returns timing + ledger."""
     from repro.core import DynamicMST
     from repro.sim.metrics import PhaseProfiler
@@ -56,11 +49,20 @@ def _run_engine(graph, stream, k: int, seed: int, fast: bool,
     dm = DynamicMST.build(graph, k, rng=rng, init="free", fast=fast)
     if profile:
         dm.net.ledger.profiler = PhaseProfiler()
+    recorder = None
+    if trace_path is not None:
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder(trace_path, meta={"harness": "bench_run"})
+        dm.attach_trace(recorder)
     t0 = time.perf_counter()
     for batch in stream:
         dm.apply_batch(batch)
     wall_s = time.perf_counter() - t0
     dm.check()
+    if recorder is not None:
+        dm.detach_trace()
+        recorder.close()
     ledger = dm.net.ledger
     out: Dict[str, Any] = {
         "wall_s": wall_s,
@@ -73,20 +75,31 @@ def _run_engine(graph, stream, k: int, seed: int, fast: bool,
     }
     if profile:
         out["profile"] = dm.net.ledger.profiler.as_dict()
+    if trace_path is not None:
+        out["trace"] = trace_path
     return out
 
 
-def run_scenario(name: str, n: int, k: int, batch: int, n_batches: int,
-                 seed: int, profile: bool) -> Dict[str, Any]:
+def run_scenario(scenario: Scenario, profile: bool,
+                 trace_dir: Optional[str] = None) -> Dict[str, Any]:
     from repro.graphs import churn_stream, random_weighted_graph
 
+    name, n, k = scenario.name, scenario.n, scenario.k
+    batch, n_batches, seed = scenario.batch, scenario.n_batches, scenario.seed
     rng = np.random.default_rng(seed)
-    graph = random_weighted_graph(n, 3 * n, rng)
+    graph = random_weighted_graph(n, scenario.m, rng)
     stream = list(churn_stream(graph.copy(), batch, n_batches, rng=rng))
     n_updates = sum(len(b) for b in stream)
 
-    reference = _run_engine(graph, stream, k, seed, fast=False, profile=False)
-    fastpath = _run_engine(graph, stream, k, seed, fast=True, profile=profile)
+    trace_ref = trace_fast = None
+    if trace_dir is not None:
+        trace_ref = os.path.join(trace_dir, f"{name}-reference.jsonl")
+        trace_fast = os.path.join(trace_dir, f"{name}-fast.jsonl")
+
+    reference = _run_engine(graph, stream, k, seed, fast=False, profile=False,
+                            trace_path=trace_ref)
+    fastpath = _run_engine(graph, stream, k, seed, fast=True, profile=profile,
+                           trace_path=trace_fast)
 
     if fastpath["digest"] != reference["digest"]:
         raise AssertionError(
@@ -243,6 +256,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="run all scenarios under REPRO_STRICT=1")
     ap.add_argument("--profile", action="store_true",
                     help="attach the phase profiler to the fast runs")
+    ap.add_argument("--trace-dir", default=None,
+                    help="capture a repro.trace JSONL per scenario per engine "
+                         "into this directory (timed throughput then includes "
+                         "recording overhead)")
     ap.add_argument("--out", default=None,
                     help="output JSON path (default BENCH_<date>.json)")
     ap.add_argument("--min-speedup", type=float, default=None,
@@ -252,15 +269,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.strict:
         os.environ["REPRO_STRICT"] = "1"
+    if args.trace_dir is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
 
     scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
     kernel_rows = 2048 if args.smoke else 65536
     alloc_count = 20_000 if args.smoke else 200_000
 
     print(f"bench_run: {'smoke' if args.smoke else 'full'} trajectory, "
-          f"strict={'on' if args.strict else 'off'}")
+          f"strict={'on' if args.strict else 'off'}"
+          f"{', tracing to ' + args.trace_dir if args.trace_dir else ''}")
     print("scenarios (reference vs columnar fast path):")
-    scenario_results = [run_scenario(*s, profile=args.profile) for s in scenarios]
+    scenario_results = [
+        run_scenario(s, profile=args.profile, trace_dir=args.trace_dir)
+        for s in scenarios
+    ]
     print("kernels:")
     kernels = bench_kernels(kernel_rows)
     print("allocation:")
