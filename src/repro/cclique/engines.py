@@ -39,12 +39,23 @@ from repro.comm.rerouting import scheduled_broadcasts
 from repro.cclique.ccedge import CCEdge
 from repro.graphs.dsu import DisjointSet
 from repro.graphs.generators import RngLike, as_rng
+from repro.perf.config import VECTOR_MIN_ROWS, fast_path_enabled
 from repro.sim.message import WORDS_COMPONENT_EDGE, Message
 from repro.sim.network import Network
 
 
 def _cc_local_msf(edges: Sequence[CCEdge]) -> List[CCEdge]:
-    """Machine-local cycle deletion over super-vertices (no communication)."""
+    """Machine-local cycle deletion over super-vertices (no communication).
+
+    Pure local computation (no wire), so the columnar kernel
+    (:func:`repro.perf.cclique_columnar.cc_local_msf_columnar`) is used
+    above the vectorize/loop crossover when the fast path is on; it
+    returns the identical edge list in the identical order.
+    """
+    if fast_path_enabled() and len(edges) >= VECTOR_MIN_ROWS:
+        from repro.perf.cclique_columnar import cc_local_msf_columnar
+
+        return cc_local_msf_columnar(edges)
     dsu = DisjointSet()
     out: List[CCEdge] = []
     for e in sorted(edges):
@@ -72,9 +83,16 @@ def boruvka_engine(
     rng: RngLike = None,
 ) -> List[CCEdge]:
     """Deterministic Borůvka with batched per-component min-queries."""
+    if fast_path_enabled():
+        from repro.perf.cclique_columnar import boruvka_engine_columnar
+
+        return boruvka_engine_columnar(net, n_vertices, local_edges, rng)
     k = net.k
     if len(local_edges) != k:
         raise ValueError("need one edge list per machine")
+    recorder = net.ledger.recorder
+    if recorder is not None:
+        recorder.on_engine("cc_boruvka", "scalar")
     # The component map is replicated: every machine sees the same
     # broadcast answers, so it evolves identically everywhere.
     dsu = DisjointSet(range(n_vertices))

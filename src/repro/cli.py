@@ -237,7 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path (default <scenario>.trace.jsonl)")
     trace.add_argument("--engine", default="sample_gather",
                        choices=["boruvka", "lotker", "sample_gather"])
-    trace.add_argument("--init", choices=["distributed", "free"], default="free")
+    trace.add_argument("--init", choices=["distributed", "free"], default=None,
+                       help="override the scenario's init mode "
+                            "(default: the scenario's own, usually free)")
     trace.add_argument("--profile", action="store_true",
                        help="embed per-phase wall/alloc counters in run_end")
     engine_pin = trace.add_mutually_exclusive_group()

@@ -86,6 +86,7 @@ class DynamicMST:
         words_per_round: int = 1,
         vp: Optional[VertexPartition] = None,
         fast: Optional[bool] = None,
+        trace: Optional[TraceSink] = None,
     ) -> "DynamicMST":
         """Partition ``graph`` over ``k`` machines and build the structure.
 
@@ -95,7 +96,10 @@ class DynamicMST:
         benchmarks).  ``fast`` pins the columnar fast path on (True) or
         off (False) for this instance regardless of the process default;
         both settings produce byte-identical ledgers (see
-        :mod:`repro.perf`).
+        :mod:`repro.perf`).  ``trace`` attaches a recorder *before*
+        initialisation, so a measured init's charges are part of the
+        trace (charge indices must be contiguous from 0 — a recorder
+        attached after a distributed init would start mid-transcript).
         """
         rng = as_rng(rng)
         net = KMachineNetwork(k, words_per_round=words_per_round)
@@ -103,6 +107,8 @@ class DynamicMST:
             vp = random_vertex_partition(sorted(graph.vertices()), k, rng)
         dm = cls(graph, k, vp, net, engine=engine, rng=rng)
         dm.fast = fast
+        if trace is not None:
+            dm.attach_trace(trace)
         before = net.ledger.snapshot()
         with override_fast_path(fast):
             if init == "distributed":

@@ -24,6 +24,7 @@ from repro.euler.tour import ETEdge, EulerForest
 from repro.graphs.dsu import DisjointSet
 from repro.graphs.graph import Edge, WeightedGraph
 from repro.graphs.mst import kruskal_msf
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_EDGE
 from repro.sim.network import Network
 from repro.sim.partition import VertexPartition
@@ -63,6 +64,15 @@ def distributed_init(
     next_tour_id: int,
 ) -> Tuple[Set[Edge], int]:
     """Borůvka + batched Euler construction; returns (MSF edges, counter)."""
+    if fast_path_enabled():
+        from repro.perf.init_columnar import distributed_init_columnar
+
+        return distributed_init_columnar(
+            net, vp, states, vertices, next_tour_id
+        )
+    recorder = net.ledger.recorder
+    if recorder is not None:
+        recorder.on_engine("init_build", "scalar")
     k = net.k
     dsu = DisjointSet(vertices)
     msf: Set[Edge] = set()

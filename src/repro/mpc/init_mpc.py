@@ -29,6 +29,7 @@ from repro.core.state import MachineState
 from repro.graphs.dsu import DisjointSet
 from repro.graphs.graph import Edge
 from repro.mpc.cole_vishkin import cole_vishkin_3coloring
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_EDGE, WORDS_ID, Message
 from repro.sim.network import Network
 from repro.sim.partition import VertexPartition
@@ -62,6 +63,15 @@ def mpc_init(
     batch_limit: Optional[int] = None,
 ) -> Tuple[Set[Edge], int]:
     """Star-merge Borůvka; returns (MSF edges, advanced tour counter)."""
+    if fast_path_enabled():
+        from repro.perf.init_columnar import mpc_init_columnar
+
+        return mpc_init_columnar(
+            net, vp, states, vertices, next_tour_id, batch_limit
+        )
+    recorder = net.ledger.recorder
+    if recorder is not None:
+        recorder.on_engine("mpc_init", "scalar")
     k = net.k
     if batch_limit is None:
         batch_limit = getattr(net, "space", k)

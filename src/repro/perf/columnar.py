@@ -74,10 +74,15 @@ class MachineLabelPlane:
     """
 
     def __init__(
-        self, state: "MachineState", a_orig: Set[int], eps: Set[int]
+        self,
+        state: "MachineState",
+        a_orig: Set[int],
+        eps: Set[int],
+        reserve: int = 0,
     ) -> None:
         self.state = state
         self._a_orig = a_orig
+        self._frozen = False
         mst = state.mst
         keys: List[Tuple[int, int]] = []
         for tid in sorted(a_orig):
@@ -110,19 +115,25 @@ class MachineLabelPlane:
 
         # tour_of's keys are exactly the tracked set (track() seeds both);
         # insertion order is deterministic, and no result below depends on
-        # row order, so the selection order stands in for a sort.
-        sel = [
-            (x, t)
-            for x, t in state.tour_of.items()
-            if (t is not None and t in a_orig) or x in eps
-        ]
-        nv = len(sel)
-        self.vx_list: List[int] = [x for (x, _t) in sel]
-        self.vrow: Dict[int, int] = dict(zip(self.vx_list, range(nv)))
-        self.vx = np.array(self.vx_list, dtype=np.int64)
-        self.vtour = np.array(
-            [t if t is not None else -1 for (_x, t) in sel], dtype=np.int64
+        # row order, so the selection order stands in for a sort.  The
+        # filter runs vectorized: tourless rows map to -1, which never
+        # matches a_orig (tour ids are >= 0), so they survive only
+        # through the endpoint test — same rule as the scalar filter.
+        tof = state.tour_of
+        ntr = len(tof)
+        xs_all = np.fromiter(tof.keys(), np.int64, ntr)
+        ts_all = np.fromiter(
+            (-1 if t is None else t for t in tof.values()), np.int64, ntr
         )
+        mask = np.isin(ts_all, np.fromiter(a_orig, np.int64, len(a_orig)))
+        if eps:
+            mask |= np.isin(xs_all, np.fromiter(eps, np.int64, len(eps)))
+        idx = np.flatnonzero(mask)
+        nv = idx.size
+        self.vx = xs_all[idx]
+        self.vtour = ts_all[idx]
+        self.vx_list: List[int] = self.vx.tolist()
+        self.vrow: Dict[int, int] = dict(zip(self.vx_list, range(nv)))
         witness = state.witness
         # The init protocols can know a vertex's tour before any witness
         # entry exists for it; a missing entry behaves like None.
@@ -153,6 +164,24 @@ class MachineLabelPlane:
         self._w_0 = (
             self.walive.copy(), self.wt1.copy(), self.wt2.copy(), self.wtour.copy()
         )
+        # Superset of the tour ids appearing anywhere in this plane's
+        # columns.  A step whose tours are all absent provably moves no
+        # local row, so its masked transforms can be skipped wholesale —
+        # during initialisation most (machine, step) pairs are exactly
+        # that.  The set only ever grows (merged-away ids linger), which
+        # costs missed skips but can never skip real work.
+        tours = set(np.unique(self.etour[:n0]).tolist())
+        tours.update(np.unique(self.vtour).tolist())
+        tours.discard(-1)
+        if nv and bool(self.walive.any()):
+            tours.update(np.unique(self.wtour[self.walive]).tolist())
+        self._tours = tours
+        # Pre-size the edge columns for every row this batch can append
+        # (one per hosted link): once a fleet applier adopts the columns
+        # as views into stacked parents, reallocation would silently
+        # detach them, so growth happens up front and is then frozen.
+        if reserve:
+            self._grow(reserve)
 
     # ------------------------------------------------------------------
     # edge-row helpers
@@ -161,6 +190,11 @@ class MachineLabelPlane:
         need = self.n_rows + extra
         if need <= self._capacity:
             return
+        if self._frozen:
+            raise ProtocolError(
+                f"machine {self.state.mid}: plane columns are fleet-adopted "
+                f"but need {need} rows (capacity {self._capacity})"
+            )
         new_cap = max(need, 2 * self._capacity, 8)
         for name in ("eu", "ev", "et1", "et2", "etour"):
             old = getattr(self, name)
@@ -262,7 +296,10 @@ class MachineLabelPlane:
             self.wt1[i], self.wt2[i], self.wtour[i] = t1, t2, tour
             self.walive[i] = True
             self.wreplaced[i] = True
+            self._tours.add(tour)
         self.vtour[i] = tid if tid is not None else -1
+        if tid is not None:
+            self._tours.add(tid)
 
     def outgoing_value(self, x: int) -> Optional[int]:
         """Min label departing ``x`` (MachineState.outgoing_value's rule)."""
@@ -318,6 +355,15 @@ class MachineLabelPlane:
     def cut_step(self, step: "CutStep") -> None:
         spec = step.spec
         cu, cv = normalize(*step.edge)
+        if spec.old_tour not in self._tours:
+            # No row of the split tour lives here — not an edge, not a
+            # live witness, not a tracked vertex (each would have put
+            # ``old_tour`` into ``_tours``) — so only the replicated
+            # size bookkeeping applies on this machine.
+            self.state.tour_size[spec.old_tour] = spec.root_side_size
+            self.state.tour_size[spec.inside_tour] = spec.inside_size
+            return
+        self._tours.add(spec.inside_tour)
         n = self.n_rows
         et1, et2 = self.et1[:n], self.et2[:n]
         etour, ealive = self.etour[:n], self.ealive[:n]
@@ -405,15 +451,30 @@ class MachineLabelPlane:
     # ------------------------------------------------------------------
     def link_step(self, step: "LinkStep") -> None:
         spec = step.spec
-        u, v = step.edge
-        lab_in, lab_out = spec.new_edge_labels
         n = self.n_rows
 
-        # 1. Relabel existing MST edges and witnesses.
-        self._join_masked(
-            self.et1[:n], self.et2[:n], self.etour[:n], self.ealive[:n], spec
-        )
-        self._join_masked(self.wt1, self.wt2, self.wtour, self.walive, spec)
+        # 1. Relabel existing MST edges and witnesses.  Skipped when this
+        # plane holds no row of either tour (see ``_tours``): the M2
+        # relabel and the M1 insertion shift are both empty then, as is
+        # the vertex-side tour rename below.
+        if spec.tour1 in self._tours or spec.tour2 in self._tours:
+            self._join_masked(
+                self.et1[:n], self.et2[:n], self.etour[:n], self.ealive[:n], spec
+            )
+            self._join_masked(self.wt1, self.wt2, self.wtour, self.walive, spec)
+            self.vtour[self.vtour == spec.tour2] = spec.tour1
+            self._tours.add(spec.tour1)
+        self.link_local(step)
+
+    def link_local(self, step: "LinkStep") -> None:
+        """Steps 2–4 of a link: the append / bookkeeping / witness-fill
+        parts that are inherently per-machine.  The label joins (step 1)
+        are applied by the caller — per plane in :meth:`link_step`, or
+        once over the stacked fleet columns in :class:`_FleetLinkApplier`.
+        """
+        spec = step.spec
+        u, v = step.edge
+        lab_in, lab_out = spec.new_edge_labels
 
         # 2. Materialize the new edge if this machine hosts an endpoint.
         state = self.state
@@ -425,9 +486,9 @@ class MachineLabelPlane:
                     f"machine {state.mid}: MST edge {key} already present"
                 )
             self._append_row(key[0], key[1], step.weight, lab_in, lab_out, spec.tour1)
+            self._tours.add(spec.tour1)
 
         # 3. Tour bookkeeping: M2 dissolves into M1.
-        self.vtour[self.vtour == spec.tour2] = spec.tour1
         state.tour_size[spec.tour1] = spec.new_size
         state.tour_size.pop(spec.tour2, None)
 
@@ -442,6 +503,7 @@ class MachineLabelPlane:
                 self.wtour[i] = spec.tour1
                 self.walive[i] = True
                 self.wreplaced[i] = True
+                self._tours.add(spec.tour1)
 
     # ------------------------------------------------------------------
     # scatter back into the MachineState dicts (changed rows only)
@@ -550,6 +612,59 @@ class MachineLabelPlane:
 
 
 # ----------------------------------------------------------------------
+# fleet-fused link application
+# ----------------------------------------------------------------------
+class _FleetLinkApplier:
+    """Apply a link script to every plane with the label joins fused.
+
+    A join spec is machine-independent — the same label arithmetic runs
+    on every machine's rows — so instead of per-plane masked joins
+    (k calls per step, each over a small array) the planes' columns are
+    stacked into shared parents and each plane's attributes are replaced
+    by views into them.  One step then costs one edge join, one witness
+    join, and one vertex-tour rename over the stacked arrays; the
+    per-machine scalar parts (edge append, size bookkeeping, witness
+    fill) still run per plane through :meth:`MachineLabelPlane.link_local`
+    and write through the views.  During initialisation this takes the
+    join count per batch from O(k · links) to O(links).
+    """
+
+    def __init__(self, planes: Sequence[MachineLabelPlane]) -> None:
+        self.planes = planes
+        for pl in planes:
+            pl._frozen = True
+        self.e1, self.e2, self.etour, self.ealive = self._adopt(
+            ("et1", "et2", "etour", "ealive")
+        )
+        self.w1, self.w2, self.wtour, self.walive = self._adopt(
+            ("wt1", "wt2", "wtour", "walive")
+        )
+        (self.vtour,) = self._adopt(("vtour",))
+
+    def _adopt(self, names: Sequence[str]) -> List[np.ndarray]:
+        parents: List[np.ndarray] = []
+        for name in names:
+            arrs = [getattr(pl, name) for pl in self.planes]
+            parent = np.concatenate(arrs)
+            off = 0
+            for pl, a in zip(self.planes, arrs):
+                setattr(pl, name, parent[off : off + a.shape[0]])
+                off += a.shape[0]
+            parents.append(parent)
+        return parents
+
+    def run(self, script: Sequence["LinkStep"]) -> None:
+        join = MachineLabelPlane._join_masked
+        for step in script:
+            spec = step.spec
+            join(self.e1, self.e2, self.etour, self.ealive, spec)
+            join(self.w1, self.w2, self.wtour, self.walive, spec)
+            self.vtour[self.vtour == spec.tour2] = spec.tour1
+            for pl in self.planes:
+                pl.link_local(step)
+
+
+# ----------------------------------------------------------------------
 # the fast-path structural batch (mirrors scripts.run_structural_batch)
 # ----------------------------------------------------------------------
 def run_structural_batch_columnar(
@@ -603,7 +718,17 @@ def run_structural_batch_columnar(
             t = states[vp.home(x)].tour_of.get(x)
             if t is not None and t < base:
                 a_orig.add(t)
-    planes = [MachineLabelPlane(st, a_orig, eps) for st in states]
+    planes = [
+        MachineLabelPlane(
+            st,
+            a_orig,
+            eps,
+            reserve=sum(
+                1 for (u, v, _w) in links if u in st.vertices or v in st.vertices
+            ),
+        )
+        for st in states
+    ]
     if cut_script:
         for pl in planes:
             for step in cut_script:
@@ -613,13 +738,84 @@ def run_structural_batch_columnar(
     if links:
         lparams = _collect_link_params_columnar(net, vp, states, planes, links)
         link_script = build_link_script(lparams)
-        for pl in planes:
-            for step in link_script:
-                pl.link_step(step)
+        _FleetLinkApplier(planes).run(link_script)
     for pl in planes:
         pl.scatter()
         pl.state.refresh_gauges()
     return next_tour_id
+
+
+class LinkBatchSession:
+    """Planes held open across consecutive link-only structural batches.
+
+    The initialisation protocols (Theorems 5.8 and 8.1) run hundreds of
+    small link batches back to back, and *nothing between two batches
+    reads the Euler state* — the Borůvka drivers only consult their own
+    component structure and the machines' static graph-edge dictionaries.
+    Packing and scattering every machine's labels around each batch is
+    therefore pure overhead; this session packs once (over every current
+    tour), applies each batch's link script through the plane/fleet
+    machinery, and scatters once in :meth:`close`.
+
+    Wire-identity is untouched: each :meth:`run_links` call collects and
+    broadcasts the same link parameters as an equivalent
+    :func:`repro.core.scripts.run_structural_batch` call — the planes it
+    reads tour ids from hold exactly the state a scatter would have
+    installed.  What *does* change is space-gauge sampling: the scalar
+    engine refreshes gauges after every batch, the session only on
+    close, so ``Machine.peak_words`` during initialisation is sampled at
+    the endpoints rather than per batch (the charge ledger never sees
+    gauges, so rounds/messages/words/digest are byte-identical).
+
+    Precondition: every tracked vertex has a tour (true after
+    :func:`repro.core.init_build.make_states`), so the pack over all
+    current tours covers every row a link can touch.
+    """
+
+    def __init__(
+        self,
+        net: "Network",
+        vp: "VertexPartition",
+        states: Sequence["MachineState"],
+    ) -> None:
+        self.net = net
+        self.vp = vp
+        self.states = states
+        a_orig: Set[int] = set()
+        for st in states:
+            a_orig.update(t for t in st.tour_of.values() if t is not None)
+        self.planes = [MachineLabelPlane(st, a_orig, set()) for st in states]
+
+    def run_links(
+        self, links: Sequence[Tuple[int, int, float]], next_tour_id: int
+    ) -> int:
+        """One Lemma 5.9 link batch; same wire as ``run_structural_batch``."""
+        from repro.core.scripts import build_link_script
+
+        if not links:
+            return next_tour_id
+        recorder = self.net.ledger.recorder
+        if recorder is not None:
+            recorder.on_engine("structural_batch", "columnar")
+        for pl in self.planes:
+            st = pl.state
+            need = sum(
+                1 for (u, v, _w) in links if u in st.vertices or v in st.vertices
+            )
+            if need:
+                pl._frozen = False
+                pl._grow(need)
+        lparams = _collect_link_params_columnar(
+            self.net, self.vp, self.states, self.planes, links
+        )
+        _FleetLinkApplier(self.planes).run(build_link_script(lparams))
+        return next_tour_id
+
+    def close(self) -> None:
+        """Scatter every plane back into its machine state, once."""
+        for pl in self.planes:
+            pl.scatter()
+            pl.state.refresh_gauges()
 
 
 def _repair_witnesses_columnar(

@@ -25,6 +25,11 @@ class Scenario:
     seed: int = 0
     #: Edge density: m = m_per_n * n (the benchmark harness's 3n).
     m_per_n: int = 3
+    #: Initialisation mode handed to :meth:`DynamicMST.build` — ``free``
+    #: (oracle bootstrap, the default: update-cost scenarios keep init
+    #: out of their ledgers) or ``distributed`` (the measured Theorem 5.8
+    #: protocol; the init scenarios below benchmark it end to end).
+    init: str = "free"
 
     @property
     def m(self) -> int:
@@ -41,9 +46,23 @@ SMOKE_SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("smoke-small", n=120, k=4, batch=4, n_batches=3, seed=0),
     Scenario("smoke-medium", n=240, k=8, batch=8, n_batches=3, seed=1),
 )
+#: Measured-initialisation trajectories: the same churn workloads, but
+#: built with the charged Theorem 5.8 protocol instead of the oracle
+#: bootstrap, so the init phase itself is part of the benchmark.
+INIT_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("init-medium", n=1000, k=8, batch=8, n_batches=3, seed=0,
+             init="distributed"),
+    Scenario("init-large", n=3000, k=16, batch=64, n_batches=3, seed=0,
+             init="distributed"),
+)
+INIT_SMOKE_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("smoke-init", n=150, k=4, batch=4, n_batches=2, seed=0,
+             init="distributed"),
+)
 
 SCENARIOS: Dict[str, Scenario] = {
-    s.name: s for s in FULL_SCENARIOS + SMOKE_SCENARIOS
+    s.name: s
+    for s in FULL_SCENARIOS + SMOKE_SCENARIOS + INIT_SCENARIOS + INIT_SMOKE_SCENARIOS
 }
 
 
@@ -60,13 +79,15 @@ def run_traced(
     sink: Union[str, IO[str]],
     fast: Optional[bool] = None,
     engine: str = "sample_gather",
-    init: str = "free",
+    init: Optional[str] = None,
     profile: bool = False,
     perturb_batch: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run one scenario with a recorder attached; returns a run summary.
 
     ``fast`` pins the columnar path on/off (None = process default).
+    ``init`` overrides the scenario's init mode (None = use
+    ``scenario.init``).
     ``perturb_batch`` deliberately charges one extra bookkeeping round
     before that batch index — a seeded fault for exercising
     ``repro trace-diff`` (the acceptance path for divergence
@@ -79,17 +100,14 @@ def run_traced(
     from repro.sim.metrics import PhaseProfiler
     from repro.trace.recorder import TraceRecorder
 
+    if init is None:
+        init = scenario.init
     rng = np.random.default_rng(scenario.seed)
     graph = random_weighted_graph(scenario.n, scenario.m, rng)
     stream = list(
         churn_stream(graph.copy(), scenario.batch, scenario.n_batches, rng=rng)
     )
 
-    dm = DynamicMST.build(
-        graph, scenario.k, rng=rng, init=init, engine=engine, fast=fast
-    )
-    if profile:
-        dm.net.ledger.profiler = PhaseProfiler()
     rec = TraceRecorder(
         sink,
         meta={
@@ -103,7 +121,14 @@ def run_traced(
             "init": init,
         },
     )
-    dm.attach_trace(rec)
+    # The recorder rides through build so a measured (distributed) init
+    # is part of the trace — charge indices are contiguous from 0.
+    dm = DynamicMST.build(
+        graph, scenario.k, rng=rng, init=init, engine=engine, fast=fast,
+        trace=rec,
+    )
+    if profile:
+        dm.net.ledger.profiler = PhaseProfiler()
     try:
         batch_reports: List[Dict[str, int]] = []
         for i, batch in enumerate(stream):

@@ -135,3 +135,19 @@ def test_budget_for_run_selects_the_theorem():
     assert mpc.envelope == 7
     # Unknown models degrade to a k-machine budget rather than failing.
     assert budget_for_run({}).capacity == 1
+
+
+def test_distributed_init_trace_validates_and_carries_init(tmp_path):
+    # A measured (Theorem 5.8) init charges the ledger before any batch;
+    # the recorder must ride through build so the trace's charge indices
+    # stay contiguous from 0 — read_trace validates exactly that.
+    tiny = Scenario("tiny-init", n=30, k=3, batch=3, n_batches=2, seed=0,
+                    init="distributed")
+    path = tmp_path / "tiny-init.jsonl"
+    result = run_traced(tiny, str(path))
+    events = read_trace(path)
+    summary = summarize(events)
+    assert summary.rounds == result["rounds"]
+    assert "init" in summary.phases
+    assert summary.phases["init"].rounds > 0
+    assert len(summary.batches) == tiny.n_batches

@@ -36,25 +36,36 @@ import numpy as np
 
 # One scenario registry serves the bench harness and `repro trace`: a
 # trace captured from a benchmark scenario is the same workload.
-from repro.trace.scenarios import FULL_SCENARIOS, SMOKE_SCENARIOS, Scenario
+from repro.trace.scenarios import (
+    FULL_SCENARIOS,
+    INIT_SCENARIOS,
+    INIT_SMOKE_SCENARIOS,
+    SMOKE_SCENARIOS,
+    Scenario,
+)
 
 
 def _run_engine(graph, stream, k: int, seed: int, fast: bool,
-                profile: bool, trace_path: Optional[str] = None) -> Dict[str, Any]:
+                profile: bool, trace_path: Optional[str] = None,
+                init: str = "free") -> Dict[str, Any]:
     """One full trajectory on a fresh structure; returns timing + ledger."""
     from repro.core import DynamicMST
     from repro.sim.metrics import PhaseProfiler
 
     rng = np.random.default_rng(seed)
-    dm = DynamicMST.build(graph, k, rng=rng, init="free", fast=fast)
-    if profile:
-        dm.net.ledger.profiler = PhaseProfiler()
     recorder = None
     if trace_path is not None:
         from repro.trace import TraceRecorder
 
         recorder = TraceRecorder(trace_path, meta={"harness": "bench_run"})
-        dm.attach_trace(recorder)
+    t_init = time.perf_counter()
+    # The recorder rides through build so a measured (distributed) init
+    # is captured too; timed throughput then includes recording overhead.
+    dm = DynamicMST.build(graph, k, rng=rng, init=init, fast=fast,
+                          trace=recorder)
+    init_wall_s = time.perf_counter() - t_init
+    if profile:
+        dm.net.ledger.profiler = PhaseProfiler()
     t0 = time.perf_counter()
     for batch in stream:
         dm.apply_batch(batch)
@@ -66,6 +77,8 @@ def _run_engine(graph, stream, k: int, seed: int, fast: bool,
     ledger = dm.net.ledger
     out: Dict[str, Any] = {
         "wall_s": wall_s,
+        "init_wall_s": init_wall_s,
+        "init_rounds": dm.init_rounds,
         "rounds": ledger.rounds,
         "messages": ledger.messages,
         "words": ledger.words,
@@ -96,10 +109,11 @@ def run_scenario(scenario: Scenario, profile: bool,
         trace_ref = os.path.join(trace_dir, f"{name}-reference.jsonl")
         trace_fast = os.path.join(trace_dir, f"{name}-fast.jsonl")
 
+    init_mode = scenario.init
     reference = _run_engine(graph, stream, k, seed, fast=False, profile=False,
-                            trace_path=trace_ref)
+                            trace_path=trace_ref, init=init_mode)
     fastpath = _run_engine(graph, stream, k, seed, fast=True, profile=profile,
-                           trace_path=trace_fast)
+                           trace_path=trace_fast, init=init_mode)
 
     if fastpath["digest"] != reference["digest"]:
         raise AssertionError(
@@ -111,7 +125,16 @@ def run_scenario(scenario: Scenario, profile: bool,
     if fastpath["strict_violations"] or reference["strict_violations"]:
         raise AssertionError(f"{name}: strict violations recorded")
 
-    speedup = reference["wall_s"] / max(fastpath["wall_s"], 1e-9)
+    if init_mode == "free":
+        # Oracle init charges nothing and runs the same scalar code in
+        # both modes; the trajectory speedup is the update-phase speedup.
+        speedup = reference["wall_s"] / max(fastpath["wall_s"], 1e-9)
+    else:
+        # Measured init is the point of these scenarios: the trajectory
+        # speedup covers init + updates end to end.
+        speedup = (reference["init_wall_s"] + reference["wall_s"]) / max(
+            fastpath["init_wall_s"] + fastpath["wall_s"], 1e-9
+        )
     result = {
         "name": name,
         "n": n,
@@ -119,6 +142,7 @@ def run_scenario(scenario: Scenario, profile: bool,
         "batch": batch,
         "n_batches": n_batches,
         "seed": seed,
+        "init": init_mode,
         "n_updates": n_updates,
         "reference": reference,
         "fast": fastpath,
@@ -127,11 +151,16 @@ def run_scenario(scenario: Scenario, profile: bool,
         "speedup": round(speedup, 3),
         "ledgers_identical": True,
     }
+    extra = ""
+    if init_mode != "free":
+        init_speedup = reference["init_wall_s"] / max(fastpath["init_wall_s"], 1e-9)
+        result["init_speedup"] = round(init_speedup, 3)
+        extra = f"  init {init_speedup:>5.2f}x"
     print(
         f"  {name:<14} n={n:<5} k={k:<3} "
         f"ref {result['updates_per_s_reference']:>8.1f} up/s  "
         f"fast {result['updates_per_s_fast']:>8.1f} up/s  "
-        f"speedup {speedup:>5.2f}x  digest {reference['digest'][:12]}"
+        f"speedup {speedup:>5.2f}x{extra}  digest {reference['digest'][:12]}"
     )
     return result
 
@@ -154,6 +183,9 @@ def bench_kernels(rows: int) -> Dict[str, Any]:
                                     reroot_label, split_label)
     from repro.euler.vectorized import (join_m1_labels, reroot_labels,
                                         split_labels)
+    from repro.graphs.dsu import DisjointSet
+    from repro.perf.init_columnar import (ArrayDSU, GraphEdgeTable,
+                                          min_outgoing_rows)
 
     rng = np.random.default_rng(7)
     size = 2 * (rows + 1)  # tour over rows+2 vertices
@@ -183,8 +215,61 @@ def bench_kernels(rows: int) -> Dict[str, Any]:
     out["join_m1"] = {"vector_s": t_vec, "scalar_s": t_sca,
                       "speedup": round(t_sca / max(t_vec, 1e-9), 1)}
 
-    for k in ("reroot", "split", "join_m1"):
-        print(f"  kernel {k:<8} rows={rows}  vector {out[k]['vector_s'] * 1e3:7.3f} ms  "
+    # Borůvka min-reduction: per-component minimum outgoing edge over one
+    # machine's edge table — the init fast path's hot kernel — against
+    # the reference initialiser's candidate scan (dict walk + two
+    # dsu.find calls per edge, as in distributed_init).  One DSU pair,
+    # mid-contraction, serves this and the array_dsu kernel below.
+    n_vert = max(rows // 8, 16)
+    ids = np.arange(n_vert, dtype=np.int64)
+    edge_dict: Dict[Any, float] = {}
+    while len(edge_dict) < rows:
+        us = rng.integers(0, n_vert, size=rows)
+        vs = rng.integers(0, n_vert, size=rows)
+        ws = rng.random(size=rows)
+        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+            if u != v:
+                key = (u, v) if u < v else (v, u)
+                edge_dict.setdefault(key, w)
+                if len(edge_dict) == rows:
+                    break
+    table = GraphEdgeTable(edge_dict, ids)
+    sd = DisjointSet(range(n_vert))
+    ad = ArrayDSU(ids)
+    for a, b in rng.integers(0, n_vert, size=(n_vert // 3, 2)).tolist():
+        if a != b:
+            sd.union(a, b)
+            ad.union(a, b)
+
+    def _scalar_min_scan() -> Dict[int, tuple]:
+        best: Dict[int, tuple] = {}
+        for (u, v), w in edge_dict.items():
+            ru, rv = sd.find(u), sd.find(v)
+            if ru == rv:
+                continue
+            cand = ((w, u, v), u, v)
+            for r in (ru, rv):
+                cur = best.get(r)
+                if cur is None or cand < cur:
+                    best[r] = cand
+        return best
+
+    roots = ad.root_indices()
+    t_vec = _time(lambda: min_outgoing_rows(table, roots))
+    t_sca = _time(_scalar_min_scan)
+    out["boruvka_min"] = {"vector_s": t_vec, "scalar_s": t_sca,
+                          "speedup": round(t_sca / max(t_vec, 1e-9), 1)}
+
+    # Array DSU: resolving every vertex's component representative —
+    # vectorized pointer jumping vs one scalar find per vertex.
+    verts = ids.tolist()
+    t_vec = _time(lambda: ad.root_indices())
+    t_sca = _time(lambda: [sd.find(v) for v in verts])
+    out["array_dsu"] = {"vector_s": t_vec, "scalar_s": t_sca,
+                        "speedup": round(t_sca / max(t_vec, 1e-9), 1)}
+
+    for k in ("reroot", "split", "join_m1", "boruvka_min", "array_dsu"):
+        print(f"  kernel {k:<11} rows={rows}  vector {out[k]['vector_s'] * 1e3:7.3f} ms  "
               f"scalar {out[k]['scalar_s'] * 1e3:8.3f} ms  {out[k]['speedup']:>6.1f}x")
     return out
 
@@ -254,6 +339,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="tiny CI-sized scenarios (still asserts equivalence)")
     ap.add_argument("--strict", action="store_true",
                     help="run all scenarios under REPRO_STRICT=1")
+    ap.add_argument("--init", choices=["free", "distributed"], default="free",
+                    help="scenario family: oracle-init churn trajectories "
+                         "(default) or measured distributed-init trajectories "
+                         "(Theorem 5.8 initialisation is part of the "
+                         "benchmarked, digest-checked run)")
     ap.add_argument("--profile", action="store_true",
                     help="attach the phase profiler to the fast runs")
     ap.add_argument("--trace-dir", default=None,
@@ -272,12 +362,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_dir is not None:
         os.makedirs(args.trace_dir, exist_ok=True)
 
-    scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
+    if args.init == "distributed":
+        scenarios = INIT_SMOKE_SCENARIOS if args.smoke else INIT_SCENARIOS
+    else:
+        scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
     kernel_rows = 2048 if args.smoke else 65536
     alloc_count = 20_000 if args.smoke else 200_000
 
     print(f"bench_run: {'smoke' if args.smoke else 'full'} trajectory, "
-          f"strict={'on' if args.strict else 'off'}"
+          f"init={args.init}, strict={'on' if args.strict else 'off'}"
           f"{', tracing to ' + args.trace_dir if args.trace_dir else ''}")
     print("scenarios (reference vs columnar fast path):")
     scenario_results = [
@@ -296,12 +389,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "numpy": np.__version__,
         "mode": "smoke" if args.smoke else "full",
         "strict": bool(args.strict),
+        "init": args.init,
         "scenarios": scenario_results,
         "kernels": kernels,
         "allocation": alloc,
     }
 
-    out_path = args.out or f"BENCH_{payload['date']}.json"
+    suffix = "_init" if args.init == "distributed" else ""
+    out_path = args.out or f"BENCH_{payload['date']}{suffix}.json"
     with open(out_path, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
