@@ -6,6 +6,7 @@
     python -m repro trace small -o run.jsonl
     python -m repro report run.jsonl
     python -m repro trace-diff a.jsonl b.jsonl
+    python -m repro chaos smoke-medium --drop 0.02 --crashes 1:3
 """
 
 from __future__ import annotations
@@ -173,6 +174,59 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 1 if divergence is not None else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import FaultPlan, run_chaos
+    from repro.trace import get_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.plan:
+        with open(args.plan) as f:
+            plan = FaultPlan.from_spec(json.load(f))
+    else:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            drop=args.drop,
+            dup=args.dup,
+            reorder=args.reorder,
+            crashes=FaultPlan.parse_crashes(args.crashes or ""),
+        )
+    summary = run_chaos(
+        scenario, plan, checkpoint_every=args.checkpoint_every,
+        engine=args.engine, sink=args.out,
+    )
+    print(f"chaos scenario {scenario.name}: n={scenario.n} k={scenario.k} "
+          f"batch={scenario.batch}x{scenario.n_batches}")
+    spec = summary["plan"]
+    print(f"plan: seed={spec['seed']} drop={spec['drop']} dup={spec['dup']} "
+          f"reorder={spec['reorder']} crashes={len(spec['crashes'])}")
+    faults = summary["faults"]
+    mix = "  ".join(f"{k}={v}" for k, v in sorted(faults.items()) if v)
+    print(f"injected: {mix or 'nothing'}")
+    print(f"recoveries={summary['recoveries']} "
+          f"replayed_batches={summary['replayed_batches']} "
+          f"checkpoints={summary['checkpoints']}")
+    print(f"rounds={summary['rounds']} "
+          f"(recovery/retry overhead {summary['overhead_rounds']})")
+    for i, b in enumerate(summary["batches"]):
+        status = "ok" if b["ok"] else "MISMATCH"
+        print(f"batch {i}: {b['size']:>3} updates  {b['rounds']:>5} rounds  "
+              f"weight {b['weight']:.3f}  {status}")
+    if args.out:
+        print(f"wrote {args.out}")
+    if not summary["ok"]:
+        print(f"{summary['mismatches']} batch(es) diverged from the "
+              "sequential oracle", file=sys.stderr)
+        return 1
+    print("all batches match the sequential oracle; consistency check passed")
+    return 0
+
+
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
     from repro.graphs import random_weighted_graph
     from repro.lowerbound import run_lower_bound_experiment
@@ -274,6 +328,33 @@ def build_parser() -> argparse.ArgumentParser:
     tdiff.add_argument("--context", type=int, default=3,
                        help="events of context to print around the divergence")
     tdiff.set_defaults(fn=_cmd_trace_diff)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scenario under a seeded fault plan, checked per batch",
+    )
+    chaos.add_argument("scenario",
+                       help="scenario name (see repro.trace.scenarios.SCENARIOS)")
+    chaos.add_argument("--drop", type=float, default=0.0,
+                       help="per-message drop probability in [0,1)")
+    chaos.add_argument("--dup", type=float, default=0.0,
+                       help="per-message duplication probability in [0,1)")
+    chaos.add_argument("--reorder", type=float, default=0.0,
+                       help="within-round reorder probability in [0,1)")
+    chaos.add_argument("--crashes", default=None,
+                       help="crash schedule 'batch:machine[:superstep],...'")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault injector's generator")
+    chaos.add_argument("--plan", default=None,
+                       help="JSON fault-plan file (overrides the flags above)")
+    chaos.add_argument("--checkpoint-every", type=int, default=2,
+                       help="checkpoint period in batches (default 2)")
+    chaos.add_argument("--engine", default="sample_gather",
+                       choices=["boruvka", "lotker", "sample_gather"])
+    chaos.add_argument("-o", "--out", default=None,
+                       help="record the run (incl. fault/recovery events) "
+                            "to this JSONL trace")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     lb = sub.add_parser("lowerbound", help="run the Theorem 7.1 adversary")
     lb.add_argument("--n", type=int, default=150)

@@ -31,7 +31,7 @@ from repro.graphs.graph import Edge, WeightedGraph, normalize
 from repro.graphs.streams import Update
 from repro.perf.config import override_fast_path
 from repro.sim.metrics import TraceSink
-from repro.sim.network import KMachineNetwork
+from repro.sim.network import FaultHook, KMachineNetwork
 from repro.sim.partition import VertexPartition, random_vertex_partition
 
 
@@ -129,7 +129,7 @@ class DynamicMST:
     # ------------------------------------------------------------------
     def _trace_meta(self) -> Dict[str, object]:
         """Model metadata stamped into the ``run_start`` trace event."""
-        return {
+        meta: Dict[str, object] = {
             "model": "k-machine",
             "k": self.k,
             "words_per_round": getattr(self.net, "words_per_round", None),
@@ -138,6 +138,13 @@ class DynamicMST:
             "m": self.shadow.m,
             "strict": self.net.strict,
         }
+        faults = self.net.faults
+        if faults is not None and faults.enabled:
+            # Stamped only for runs that can actually inject something, so
+            # an empty fault plan leaves traces byte-identical to a run
+            # with no hook at all.
+            meta["faults"] = True
+        return meta
 
     def attach_trace(self, recorder: TraceSink) -> None:
         """Install a trace recorder and announce the run's model metadata.
@@ -167,6 +174,25 @@ class DynamicMST:
             fields["profile"] = ledger.profiler.as_dict()
         recorder.emit("run_end", **fields)
         ledger.recorder = None
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def attach_faults(self, hook: FaultHook) -> None:
+        """Install a transport fault hook (see :mod:`repro.faults`).
+
+        While attached *and enabled*, every superstep passes through the
+        hook: messages may be dropped (and retransmitted under the
+        ``fault-retry`` phase), duplicated, reordered within the round,
+        or black-holed at crashed machines.  A disabled hook (empty fault
+        plan, nothing crashed) leaves the network path untouched —
+        ledgers and traces stay byte-identical to a run with no hook.
+        """
+        self.net.faults = hook
+
+    def detach_faults(self) -> None:
+        """Remove the fault hook; subsequent supersteps run fault-free."""
+        self.net.faults = None
 
     # ------------------------------------------------------------------
     # updates

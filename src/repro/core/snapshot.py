@@ -6,6 +6,15 @@ JSON-compatible dictionaries (no pickle): the shadow graph, the
 partition, every machine's Euler state, and the replicated tour counter.
 Restoring yields a structure that passes the full consistency check and
 keeps absorbing batches.
+
+Two restore modes share the per-machine record helpers:
+
+* :func:`from_snapshot` builds a *fresh* structure with a zeroed ledger
+  (a cold restart does not inherit the old run's communication bill);
+* :func:`restore_into` rolls an *existing* structure back in place,
+  leaving its network, ledger, recorder and fault hook untouched — the
+  crash-recovery path of :mod:`repro.faults`, where every recovery round
+  must keep landing on the live ledger.
 """
 
 from __future__ import annotations
@@ -22,6 +31,46 @@ from repro.sim.network import KMachineNetwork, MPCNetwork
 from repro.sim.partition import VertexPartition
 
 FORMAT_VERSION = 1
+
+
+def machine_record(st: MachineState) -> Dict[str, Any]:
+    """One machine's full Euler state as a JSON-compatible record."""
+    return {
+        "mid": st.mid,
+        "vertices": sorted(st.vertices),
+        "tracked": sorted(st.tracked),
+        "graph_edges": [[u, v, w] for (u, v), w in sorted(st.graph_edges.items())],
+        "mst": [list(e.snapshot()) for e in sorted(st.mst.values(), key=lambda e: (e.u, e.v))],
+        "witness": {
+            str(x): (list(w.snapshot()) if w is not None else None)
+            for x, w in sorted(st.witness.items())
+        },
+        "tour_of": {str(x): t for x, t in sorted(st.tour_of.items())},
+        "tour_size": {str(t): s for t, s in sorted(st.tour_size.items())},
+    }
+
+
+def restore_machine(mrec: Dict[str, Any], net: Any) -> MachineState:
+    """Rebuild one machine's state from a :func:`machine_record` record.
+
+    Re-registering the state against ``net.machines[mid]`` re-accounts
+    its space gauges from zero — which is what a restarted incarnation
+    after :meth:`~repro.sim.machine.Machine.crash_reset` needs.
+    """
+    st = MachineState(mrec["mid"], mrec["vertices"], machine=net.machines[mrec["mid"]])
+    for x in mrec["tracked"]:
+        st.track(x)
+    for (u, v, w) in mrec["graph_edges"]:
+        st.graph_edges[(u, v)] = w
+    for e in mrec["mst"]:
+        st.mst[(e[0], e[1])] = ETEdge.from_snapshot(e)
+    for x, w in mrec["witness"].items():
+        st.witness[int(x)] = ETEdge.from_snapshot(w) if w is not None else None
+    st.tour_of = {int(x): t for x, t in mrec["tour_of"].items()}
+    st.tour_size = {int(t): s for t, s in mrec["tour_size"].items()}
+    st.rebuild_indexes()
+    st.refresh_gauges()
+    return st
 
 
 def to_snapshot(dm: DynamicMST) -> Dict[str, Any]:
@@ -41,22 +90,7 @@ def to_snapshot(dm: DynamicMST) -> Dict[str, Any]:
         "vertices": sorted(dm.shadow.vertices()),
         "edges": [[e.u, e.v, e.weight] for e in sorted(dm.shadow.edges(), key=lambda e: e.key())],
         "machine_of": {str(v): m for v, m in dm.vp.machine_of.items()},
-        "machines": [
-            {
-                "mid": st.mid,
-                "vertices": sorted(st.vertices),
-                "tracked": sorted(st.tracked),
-                "graph_edges": [[u, v, w] for (u, v), w in sorted(st.graph_edges.items())],
-                "mst": [list(e.snapshot()) for e in sorted(st.mst.values(), key=lambda e: (e.u, e.v))],
-                "witness": {
-                    str(x): (list(w.snapshot()) if w is not None else None)
-                    for x, w in sorted(st.witness.items())
-                },
-                "tour_of": {str(x): t for x, t in sorted(st.tour_of.items())},
-                "tour_size": {str(t): s for t, s in sorted(st.tour_size.items())},
-            }
-            for st in dm.states
-        ],
+        "machines": [machine_record(st) for st in dm.states],
     }
 
 
@@ -84,23 +118,34 @@ def from_snapshot(snap: Dict[str, Any]) -> DynamicMST:
         net = KMachineNetwork(k, words_per_round=model["words_per_round"])
         dm = DynamicMST(graph, k, vp, net, engine=snap["engine"])
     dm._next_tour_id = snap["next_tour_id"]
-    dm.states = []
-    for mrec in snap["machines"]:
-        st = MachineState(mrec["mid"], mrec["vertices"], machine=net.machines[mrec["mid"]])
-        for x in mrec["tracked"]:
-            st.track(x)
-        for (u, v, w) in mrec["graph_edges"]:
-            st.graph_edges[(u, v)] = w
-        for e in mrec["mst"]:
-            st.mst[(e[0], e[1])] = ETEdge.from_snapshot(e)
-        for x, w in mrec["witness"].items():
-            st.witness[int(x)] = ETEdge.from_snapshot(w) if w is not None else None
-        st.tour_of = {int(x): t for x, t in mrec["tour_of"].items()}
-        st.tour_size = {int(t): s for t, s in mrec["tour_size"].items()}
-        st.rebuild_indexes()
-        st.refresh_gauges()
-        dm.states.append(st)
+    dm.states = [restore_machine(mrec, net) for mrec in snap["machines"]]
     return dm
+
+
+def restore_into(dm: DynamicMST, snap: Dict[str, Any]) -> None:
+    """Roll an existing structure back to ``snap`` in place (rollback).
+
+    The network object — its ledger, charge transcript, attached trace
+    recorder and fault hook — is deliberately untouched: a rollback is a
+    *recovery* step of a live run, and the rounds it (and the replay
+    that follows it) cost must keep accumulating on the same bill.
+    Machine protocol state, the shadow graph, the vertex partition and
+    the replicated tour counter are all restored; space gauges are
+    re-accounted from zero per machine (the restarted incarnations).
+    """
+    if snap.get("format") != FORMAT_VERSION:
+        raise ReproError(f"unsupported snapshot format {snap.get('format')!r}")
+    if snap["k"] != dm.k:
+        raise ReproError(
+            f"snapshot is for k={snap['k']} machines, structure has k={dm.k}"
+        )
+    graph = WeightedGraph(snap["vertices"])
+    for (u, v, w) in snap["edges"]:
+        graph.add_edge(u, v, w)
+    dm.shadow = graph
+    dm.vp = VertexPartition(dm.k, {int(v): m for v, m in snap["machine_of"].items()})
+    dm._next_tour_id = snap["next_tour_id"]
+    dm.states = [restore_machine(mrec, dm.net) for mrec in snap["machines"]]
 
 
 def dump(dm: DynamicMST, path: str) -> None:

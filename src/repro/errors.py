@@ -35,6 +35,16 @@ class StrictModeViolation(ModelViolation):
         self.kind = kind
 
 
+class FaultTimeout(ReproError):
+    """A lost superstep stayed lost past the bounded retransmission budget.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) when a
+    dropped message is still undelivered after ``max_retries``
+    retransmission waves — the simulated analogue of a transport-level
+    timeout the recovery protocol cannot paper over.
+    """
+
+
 class InconsistentUpdate(ReproError):
     """An update batch is inconsistent with the current graph state."""
 

@@ -1,0 +1,38 @@
+"""Deterministic fault injection + checkpoint/recovery for the simulator.
+
+The layer has three pieces, one per module:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`CrashEvent`: a
+  seeded, serializable schedule of everything that will go wrong;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: the network's
+  fault hook, applying drop/duplicate/reorder/crash semantics per
+  superstep and charging retransmission waves;
+* :mod:`repro.faults.recovery` / :mod:`repro.faults.session` —
+  :class:`CheckpointManager` and :class:`ChaosSession`: coordinated
+  checkpoints, crash detection, rollback and logged-batch replay.
+
+Contract: with an *empty* plan the whole layer is provably free (byte-
+identical ledgers and traces); with any seeded plan the maintained
+forest still matches the sequential oracle after every batch, and every
+recovery round is charged on the ledger.  ``docs/fault_model.md`` has
+the full model.
+"""
+
+from repro.faults.injector import FAULT_KINDS, FaultInjector
+from repro.faults.plan import PLAN_SCHEMA, CrashEvent, FaultPlan
+from repro.faults.recovery import OVERHEAD_PHASES, CheckpointManager, overhead_rounds
+from repro.faults.runner import run_chaos
+from repro.faults.session import ChaosSession
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "FAULT_KINDS",
+    "OVERHEAD_PHASES",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "CheckpointManager",
+    "ChaosSession",
+    "overhead_rounds",
+    "run_chaos",
+]

@@ -1,0 +1,214 @@
+"""The transport-level fault injector: the network's :class:`FaultHook`.
+
+One :class:`FaultInjector` sits between protocol code and the wire.  Per
+superstep it draws drop/duplicate/reorder decisions from its own seeded
+generator (never the global RNG — strict mode's entropy guard stays
+quiet), black-holes traffic touching crashed machines, and schedules
+bounded retransmission waves for dropped messages.  Every decision is a
+function of (plan seed, superstep order), so a chaos run replays
+byte-for-byte.
+
+Semantics, in the language of the synchronous model:
+
+* **drop** — the message misses its round; the transport retransmits it
+  in a follow-up wave charged under the ``fault-retry`` ledger phase.
+  After ``max_retries`` waves a still-lost message raises
+  :class:`~repro.errors.FaultTimeout` (bounded retry-with-timeout).
+* **duplicate** — a second copy occupies the link (it inflates the
+  charged load and may cost extra rounds); receivers deduplicate, so
+  inboxes are unchanged.
+* **reorder** — messages arrive within the round in a different order;
+  the synchronous barrier plus receiver reassembly absorbs it, so it is
+  counted and traced but leaves delivery untouched.
+* **crash** — a fail-stop machine loses its volatile state and space
+  ledger (:meth:`repro.sim.machine.Machine.crash_reset`).  Traffic *to*
+  it black-holes (sent, charged, never delivered).  Traffic *from* it is
+  impossible; under strict mode an attempt raises a typed
+  ``machine-crash`` :class:`~repro.errors.StrictModeViolation`, and
+  otherwise it is silently suppressed (never reaching the wire) until
+  the driver recovers the machine (:mod:`repro.faults.session`).
+
+The delivered multiset is emitted in original send order, so whenever no
+machine is down the inboxes protocols see are *identical* to a fault-free
+run — transport faults change only the bill, which is exactly what makes
+recovery-round overhead measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import FaultTimeout, StrictModeViolation
+from repro.faults.plan import CrashEvent, FaultPlan
+from repro.sim.message import Message
+from repro.sim.network import FaultOutcome, Network, RetryWave
+
+#: Counter keys the injector maintains (and the ``fault`` event reports).
+FAULT_KINDS = ("drop", "duplicate", "reorder", "blackhole", "suppressed")
+
+
+class FaultInjector:
+    """Implements the :class:`repro.sim.network.FaultHook` protocol."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: Machines currently down (fail-stop, awaiting restart).
+        self.crashed: Set[int] = set()
+        #: Cumulative per-kind fault counts plus crash/retry totals.
+        self.counters: Dict[str, int] = {k: 0 for k in FAULT_KINDS}
+        self.counters["crashes"] = 0
+        self.counters["retry_waves"] = 0
+        #: Mid-batch crash events armed for the batch in flight.
+        self._armed: List[CrashEvent] = []
+        self._steps_in_batch = 0
+        #: Driver callback fired at crash time (wipes the machine's
+        #: protocol state; see ChaosSession).
+        self.on_crash: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+    # FaultHook protocol
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Cheap per-superstep gate: False ⇒ the network path is untouched."""
+        return (
+            self.plan.transport_active
+            or bool(self.crashed)
+            or bool(self._armed)
+        )
+
+    def intercept(self, messages: List[Message], net: Network) -> FaultOutcome:
+        """Decide one superstep's fate; called by ``Network.superstep``."""
+        step = self._steps_in_batch
+        self._steps_in_batch += 1
+        for ev in [e for e in self._armed if e.superstep is not None
+                   and e.superstep <= step]:
+            self._armed.remove(ev)
+            self.crash_now(net, ev.machine)
+
+        counts: Dict[str, int] = {}
+
+        def bump(kind: str, by: int = 1) -> None:
+            counts[kind] = counts.get(kind, 0) + by
+
+        wire: List[Message] = []
+        deliverable: List[int] = []  # indices into `messages`
+        for i, m in enumerate(messages):
+            if m.src in self.crashed:
+                # A dead machine cannot speak.  Strict mode treats the
+                # attempt as a typed model violation (the driver should
+                # have recovered before running protocol code); the
+                # permissive mode suppresses it — the message never
+                # reaches the wire and the batch's corruption is the
+                # recovery protocol's problem.
+                if net.strict:
+                    exc = StrictModeViolation(
+                        f"crashed machine {m.src} sent a message to {m.dst} "
+                        "— recover the machine before it speaks again",
+                        kind="machine-crash",
+                    )
+                    net._count_violation(exc)
+                    raise exc
+                bump("suppressed")
+                continue
+            wire.append(m)
+            if m.dst in self.crashed:
+                bump("blackhole")  # sent and charged, never delivered
+                continue
+            deliverable.append(i)
+
+        p_drop, p_dup, p_reorder = self.plan.drop, self.plan.dup, self.plan.reorder
+        delivered: List[int] = []
+        pending: List[int] = []
+        if self.plan.transport_active:
+            for i in deliverable:
+                if p_dup and self.rng.random() < p_dup:
+                    wire.append(messages[i])
+                    bump("duplicate")
+                if p_drop and self.rng.random() < p_drop:
+                    pending.append(i)
+                    bump("drop")
+                else:
+                    delivered.append(i)
+            if p_reorder and delivered and self.rng.random() < p_reorder:
+                # Within-round reordering is absorbed by the barrier:
+                # receivers reassemble by (source, send order).  Counted
+                # and traced so the path is exercised and observable.
+                bump("reorder")
+        else:
+            delivered = deliverable
+
+        retries: List[RetryWave] = []
+        while pending:
+            if len(retries) >= self.plan.max_retries:
+                raise FaultTimeout(
+                    f"{len(pending)} message(s) still undelivered after "
+                    f"{self.plan.max_retries} retransmission wave(s)"
+                )
+            pair_words: Dict[Tuple[int, int], int] = {}
+            n_words = 0
+            for i in pending:
+                m = messages[i]
+                pair_words[(m.src, m.dst)] = (
+                    pair_words.get((m.src, m.dst), 0) + m.words
+                )
+                n_words += m.words
+            retries.append(RetryWave(pair_words, len(pending), n_words))
+            still: List[int] = []
+            for i in pending:
+                if self.rng.random() < p_drop:
+                    still.append(i)
+                    bump("drop")
+                else:
+                    delivered.append(i)
+            pending = still
+        if retries:
+            self.counters["retry_waves"] += len(retries)
+
+        for kind, by in sorted(counts.items()):
+            self.counters[kind] = self.counters.get(kind, 0) + by
+        recorder = net.ledger.recorder
+        if recorder is not None and counts:
+            recorder.emit("fault", kinds=dict(sorted(counts.items())))
+
+        deliver = [messages[i] for i in sorted(delivered)]
+        return FaultOutcome(wire=wire, deliver=deliver, retries=retries)
+
+    # ------------------------------------------------------------------
+    # crash/restart lifecycle (driven by the chaos session)
+    # ------------------------------------------------------------------
+    def arm_batch(self, mid_batch_crashes: List[CrashEvent]) -> None:
+        """Arm a batch's mid-batch crash events; resets the step counter.
+
+        Events left unfired by a short batch are disarmed — a crash
+        scheduled past the batch's last superstep never happens.
+        """
+        self._armed = list(mid_batch_crashes)
+        self._steps_in_batch = 0
+
+    def crash_now(self, net: Network, machine: int) -> None:
+        """Fail-stop ``machine`` immediately (idempotent while down)."""
+        if machine in self.crashed:
+            return
+        if not 0 <= machine < net.k:
+            raise ValueError(f"machine id {machine} outside [0, {net.k})")
+        self.crashed.add(machine)
+        self.counters["crashes"] += 1
+        net.machines[machine].crash_reset()
+        if self.on_crash is not None:
+            self.on_crash(machine)
+        recorder = net.ledger.recorder
+        if recorder is not None:
+            recorder.emit("machine_crash", machine=machine)
+
+    def restart(self, net: Network, machine: int) -> None:
+        """Bring a crashed machine back (state restore is the caller's job)."""
+        if machine not in self.crashed:
+            return
+        self.crashed.discard(machine)
+        recorder = net.ledger.recorder
+        if recorder is not None:
+            recorder.emit("machine_restart", machine=machine)

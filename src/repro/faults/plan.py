@@ -1,0 +1,175 @@
+"""Deterministic fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a *complete, seeded* description of every fault a
+chaos run may inject: transport-level message faults (drop, duplicate,
+within-round reorder) as probabilities drawn from one seeded generator,
+and machine crashes as an explicit schedule of :class:`CrashEvent`
+entries.  Two runs of the same plan over the same workload inject the
+exact same faults — chaos here is an adversary you can replay, diff and
+bisect, not noise.
+
+Plans serialize to a flat JSON spec (``to_spec`` / ``from_spec``) so the
+``repro chaos`` CLI can load them from a file, and crash schedules have
+a compact ``batch:machine[:superstep]`` string form for command lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Spec format tag; readers refuse specs with a different tag.
+PLAN_SCHEMA = "repro-fault-plan/1"
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled fail-stop crash (with restart at the next barrier).
+
+    ``superstep=None`` crashes the machine at the batch barrier, *before*
+    batch ``batch`` runs (a clean crash: recovery happens before the
+    batch touches the wire).  An integer ``superstep`` crashes it
+    mid-batch, once that many supersteps of the batch have started — the
+    dirty case, where the in-flight batch is lost and must be rolled
+    back and redone.
+    """
+
+    batch: int
+    machine: int
+    superstep: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.batch < 0:
+            raise ValueError("crash batch index must be >= 0")
+        if self.machine < 0:
+            raise ValueError("crash machine id must be >= 0")
+        if self.superstep is not None and self.superstep < 0:
+            raise ValueError("crash superstep offset must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable schedule of everything that will go wrong.
+
+    ``drop``/``dup``/``reorder`` are per-message probabilities in
+    ``[0, 1)`` (drop strictly below 1: the bounded-retry transport must
+    be *able* to succeed).  ``crashes`` is the explicit crash schedule.
+    ``max_retries`` bounds the retransmission waves a single superstep
+    may need before the transport gives up with
+    :class:`~repro.errors.FaultTimeout`.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    crashes: Tuple[CrashEvent, ...] = field(default_factory=tuple)
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1), got {p}")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        # Tolerate (and normalize) a list in the crashes field.
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def transport_active(self) -> bool:
+        """Does this plan perturb messages on the wire at all?"""
+        return self.drop > 0 or self.dup > 0 or self.reorder > 0
+
+    @property
+    def empty(self) -> bool:
+        """An empty plan injects nothing — the hook layer must then be
+        provably free: identical ledgers, transcripts and inboxes."""
+        return not self.transport_active and not self.crashes
+
+    def crashes_for_batch(
+        self, batch_index: int
+    ) -> Tuple[List[CrashEvent], List[CrashEvent]]:
+        """The (barrier, mid-batch) crash events scheduled for a batch."""
+        pre = [c for c in self.crashes
+               if c.batch == batch_index and c.superstep is None]
+        mid = [c for c in self.crashes
+               if c.batch == batch_index and c.superstep is not None]
+        return pre, mid
+
+    def validate_machines(self, k: int) -> None:
+        """Raise if any scheduled crash names a machine outside [0, k)."""
+        for c in self.crashes:
+            if not 0 <= c.machine < k:
+                raise ValueError(
+                    f"crash schedules machine {c.machine} outside [0, {k})"
+                )
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_spec(self) -> Dict[str, Any]:
+        """A JSON-compatible flat spec (round-trips through from_spec)."""
+        spec = asdict(self)
+        spec["schema"] = PLAN_SCHEMA
+        spec["crashes"] = [
+            {k: v for k, v in asdict(c).items() if v is not None}
+            for c in self.crashes
+        ]
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FaultPlan":
+        """Parse a spec dict (as loaded from a ``repro chaos`` plan file)."""
+        schema = spec.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported fault-plan schema {schema!r} "
+                f"(this reader speaks {PLAN_SCHEMA!r})"
+            )
+        known = {"seed", "drop", "dup", "reorder", "crashes", "max_retries"}
+        unknown = sorted(set(spec) - known - {"schema"})
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {unknown}")
+        crashes = tuple(
+            CrashEvent(
+                batch=int(c["batch"]),
+                machine=int(c["machine"]),
+                superstep=None if c.get("superstep") is None else int(c["superstep"]),
+            )
+            for c in spec.get("crashes", ())
+        )
+        return cls(
+            seed=int(spec.get("seed", 0)),
+            drop=float(spec.get("drop", 0.0)),
+            dup=float(spec.get("dup", 0.0)),
+            reorder=float(spec.get("reorder", 0.0)),
+            crashes=crashes,
+            max_retries=int(spec.get("max_retries", 12)),
+        )
+
+    @staticmethod
+    def parse_crashes(text: str) -> Tuple[CrashEvent, ...]:
+        """Parse ``"batch:machine[:superstep],..."`` (the CLI short form)."""
+        events: List[CrashEvent] = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"bad crash spec {item!r} (want batch:machine[:superstep])"
+                )
+            events.append(
+                CrashEvent(
+                    batch=int(parts[0]),
+                    machine=int(parts[1]),
+                    superstep=int(parts[2]) if len(parts) == 3 else None,
+                )
+            )
+        return tuple(events)

@@ -1,0 +1,148 @@
+"""ChaosSession: drive a :class:`DynamicMST` through a fault plan.
+
+The session is the *driver-side* recovery coordinator.  It owns the
+:class:`~repro.faults.injector.FaultInjector` (wired into the network as
+its fault hook) and a :class:`~repro.faults.recovery.CheckpointManager`,
+and runs each update batch through the crash/recover state machine:
+
+1. fire the plan's barrier crashes for this batch; if anything is down,
+   recover *before* the batch touches the wire (the clean case);
+2. arm the plan's mid-batch crashes and attempt the batch.  A mid-batch
+   crash corrupts the attempt — under strict mode the dead machine's
+   first send raises a typed ``machine-crash`` violation immediately; in
+   permissive mode the attempt may finish on a corrupt state or die with
+   an arbitrary protocol error.  Either way the session detects the
+   crash afterwards, recovers, and redoes the batch once;
+3. log the applied batch and take a periodic checkpoint when due.
+
+Recovery = one detection/resync barrier round (``recovery`` phase) +
+rollback to the last coordinated checkpoint + restart of the dead
+machines + replay of the logged batches through the ordinary update
+protocols.  Replay rounds land on the live ledger, so the fault run's
+bill honestly includes its recovery cost.  The maintained forest after
+every :meth:`apply` equals the fault-free forest (the protocols are
+exact, and replay re-derives the same state), which is what the
+differential chaos suite checks against the sequential oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.core.api import BatchReport, DynamicMST
+from repro.core.state import MachineState
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import CheckpointManager, overhead_rounds
+from repro.graphs.streams import Update
+
+
+class ChaosSession:
+    """Apply update batches under a seeded fault plan, with recovery."""
+
+    def __init__(
+        self,
+        dm: DynamicMST,
+        plan: FaultPlan,
+        checkpoint_every: Optional[int] = None,
+        mode: str = "auto",
+    ) -> None:
+        plan.validate_machines(dm.k)
+        self.dm = dm
+        self.plan = plan
+        self.mode = mode
+        self.injector = FaultInjector(plan)
+        self.injector.on_crash = self._wipe_state
+        dm.attach_faults(self.injector)
+        self.ckpt = CheckpointManager(dm, every=checkpoint_every)
+        self.batch_index = 0
+        self.counters: Dict[str, int] = {"recoveries": 0, "replayed_batches": 0}
+        if plan.crashes or checkpoint_every is not None:
+            # The initial checkpoint is the recovery anchor: a batch-0
+            # crash must have somewhere to roll back to.
+            self.ckpt.checkpoint(self.batch_index)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ChaosSession":
+        return self
+
+    def __exit__(
+        self, exc_type: Optional[Type[BaseException]], exc: object, tb: object
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Detach the fault hook; the structure keeps working fault-free."""
+        self.dm.detach_faults()
+
+    # ------------------------------------------------------------------
+    def apply(self, batch: List[Update]) -> BatchReport:
+        """Apply one batch under the plan, recovering from any crash."""
+        pre, mid = self.plan.crashes_for_batch(self.batch_index)
+        for ev in pre:
+            self.injector.crash_now(self.dm.net, ev.machine)
+        if self.injector.crashed:
+            self._recover()
+        self.injector.arm_batch(mid)
+        try:
+            report: Optional[BatchReport] = self.dm.apply(batch, mode=self.mode)
+        except Exception:
+            if not self.injector.crashed:
+                raise  # a real bug, not crash fallout — don't mask it
+            # Crash fallout: the attempt died on a strict machine-crash
+            # violation or a downstream protocol error.  The state is
+            # corrupt either way; rollback makes the exception moot.
+            report = None
+        if self.injector.crashed:
+            self._recover()
+            report = self.dm.apply(batch, mode=self.mode)
+        assert report is not None
+        self.ckpt.record(batch)
+        self.batch_index += 1
+        if self.ckpt.has_checkpoint and self.ckpt.due(self.batch_index):
+            self.ckpt.checkpoint(self.batch_index)
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def overhead_rounds(self) -> int:
+        """Rounds charged to checkpoint/recovery/retransmission phases."""
+        return overhead_rounds(self.dm)
+
+    # ------------------------------------------------------------------
+    def _wipe_state(self, machine: int) -> None:
+        """Crash callback: the machine's protocol state is volatile."""
+        net = self.dm.net
+        self.dm.states[machine] = MachineState(
+            machine, [], machine=net.machines[machine]
+        )
+
+    def _recover(self) -> None:
+        """Rollback + restart + replay; every round lands on the ledger."""
+        net = self.dm.net
+        dead = sorted(self.injector.crashed)
+        # Unfired mid-batch crash events must not leak into the replay's
+        # superstep count (the aborted attempt is gone with its batch).
+        self.injector.arm_batch([])
+        recorder = net.ledger.recorder
+        if recorder is not None:
+            recorder.emit("recovery_start", machines=dead)
+        before = net.ledger.snapshot()
+        with net.ledger.phase("recovery"):
+            # Failure detection + resynchronization barrier.
+            net.charge_rounds(1)
+            replay = self.ckpt.rollback()
+            for m in dead:
+                self.injector.restart(net, m)
+            for logged in replay:
+                self.dm.apply(logged, mode=self.mode)
+        delta = net.ledger.since(before)
+        self.counters["recoveries"] += 1
+        self.counters["replayed_batches"] += len(replay)
+        if recorder is not None:
+            recorder.emit(
+                "recovery_end",
+                machines=dead,
+                rounds=delta.rounds,
+                replayed=len(replay),
+            )

@@ -25,7 +25,14 @@ from repro.sim.message import (
 )
 from repro.sim.metrics import Ledger, PhaseStats
 from repro.sim.machine import Machine
-from repro.sim.network import KMachineNetwork, MPCNetwork, Network
+from repro.sim.network import (
+    FaultHook,
+    FaultOutcome,
+    KMachineNetwork,
+    MPCNetwork,
+    Network,
+    RetryWave,
+)
 from repro.sim.partition import (
     VertexPartition,
     EdgePartition,
@@ -53,6 +60,9 @@ __all__ = [
     "Network",
     "KMachineNetwork",
     "MPCNetwork",
+    "FaultHook",
+    "FaultOutcome",
+    "RetryWave",
     "VertexPartition",
     "EdgePartition",
     "random_vertex_partition",

@@ -51,6 +51,16 @@ class Machine:
     def bump_gauge(self, name: str, delta: int) -> None:
         self.set_gauge(name, self._gauges.get(name, 0) + delta)
 
+    def crash_reset(self) -> None:
+        """Fail-stop wipe: volatile state and this incarnation's space
+        ledger are lost; the budget survives (it is a model parameter,
+        not machine state).  Used by the fault-injection layer
+        (:mod:`repro.faults`) when a machine crashes — the restarted
+        incarnation re-accounts its space from zero as it is restored."""
+        self.store.clear()
+        self._gauges.clear()
+        self.peak_words = 0
+
     @property
     def space_words(self) -> int:
         return sum(self._gauges.values())

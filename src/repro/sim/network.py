@@ -16,7 +16,8 @@ not assumed.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +36,56 @@ from repro.sim.strict import (
 
 def _ceil_div(a: int, b: int) -> int:
     return -(-a // b)
+
+
+@dataclass(frozen=True)
+class RetryWave:
+    """One retransmission wave of a faulty superstep.
+
+    Produced by a :class:`FaultHook` when messages were dropped on the
+    wire: the wave's per-pair load is charged as additional rounds under
+    the ``fault-retry`` ledger phase, so recovery overhead is measured
+    in the same currency as the protocol itself.
+    """
+
+    pair_words: Dict[Tuple[int, int], int]
+    n_messages: int
+    n_words: int
+
+
+@dataclass
+class FaultOutcome:
+    """What a fault hook decided for one superstep.
+
+    ``wire`` is the message multiset that actually occupied links
+    (duplicates included, messages from crashed machines excluded) — the
+    load the main charge is computed from.  ``deliver`` is the subset
+    that ultimately reaches inboxes, in original send order (receiver
+    reassembly; duplicates deduplicated, black-holed messages removed).
+    ``retries`` are the retransmission waves needed to get dropped
+    messages through, each charged separately after the main charge.
+    """
+
+    wire: List[Message]
+    deliver: List[Message]
+    retries: List[RetryWave] = field(default_factory=list)
+
+
+class FaultHook(Protocol):
+    """The hook protocol the network speaks to a fault injector.
+
+    Implemented by :class:`repro.faults.injector.FaultInjector`; declared
+    here so the mypy-strict simulator kernel needs no import of (and no
+    dependency on) the fault layer.  ``enabled`` must be cheap: it is
+    consulted once per superstep, and while it returns False the network
+    takes its unmodified code path — byte-identical ledgers, transcripts
+    and inboxes.
+    """
+
+    @property
+    def enabled(self) -> bool: ...
+
+    def intercept(self, messages: List[Message], net: "Network") -> FaultOutcome: ...
 
 
 class Network:
@@ -64,6 +115,10 @@ class Network:
         self._entropy_guard: Optional[EntropyGuard] = (
             EntropyGuard() if self.strict else None
         )
+        #: Optional fault-injection hook (see :mod:`repro.faults`).  None
+        #: (the default) and a disabled hook both cost one attribute read
+        #: per superstep and leave the wire untouched.
+        self.faults: Optional[FaultHook] = None
 
     # -- model-specific ------------------------------------------------
     def rounds_for_load(
@@ -90,6 +145,15 @@ class Network:
         msgs = list(messages)
         if not msgs:
             return {}
+        faults = self.faults
+        outcome: Optional[FaultOutcome] = None
+        if faults is not None and faults.enabled:
+            outcome = faults.intercept(msgs, self)
+            msgs = outcome.wire
+            if not msgs:
+                # Every message originated at a crashed machine: nothing
+                # reached the wire, nothing is charged or delivered.
+                return {}
         if self.strict:
             self._strict_pre_superstep(msgs)
         pair_words: Dict[Tuple[int, int], int] = {}
@@ -120,10 +184,26 @@ class Network:
                 f"{type(self).__name__}.rounds_for_load charged {rounds} rounds"
             )
         self.ledger.charge(rounds, n_msgs, n_words)
+        deliver = msgs
+        if outcome is not None:
+            self._charge_retries(outcome.retries)
+            deliver = outcome.deliver
         inboxes: Dict[int, List[Tuple[int, Any]]] = {}
-        for m in sorted(msgs, key=lambda m: (m.dst, m.src)):
+        for m in sorted(deliver, key=lambda m: (m.dst, m.src)):
             inboxes.setdefault(m.dst, []).append((m.src, m.payload))
         return inboxes
+
+    def _charge_retries(self, retries: Sequence[RetryWave]) -> None:
+        """Charge each retransmission wave under the ``fault-retry`` phase.
+
+        A wave occupies at least one round even if its load would round
+        down — retransmission happens after the original barrier, so it
+        cannot hide inside the superstep it repairs.
+        """
+        for wave in retries:
+            rounds = max(1, self.rounds_for_load(wave.pair_words))
+            with self.ledger.phase("fault-retry"):
+                self.ledger.charge(rounds, wave.n_messages, wave.n_words)
 
     def superstep_plane(self, plane: MessagePlane) -> Dict[int, List[Tuple[int, Any]]]:
         """Columnar twin of :meth:`superstep`: same charges, array math.
@@ -137,6 +217,20 @@ class Network:
         n = len(plane)
         if n == 0:
             return {}
+        faults = self.faults
+        if faults is not None and faults.enabled:
+            # Fault injection is a testing layer: route the plane through
+            # the scalar path so drop/duplicate/crash decisions stay
+            # per-message.  Charges are identical by the plane/scalar
+            # equivalence contract; only the recorder's ``engine`` tag
+            # reads "scalar" while faults are being injected.
+            src_l = plane.src.tolist()
+            dst_l = plane.dst.tolist()
+            words_l = plane.words.tolist()
+            return self.superstep(
+                Message(src_l[i], dst_l[i], plane.payloads[i], words_l[i])
+                for i in range(n)
+            )
         if self.strict:
             self._strict_pre_plane(plane)
         src, dst, words = plane.src, plane.dst, plane.words

@@ -45,6 +45,7 @@ VIOLATION_KINDS = (
     "round-conservation",   # words moved for zero charged rounds
     "hidden-entropy",       # global RNG advanced between supersteps
     "state-isolation",      # a machine touched another machine's state
+    "machine-crash",        # a crashed machine spoke before being recovered
     "other",
 )
 

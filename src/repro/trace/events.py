@@ -43,6 +43,20 @@ Event types (``repro-trace/1``):
 ``violation``
     A strict-mode violation: ``kind`` (see
     :func:`repro.sim.strict.violation_kind`) and ``message``.
+``fault``
+    Transport faults injected during one superstep
+    (:mod:`repro.faults`): ``kinds``, a ``{kind: count}`` map over
+    drop/duplicate/reorder/blackhole/suppressed.
+``machine_crash`` / ``machine_restart``
+    A fail-stop crash (volatile state and space ledger lost) and the
+    later restart of ``machine``.
+``checkpoint``
+    A coordinated snapshot at a batch barrier: ``batch`` (the next
+    batch index) plus ``machines`` and ``log_cleared``.
+``recovery_start`` / ``recovery_end``
+    A rollback-and-replay recovery: ``machines`` (the dead set) on
+    start; ``machines``, ``rounds`` (the recovery's full charged cost)
+    and ``replayed`` (logged batches re-executed) on end.
 ``trace_end``
     Totals: ``events``, ``charges``, ``rounds``, ``messages``,
     ``words``.
@@ -74,6 +88,12 @@ EVENT_TYPES: Tuple[str, ...] = (
     "batch_end",
     "engine",
     "violation",
+    "fault",
+    "machine_crash",
+    "machine_restart",
+    "checkpoint",
+    "recovery_start",
+    "recovery_end",
     "trace_end",
 )
 
@@ -94,6 +114,12 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "batch_end": ("size", "mode", "rounds", "messages", "words"),
     "engine": ("feature", "engine"),
     "violation": ("kind", "message"),
+    "fault": ("kinds",),
+    "machine_crash": ("machine",),
+    "machine_restart": ("machine",),
+    "checkpoint": ("batch",),
+    "recovery_start": ("machines",),
+    "recovery_end": ("machines", "rounds", "replayed"),
     "trace_end": ("events", "charges", "rounds", "messages", "words"),
 }
 

@@ -67,6 +67,13 @@ class TraceSummary:
     engines: Dict[str, int] = field(default_factory=dict)
     engine_selections: Dict[str, Dict[str, int]] = field(default_factory=dict)
     violations: List[Dict[str, str]] = field(default_factory=list)
+    faults: Dict[str, int] = field(default_factory=dict)
+    crashes: int = 0
+    restarts: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
+    recovery_rounds: int = 0
+    replayed_batches: int = 0
 
     # -- load skew ------------------------------------------------------
     @staticmethod
@@ -169,6 +176,21 @@ def summarize(
             summary.violations.append(
                 {"kind": str(event["kind"]), "message": str(event["message"])}
             )
+        elif etype == "fault":
+            for kind, count in (event["kinds"] or {}).items():
+                summary.faults[str(kind)] = (
+                    summary.faults.get(str(kind), 0) + int(count)
+                )
+        elif etype == "machine_crash":
+            summary.crashes += 1
+        elif etype == "machine_restart":
+            summary.restarts += 1
+        elif etype == "checkpoint":
+            summary.checkpoints += 1
+        elif etype == "recovery_end":
+            summary.recoveries += 1
+            summary.recovery_rounds += int(event["rounds"])
+            summary.replayed_batches += int(event["replayed"])
         elif etype == "run_end" and "profile" in event:
             for name, prof in (event["profile"] or {}).items():
                 row = summary.phases.setdefault(name, PhaseRow())
@@ -260,6 +282,19 @@ def render_text(summary: TraceSummary) -> str:
             f"{summary.budget_violations}/{len(summary.batches)} batches over budget"
         )
 
+    if summary.faults or summary.crashes or summary.checkpoints:
+        lines.append("")
+        mix = "  ".join(
+            f"{kind}={count}" for kind, count in sorted(summary.faults.items())
+        )
+        lines.append(f"faults: {mix or 'none'}")
+        lines.append(
+            f"chaos: crashes={summary.crashes} restarts={summary.restarts} "
+            f"checkpoints={summary.checkpoints} recoveries={summary.recoveries} "
+            f"recovery_rounds={summary.recovery_rounds} "
+            f"replayed_batches={summary.replayed_batches}"
+        )
+
     if summary.violations:
         lines.append("")
         lines.append(f"strict violations: {len(summary.violations)}")
@@ -324,6 +359,15 @@ def to_json(summary: TraceSummary) -> Dict[str, Any]:
             for b in summary.batches
         ],
         "violations": summary.violations,
+        "faults": {
+            "kinds": {k: v for k, v in sorted(summary.faults.items())},
+            "crashes": summary.crashes,
+            "restarts": summary.restarts,
+            "checkpoints": summary.checkpoints,
+            "recoveries": summary.recoveries,
+            "recovery_rounds": summary.recovery_rounds,
+            "replayed_batches": summary.replayed_batches,
+        },
     }
 
 
@@ -395,5 +439,17 @@ def to_prometheus(summary: TraceSummary) -> str:
     metric(
         "repro_strict_violations_total", "Strict-mode violations recorded",
         [f"repro_strict_violations_total {len(summary.violations)}"],
+    )
+    metric(
+        "repro_faults_total", "Injected transport faults by kind",
+        [
+            f'repro_faults_total{{kind="{_prom_escape(kind)}"}} {count}'
+            for kind, count in sorted(summary.faults.items())
+        ] or ["repro_faults_total 0"],
+    )
+    metric(
+        "repro_recovery_rounds_total",
+        "Rounds spent in crash-recovery rollback/replay",
+        [f"repro_recovery_rounds_total {summary.recovery_rounds}"],
     )
     return "\n".join(out) + "\n"

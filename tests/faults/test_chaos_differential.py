@@ -1,0 +1,173 @@
+"""Differential chaos suite: faulted runs must match the sequential oracle.
+
+The acceptance criterion of the fault model: under ANY seeded fault plan
+(drop/dup/reorder schedules, barrier and mid-batch crashes), the
+maintained forest equals the :mod:`repro.graphs.mst` Kruskal oracle
+after every batch — an independently maintained mirror graph, never the
+structure's own shadow.  Hypothesis drives the plan × workload space;
+a parametrized sweep pins k ∈ {4, 8, 16} with a networkx cross-check
+when networkx is available.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicMST
+from repro.faults import ChaosSession, CrashEvent, FaultPlan
+from repro.graphs import Update, random_weighted_graph
+from repro.graphs.graph import normalize
+from repro.graphs.mst import kruskal_msf, msf_key_multiset, msf_weight
+
+
+def churn_batches(mirror, n, n_batches, batch_size, rng):
+    """Consistent update batches, applied to ``mirror`` as generated."""
+    batches = []
+    for _ in range(n_batches):
+        batch = []
+        used = set()
+        for _ in range(batch_size):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            pair = normalize(u, v)
+            if pair in used:
+                continue
+            used.add(pair)
+            if mirror.has_edge(*pair):
+                batch.append(Update.delete(*pair))
+                mirror.remove_edge(*pair)
+            else:
+                w = float(rng.random())
+                batch.append(Update.add(*pair, w))
+                mirror.add_edge(*pair, w)
+        batches.append(batch)
+    return batches
+
+
+def assert_matches_oracle(dm, mirror):
+    oracle = kruskal_msf(mirror)
+    assert abs(msf_weight(oracle) - dm.total_weight()) < 1e-9
+    assert msf_key_multiset(oracle) == msf_key_multiset(dm.msf_edges())
+
+
+@st.composite
+def chaos_case(draw):
+    """(workload seed, k, fault plan) — crash schedule included."""
+    k = draw(st.sampled_from([4, 8]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_batches = draw(st.integers(2, 4))
+    drop = draw(st.sampled_from([0.0, 0.02, 0.08]))
+    dup = draw(st.sampled_from([0.0, 0.03]))
+    reorder = draw(st.sampled_from([0.0, 0.1]))
+    crashes = []
+    for _ in range(draw(st.integers(0, 2))):
+        crashes.append(
+            CrashEvent(
+                batch=draw(st.integers(0, n_batches - 1)),
+                machine=draw(st.integers(0, k - 1)),
+                superstep=draw(
+                    st.one_of(st.none(), st.integers(0, 12))
+                ),
+            )
+        )
+    plan = FaultPlan(
+        seed=draw(st.integers(0, 2**31 - 1)),
+        drop=drop, dup=dup, reorder=reorder, crashes=tuple(crashes),
+    )
+    return seed, k, n_batches, plan
+
+
+@given(chaos_case())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_seeded_fault_plans_preserve_the_oracle(case):
+    seed, k, n_batches, plan = case
+    rng = np.random.default_rng(seed)
+    n = 40
+    g = random_weighted_graph(n, 90, rng)
+    dm = DynamicMST.build(g, k, rng=seed, init="free")
+    mirror = g.copy()
+    batches = churn_batches(mirror.copy(), n, n_batches, 6, rng)
+    with ChaosSession(dm, plan, checkpoint_every=2) as chaos:
+        for batch in batches:
+            if not batch:
+                continue
+            chaos.apply(batch)
+            for upd in batch:
+                if upd.kind == "add":
+                    mirror.add_edge(upd.u, upd.v, upd.weight)
+                else:
+                    mirror.remove_edge(upd.u, upd.v)
+            assert_matches_oracle(dm, mirror)
+    dm.check()
+
+
+@pytest.mark.parametrize("k", [4, 8, 16])
+def test_pinned_plan_across_machine_counts(k, rng):
+    """One fixed fault plan per k: drop+dup plus a clean and a dirty crash."""
+    n = 60
+    g = random_weighted_graph(n, 150, rng)
+    dm = DynamicMST.build(g, k, rng=1, init="free")
+    mirror = g.copy()
+    batches = churn_batches(mirror.copy(), n, 4, 6, np.random.default_rng(k))
+    plan = FaultPlan(
+        seed=100 + k,
+        drop=0.04,
+        dup=0.02,
+        crashes=(
+            CrashEvent(batch=1, machine=k // 2),
+            CrashEvent(batch=3, machine=k - 1, superstep=3),
+        ),
+    )
+    with ChaosSession(dm, plan, checkpoint_every=2) as chaos:
+        for batch in batches:
+            if not batch:
+                continue
+            chaos.apply(batch)
+            for upd in batch:
+                if upd.kind == "add":
+                    mirror.add_edge(upd.u, upd.v, upd.weight)
+                else:
+                    mirror.remove_edge(upd.u, upd.v)
+            assert_matches_oracle(dm, mirror)
+        assert chaos.counters["recoveries"] >= 1
+    dm.check()
+
+
+def test_networkx_cross_check(rng):
+    """Independent oracle: networkx's MST agrees with the faulted run."""
+    nx = pytest.importorskip("networkx")
+    n = 50
+    g = random_weighted_graph(n, 120, rng)
+    dm = DynamicMST.build(g, 8, rng=2, init="free")
+    mirror = g.copy()
+    batches = churn_batches(mirror.copy(), n, 3, 8, np.random.default_rng(5))
+    plan = FaultPlan(seed=11, drop=0.05, dup=0.02,
+                     crashes=(CrashEvent(batch=1, machine=3),))
+    with ChaosSession(dm, plan, checkpoint_every=1) as chaos:
+        for batch in batches:
+            if not batch:
+                continue
+            chaos.apply(batch)
+            for upd in batch:
+                if upd.kind == "add":
+                    mirror.add_edge(upd.u, upd.v, upd.weight)
+                else:
+                    mirror.remove_edge(upd.u, upd.v)
+            ng = nx.Graph()
+            ng.add_nodes_from(v for v in mirror.vertices())
+            ng.add_weighted_edges_from(
+                (e.u, e.v, e.weight) for e in mirror.edges()
+            )
+            want = sum(
+                d["weight"]
+                for _, _, d in nx.minimum_spanning_edges(ng, data=True)
+            )
+            assert abs(want - dm.total_weight()) < 1e-9
+    dm.check()

@@ -1,0 +1,96 @@
+"""FaultPlan / CrashEvent: validation, classification, serialization."""
+
+import pytest
+
+from repro.faults import PLAN_SCHEMA, CrashEvent, FaultPlan
+
+
+class TestValidation:
+    def test_defaults_are_empty(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert not plan.transport_active
+        assert plan.crashes == ()
+
+    @pytest.mark.parametrize("field", ["drop", "dup", "reorder"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_probabilities_must_be_in_unit_interval(self, field, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: bad})
+
+    def test_max_retries_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_retries=0)
+
+    def test_crash_event_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            CrashEvent(batch=-1, machine=0)
+        with pytest.raises(ValueError):
+            CrashEvent(batch=0, machine=-2)
+        with pytest.raises(ValueError):
+            CrashEvent(batch=0, machine=0, superstep=-1)
+
+    def test_crash_list_normalized_to_tuple(self):
+        plan = FaultPlan(crashes=[CrashEvent(batch=0, machine=1)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_validate_machines(self):
+        plan = FaultPlan(crashes=(CrashEvent(batch=0, machine=7),))
+        plan.validate_machines(8)
+        with pytest.raises(ValueError):
+            plan.validate_machines(4)
+
+
+class TestClassification:
+    def test_transport_active_flags(self):
+        assert FaultPlan(drop=0.1).transport_active
+        assert FaultPlan(dup=0.1).transport_active
+        assert FaultPlan(reorder=0.1).transport_active
+        assert not FaultPlan(crashes=(CrashEvent(0, 0),)).transport_active
+
+    def test_crash_only_plan_is_not_empty(self):
+        assert not FaultPlan(crashes=(CrashEvent(0, 0),)).empty
+
+    def test_crashes_for_batch_splits_barrier_and_mid(self):
+        plan = FaultPlan(crashes=(
+            CrashEvent(batch=1, machine=0),
+            CrashEvent(batch=1, machine=2, superstep=5),
+            CrashEvent(batch=3, machine=1),
+        ))
+        pre, mid = plan.crashes_for_batch(1)
+        assert [c.machine for c in pre] == [0]
+        assert [c.machine for c in mid] == [2]
+        assert plan.crashes_for_batch(0) == ([], [])
+
+
+class TestSpec:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=9, drop=0.05, dup=0.01, reorder=0.2, max_retries=5,
+            crashes=(CrashEvent(1, 2), CrashEvent(3, 0, superstep=4)),
+        )
+        spec = plan.to_spec()
+        assert spec["schema"] == PLAN_SCHEMA
+        assert FaultPlan.from_spec(spec) == plan
+
+    def test_spec_crash_omits_null_superstep(self):
+        spec = FaultPlan(crashes=(CrashEvent(1, 2),)).to_spec()
+        assert spec["crashes"] == [{"batch": 1, "machine": 2}]
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_spec({"schema": "repro-fault-plan/9"})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_spec({"schema": PLAN_SCHEMA, "jitter": 0.5})
+
+    def test_parse_crashes(self):
+        events = FaultPlan.parse_crashes("0:1, 2:3:4,")
+        assert events == (CrashEvent(0, 1), CrashEvent(2, 3, superstep=4))
+
+    def test_parse_crashes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse_crashes("1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse_crashes("1:2:3:4")

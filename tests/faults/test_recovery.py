@@ -1,0 +1,160 @@
+"""CheckpointManager + ChaosSession recovery semantics."""
+
+import pytest
+
+from repro.core import DynamicMST
+from repro.errors import ReproError
+from repro.faults import ChaosSession, CheckpointManager, CrashEvent, FaultPlan
+from repro.graphs import Update, random_weighted_graph
+from repro.graphs.mst import msf_key_multiset
+
+
+def build(rng, n=50, m=120, k=4):
+    g = random_weighted_graph(n, m, rng)
+    return DynamicMST.build(g, k, rng=rng, init="free")
+
+
+def some_deletes(dm, count):
+    edges = sorted(dm.shadow.edges(), key=lambda e: e.key())[:count]
+    return [Update.delete(e.u, e.v) for e in edges]
+
+
+class TestCheckpointManager:
+    def test_checkpoint_charges_one_round_in_phase(self, rng):
+        dm = build(rng)
+        ckpt = CheckpointManager(dm)
+        before = dm.net.ledger.rounds
+        ckpt.checkpoint(0)
+        assert dm.net.ledger.rounds == before + 1
+        assert dm.net.ledger.phases["checkpoint"].rounds == 1
+        assert ckpt.has_checkpoint
+
+    def test_rollback_restores_forest_and_passes_check(self, rng):
+        dm = build(rng)
+        ckpt = CheckpointManager(dm)
+        ckpt.checkpoint(0)
+        forest_before = msf_key_multiset(dm.msf_edges())
+        shadow_before = msf_key_multiset(dm.shadow.edges())
+        batch = some_deletes(dm, 4)
+        dm.apply_batch(batch)
+        ckpt.record(batch)
+        assert msf_key_multiset(dm.msf_edges()) != forest_before
+        replay = ckpt.rollback()
+        assert replay == [batch]
+        assert msf_key_multiset(dm.msf_edges()) == forest_before
+        assert msf_key_multiset(dm.shadow.edges()) == shadow_before
+        dm.check()
+
+    def test_rollback_keeps_ledger_and_log(self, rng):
+        dm = build(rng)
+        ckpt = CheckpointManager(dm)
+        ckpt.checkpoint(0)
+        batch = some_deletes(dm, 2)
+        dm.apply_batch(batch)
+        ckpt.record(batch)
+        rounds_before = dm.net.ledger.rounds
+        ckpt.rollback()
+        # Rollback itself is local stable-storage I/O: no wire charges,
+        # and the live bill is never reset.
+        assert dm.net.ledger.rounds == rounds_before
+        # The log survives: a second crash replays the same batches.
+        assert ckpt.rollback() == [batch]
+
+    def test_checkpoint_clears_log(self, rng):
+        dm = build(rng)
+        ckpt = CheckpointManager(dm)
+        ckpt.checkpoint(0)
+        batch = some_deletes(dm, 2)
+        dm.apply_batch(batch)
+        ckpt.record(batch)
+        ckpt.checkpoint(1)
+        assert ckpt.rollback() == []
+
+    def test_rollback_without_checkpoint_raises(self, rng):
+        dm = build(rng)
+        with pytest.raises(ReproError, match="no checkpoint"):
+            CheckpointManager(dm).rollback()
+
+    def test_due_period(self, rng):
+        dm = build(rng)
+        ckpt = CheckpointManager(dm, every=2)
+        assert ckpt.due(2) and ckpt.due(4)
+        assert not ckpt.due(1) and not ckpt.due(3)
+        assert not CheckpointManager(dm).due(2)  # no period => never due
+
+    def test_bad_interval_rejected(self, rng):
+        dm = build(rng)
+        with pytest.raises(ValueError):
+            CheckpointManager(dm, every=0)
+
+
+class TestChaosSessionRecovery:
+    def test_pre_batch_crash_recovers_and_applies(self, rng):
+        dm = build(rng)
+        plan = FaultPlan(crashes=(CrashEvent(batch=1, machine=2),))
+        with ChaosSession(dm, plan, checkpoint_every=None) as chaos:
+            chaos.apply(some_deletes(dm, 3))
+            chaos.apply(some_deletes(dm, 3))
+            assert chaos.counters["recoveries"] == 1
+            assert chaos.counters["replayed_batches"] == 1
+        dm.check()
+        assert dm.net.ledger.phases["recovery"].rounds >= 1
+
+    def test_mid_batch_crash_redoes_batch(self, rng):
+        dm = build(rng)
+        plan = FaultPlan(crashes=(CrashEvent(batch=0, machine=1, superstep=2),))
+        with ChaosSession(dm, plan) as chaos:
+            chaos.apply(some_deletes(dm, 4))
+            assert chaos.counters["recoveries"] == 1
+            assert chaos.injector.crashed == set()
+        dm.check()
+
+    def test_recovery_rounds_land_in_recovery_phase(self, rng):
+        dm = build(rng)
+        plan = FaultPlan(crashes=(CrashEvent(batch=1, machine=0),))
+        with ChaosSession(dm, plan) as chaos:
+            chaos.apply(some_deletes(dm, 3))
+            chaos.apply(some_deletes(dm, 3))
+            recovery = dm.net.ledger.phases["recovery"]
+            # Detection barrier + the replayed batch's protocol rounds.
+            assert recovery.rounds > 1
+            assert chaos.overhead_rounds >= recovery.rounds
+
+    def test_crash_schedule_validated_against_k(self, rng):
+        dm = build(rng, k=4)
+        plan = FaultPlan(crashes=(CrashEvent(batch=0, machine=9),))
+        with pytest.raises(ValueError):
+            ChaosSession(dm, plan)
+
+    def test_unrelated_errors_are_not_masked(self, rng):
+        dm = build(rng)
+        from repro.errors import InconsistentUpdate
+
+        with ChaosSession(dm, FaultPlan(), checkpoint_every=1) as chaos:
+            with pytest.raises(InconsistentUpdate):
+                chaos.apply([Update.add(0, 1, 0.5), Update.add(0, 1, 0.5)])
+
+    def test_close_detaches_hook(self, rng):
+        dm = build(rng)
+        with ChaosSession(dm, FaultPlan()):
+            assert dm.net.faults is not None
+        assert dm.net.faults is None
+
+    def test_empty_plan_takes_no_checkpoint(self, rng):
+        dm = build(rng)
+        rounds = dm.net.ledger.rounds
+        with ChaosSession(dm, FaultPlan()) as chaos:
+            chaos.apply(some_deletes(dm, 3))
+            assert chaos.ckpt.checkpoints == 0
+        assert "checkpoint" not in dm.net.ledger.phases
+        assert dm.net.ledger.rounds > rounds  # the batch itself charged
+
+    def test_strict_mid_batch_crash_recovers(self, rng):
+        dm = build(rng)
+        dm.net.strict = True
+        plan = FaultPlan(crashes=(CrashEvent(batch=0, machine=1, superstep=1),))
+        with ChaosSession(dm, plan) as chaos:
+            chaos.apply(some_deletes(dm, 4))
+            assert chaos.counters["recoveries"] == 1
+        assert dm.net.strict_violations >= 1
+        dm.check()

@@ -1,11 +1,15 @@
 """Hypothesis-driven stream property test: arbitrary consistent update
-sequences never break the distributed structure."""
+sequences never break the distributed structure — including sequences
+interleaved with machine crash/recover events."""
+
+import io
 
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import DynamicMST
+from repro.faults import ChaosSession, CrashEvent, FaultPlan
 from repro.graphs import Update, WeightedGraph
 from repro.graphs.graph import normalize
 
@@ -55,3 +59,74 @@ def test_any_consistent_script_keeps_invariants(script):
         if batch:
             dm.apply_batch(batch)
     dm.check()
+
+
+@st.composite
+def crash_script(draw):
+    """An update script plus a crash schedule drawn over its batches."""
+    n, k, seed, batches = draw(update_script())
+    crashes = []
+    for _ in range(draw(st.integers(0, 2))):
+        crashes.append(
+            CrashEvent(
+                batch=draw(st.integers(0, max(len(batches) - 1, 0))),
+                machine=draw(st.integers(0, k - 1)),
+                superstep=draw(st.one_of(st.none(), st.integers(0, 8))),
+            )
+        )
+    return n, k, seed, batches, tuple(crashes)
+
+
+@given(crash_script())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_scripts_interleaved_with_crashes_keep_invariants(script):
+    """Crash/recover events at arbitrary points never break invariants."""
+    n, k, seed, batches, crashes = script
+    dm = DynamicMST.build(WeightedGraph(range(n)), k, rng=seed, init="free")
+    plan = FaultPlan(seed=seed, crashes=crashes)
+    with ChaosSession(dm, plan, checkpoint_every=2) as chaos:
+        for batch in batches:
+            if batch:
+                chaos.apply(batch)
+    dm.check()
+
+
+def test_trace_charge_indices_stay_contiguous_across_recovery():
+    """Regression: recovery rollback+replay must not skip or repeat
+    ledger transcript indices in the recorded trace — ``validate_events``
+    enforces the contiguity contract."""
+    from repro.trace.events import validate_events
+    from repro.trace.recorder import TraceRecorder
+
+    rng = np.random.default_rng(23)
+    n, k = 30, 4
+    sink = io.StringIO()
+    rec = TraceRecorder(sink)
+    g = WeightedGraph(range(n))
+    for _ in range(60):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, float(rng.random()))
+    dm = DynamicMST.build(g, k, rng=0, init="free", trace=rec)
+    plan = FaultPlan(
+        seed=3,
+        drop=0.05,
+        crashes=(CrashEvent(batch=1, machine=1),
+                 CrashEvent(batch=2, machine=2, superstep=3)),
+    )
+    edges = sorted(g.edges(), key=lambda e: e.key())
+    with ChaosSession(dm, plan, checkpoint_every=1) as chaos:
+        for i in range(3):
+            batch = [Update.delete(e.u, e.v) for e in edges[4 * i:4 * i + 4]]
+            chaos.apply(batch)
+    dm.detach_trace()
+    rec.close()
+    import json
+
+    events = [json.loads(line) for line in sink.getvalue().splitlines()]
+    assert any(e["type"] == "recovery_end" for e in events)
+    validate_events(events)  # monotone seq + contiguous charge indices

@@ -1,0 +1,141 @@
+"""Fault/recovery trace events and the typed machine-crash violation."""
+
+import io
+
+import pytest
+
+from repro.errors import StrictModeViolation
+from repro.faults import CrashEvent, FaultInjector, FaultPlan
+from repro.sim import KMachineNetwork, Message
+from repro.sim.metrics import Ledger
+from repro.sim.strict import VIOLATION_KINDS, violation_kind
+from repro.trace.events import (
+    EVENT_TYPES,
+    REQUIRED_FIELDS,
+    TraceFormatError,
+    validate_event,
+    validate_events,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.trace.report import summarize
+
+
+def _parse(sink):
+    import json
+
+    return [json.loads(line) for line in sink.getvalue().splitlines() if line]
+
+
+class TestMachineCrashViolationKind:
+    def test_machine_crash_is_a_typed_kind(self):
+        assert "machine-crash" in VIOLATION_KINDS
+
+    def test_violation_kind_classifies_machine_crash(self):
+        exc = StrictModeViolation("dead machine spoke", kind="machine-crash")
+        assert violation_kind(exc) == "machine-crash"
+
+    def test_unknown_kind_still_falls_back_to_other(self):
+        assert violation_kind(StrictModeViolation("x", kind="bogus")) == "other"
+
+    def test_strict_send_from_crashed_machine_emits_typed_event(self):
+        sink = io.StringIO()
+        rec = TraceRecorder(sink)
+        net = KMachineNetwork(4, strict=True)
+        net.ledger.recorder = rec
+        inj = FaultInjector(FaultPlan(crashes=(CrashEvent(0, 1),)))
+        net.faults = inj
+        inj.crash_now(net, 1)
+        with pytest.raises(StrictModeViolation) as exc_info:
+            net.superstep([Message(1, 0, "ghost", 1)])
+        assert exc_info.value.kind == "machine-crash"
+        rec.close()
+        events = [e for e in _parse(sink) if e["type"] == "violation"]
+        assert events and events[0]["kind"] == "machine-crash"
+
+
+class TestFaultEventSchema:
+    def test_new_event_types_registered(self):
+        for etype in ("fault", "machine_crash", "machine_restart",
+                      "checkpoint", "recovery_start", "recovery_end"):
+            assert etype in EVENT_TYPES
+            assert etype in REQUIRED_FIELDS
+
+    @pytest.mark.parametrize("event", [
+        {"type": "fault", "seq": 1, "kinds": {"drop": 2}},
+        {"type": "machine_crash", "seq": 1, "machine": 3},
+        {"type": "machine_restart", "seq": 1, "machine": 3},
+        {"type": "checkpoint", "seq": 1, "batch": 0},
+        {"type": "recovery_start", "seq": 1, "machines": [1, 2]},
+        {"type": "recovery_end", "seq": 1, "machines": [1], "rounds": 9,
+         "replayed": 2},
+    ])
+    def test_wellformed_events_validate(self, event):
+        validate_event(event)
+
+    @pytest.mark.parametrize("event", [
+        {"type": "fault", "seq": 1},
+        {"type": "machine_crash", "seq": 1},
+        {"type": "checkpoint", "seq": 1},
+        {"type": "recovery_end", "seq": 1, "machines": [1]},
+    ])
+    def test_missing_required_fields_rejected(self, event):
+        with pytest.raises(TraceFormatError, match="missing"):
+            validate_event(event)
+
+    def test_stream_with_fault_events_validates(self):
+        events = [
+            {"type": "trace_start", "seq": 0, "schema": "repro-trace/1"},
+            {"type": "checkpoint", "seq": 1, "batch": 0},
+            {"type": "machine_crash", "seq": 2, "machine": 1},
+            {"type": "recovery_start", "seq": 3, "machines": [1]},
+            {"type": "charge", "seq": 4, "index": 0, "rounds": 1,
+             "messages": 0, "words": 0},
+            {"type": "machine_restart", "seq": 5, "machine": 1},
+            {"type": "recovery_end", "seq": 6, "machines": [1], "rounds": 1,
+             "replayed": 0},
+            {"type": "fault", "seq": 7, "kinds": {"drop": 1}},
+        ]
+        validate_events(events)
+
+
+class TestSummaryTallies:
+    def test_summarize_counts_fault_activity(self):
+        sink = io.StringIO()
+        rec = TraceRecorder(sink)
+        ledger = Ledger()
+        ledger.recorder = rec
+        rec.emit("run_start", model="k-machine", k=4)
+        rec.emit("checkpoint", batch=0)
+        rec.emit("fault", kinds={"drop": 3, "duplicate": 1})
+        rec.emit("fault", kinds={"drop": 2})
+        rec.emit("machine_crash", machine=1)
+        rec.emit("recovery_start", machines=[1])
+        ledger.charge(5, 1, 1)
+        rec.emit("machine_restart", machine=1)
+        rec.emit("recovery_end", machines=[1], rounds=5, replayed=2)
+        rec.close()
+        summary = summarize(_parse(sink))
+        assert summary.faults == {"drop": 5, "duplicate": 1}
+        assert summary.crashes == 1
+        assert summary.restarts == 1
+        assert summary.checkpoints == 1
+        assert summary.recoveries == 1
+        assert summary.recovery_rounds == 5
+        assert summary.replayed_batches == 2
+
+    def test_render_and_json_include_chaos_section(self):
+        sink = io.StringIO()
+        rec = TraceRecorder(sink)
+        rec.emit("run_start", model="k-machine", k=4)
+        rec.emit("fault", kinds={"drop": 1})
+        rec.emit("machine_crash", machine=0)
+        rec.close()
+        summary = summarize(_parse(sink))
+        from repro.trace.report import render_text, to_json
+
+        text = render_text(summary)
+        assert "faults: drop=1" in text
+        assert "crashes=1" in text
+        payload = to_json(summary)
+        assert payload["faults"]["kinds"] == {"drop": 1}
+        assert payload["faults"]["crashes"] == 1

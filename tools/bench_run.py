@@ -93,8 +93,57 @@ def _run_engine(graph, stream, k: int, seed: int, fast: bool,
     return out
 
 
+def _run_faults(scenario: Scenario, reference: Dict[str, Any]) -> Dict[str, Any]:
+    """A third, chaos trajectory: same workload under a seeded fault plan.
+
+    The pre-batch crash (machine k//2 at the middle batch barrier) keeps
+    the trajectory strict-clean: recovery runs before the dead machine
+    would have to speak.  The fault run must still end on the reference
+    forest — recovery overhead is allowed to change the bill, never the
+    answer.
+    """
+    from repro.faults import CrashEvent, FaultPlan, run_chaos
+
+    plan = FaultPlan(
+        seed=scenario.seed + 1,
+        drop=0.02,
+        dup=0.01,
+        crashes=(CrashEvent(batch=scenario.n_batches // 2,
+                            machine=scenario.k // 2),),
+    )
+    t0 = time.perf_counter()
+    chaos = run_chaos(scenario, plan, checkpoint_every=2)
+    wall_s = time.perf_counter() - t0
+    if not chaos["ok"]:
+        raise AssertionError(
+            f"{scenario.name}: chaos run diverged from the oracle in "
+            f"{chaos['mismatches']} batch(es)"
+        )
+    if chaos["msf_weight"] != reference["msf_weight"]:
+        raise AssertionError(
+            f"{scenario.name}: chaos MSF weight {chaos['msf_weight']} != "
+            f"reference {reference['msf_weight']}"
+        )
+    overhead = chaos["overhead_rounds"]
+    return {
+        "wall_s": wall_s,
+        "plan": chaos["plan"],
+        "rounds": chaos["rounds"],
+        "recovery_rounds": overhead,
+        "overhead_vs_reference": round(
+            overhead / max(reference["rounds"], 1), 3
+        ),
+        "recoveries": chaos["recoveries"],
+        "replayed_batches": chaos["replayed_batches"],
+        "checkpoints": chaos["checkpoints"],
+        "faults": chaos["faults"],
+        "msf_weight": chaos["msf_weight"],
+    }
+
+
 def run_scenario(scenario: Scenario, profile: bool,
-                 trace_dir: Optional[str] = None) -> Dict[str, Any]:
+                 trace_dir: Optional[str] = None,
+                 faults: bool = False) -> Dict[str, Any]:
     from repro.graphs import churn_stream, random_weighted_graph
 
     name, n, k = scenario.name, scenario.n, scenario.k
@@ -162,6 +211,16 @@ def run_scenario(scenario: Scenario, profile: bool,
         f"fast {result['updates_per_s_fast']:>8.1f} up/s  "
         f"speedup {speedup:>5.2f}x{extra}  digest {reference['digest'][:12]}"
     )
+    if faults:
+        chaos = _run_faults(scenario, reference)
+        result["faults"] = chaos
+        print(
+            f"  {name:<14} chaos: rounds {chaos['rounds']:>6} "
+            f"(recovery {chaos['recovery_rounds']}, "
+            f"{chaos['overhead_vs_reference']:.1%} of reference)  "
+            f"recoveries={chaos['recoveries']} "
+            f"weight matches reference"
+        )
     return result
 
 
@@ -350,6 +409,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="capture a repro.trace JSONL per scenario per engine "
                          "into this directory (timed throughput then includes "
                          "recording overhead)")
+    ap.add_argument("--faults", action="store_true",
+                    help="add a chaos trajectory per scenario (seeded "
+                         "drop/dup plan + a mid-trajectory crash) and report "
+                         "recovery-round overhead; the fault run must end on "
+                         "the reference forest")
     ap.add_argument("--out", default=None,
                     help="output JSON path (default BENCH_<date>.json)")
     ap.add_argument("--min-speedup", type=float, default=None,
@@ -374,7 +438,8 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{', tracing to ' + args.trace_dir if args.trace_dir else ''}")
     print("scenarios (reference vs columnar fast path):")
     scenario_results = [
-        run_scenario(s, profile=args.profile, trace_dir=args.trace_dir)
+        run_scenario(s, profile=args.profile, trace_dir=args.trace_dir,
+                     faults=args.faults)
         for s in scenarios
     ]
     print("kernels:")
