@@ -1,0 +1,176 @@
+"""Baseline ratchet: adopt the analyzer on code with known findings.
+
+A baseline is a checked-in inventory of accepted findings
+(``simlint-baseline.json``).  The gate is a *ratchet*:
+
+* a finding **not** in the baseline fails the run (new debt is barred);
+* a finding covered by the baseline is reported as a warning with its
+  age, so the backlog stays visible and pay-down is measurable;
+* a baseline entry nothing matches anymore is reported too — the debt
+  was paid, so the entry must be deleted (``--update-baseline``) or the
+  ratchet quietly loosens.
+
+Entries key on ``(code, path, message)`` with a count, *not* on line
+numbers: unrelated edits move lines constantly, and a baseline that
+churns on every edit trains people to regenerate it blindly — which is
+how new findings sneak in.  ``count`` caps how many identical findings
+the entry absorbs; the excess fails.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+
+#: Bump when the baseline schema changes shape.
+BASELINE_SCHEMA = 1
+
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding class: (code, path, message) × count."""
+
+    code: str
+    path: str
+    message: str
+    count: int
+    first_seen: str  #: ISO date the debt was first baselined
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, self.path, self.message)
+
+    def age_days(self, today: Optional[datetime.date] = None) -> int:
+        today = today or datetime.date.today()
+        try:
+            seen = datetime.date.fromisoformat(self.first_seen)
+        except ValueError:
+            return 0
+        return max(0, (today - seen).days)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching a finding list against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    """A loaded baseline file plus the matching/ratchet logic."""
+
+    def __init__(self, entries: List[BaselineEntry], path: str = "") -> None:
+        self.path = path
+        self.entries = entries
+        self._by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+            e.key(): e for e in entries
+        }
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: not a simlint baseline (expected schema "
+                f"{BASELINE_SCHEMA})"
+            )
+        entries = [
+            BaselineEntry(
+                code=str(e["code"]), path=str(e["path"]),
+                message=str(e["message"]), count=int(e["count"]),
+                first_seen=str(e["first_seen"]),
+            )
+            for e in data.get("findings", [])
+        ]
+        return cls(entries, path=path)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def apply(
+        self, findings: List[Finding], root: Optional[str] = None
+    ) -> BaselineResult:
+        """Partition ``findings`` into new vs baselined; surface paid debt.
+
+        ``root`` anchors path matching: entries are stored repo-relative,
+        so findings from an absolute-path scan still match.
+        """
+        result = BaselineResult()
+        absorbed: Dict[Tuple[str, str, str], int] = {}
+        for f in findings:
+            key = (f.code, _norm(f.path, root), f.message)
+            entry = self._by_key.get(key)
+            if entry is not None and absorbed.get(key, 0) < entry.count:
+                absorbed[key] = absorbed.get(key, 0) + 1
+                result.baselined.append((f, entry))
+            else:
+                result.new.append(f)
+        for entry in self.entries:
+            if absorbed.get(entry.key(), 0) < entry.count:
+                result.stale.append(entry)
+        return result
+
+    def updated_with(
+        self,
+        findings: List[Finding],
+        today: Optional[datetime.date] = None,
+        root: Optional[str] = None,
+    ) -> "Baseline":
+        """A fresh baseline for ``findings``, keeping surviving first_seen."""
+        today_iso = (today or datetime.date.today()).isoformat()
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for f in sort_findings(findings):
+            key = (f.code, _norm(f.path, root), f.message)
+            counts[key] = counts.get(key, 0) + 1
+        entries = [
+            BaselineEntry(
+                code=code, path=path, message=message, count=n,
+                first_seen=(
+                    self._by_key[(code, path, message)].first_seen
+                    if (code, path, message) in self._by_key
+                    else today_iso
+                ),
+            )
+            for (code, path, message), n in sorted(counts.items())
+        ]
+        return Baseline(entries, path=self.path)
+
+    def write(self, path: Optional[str] = None) -> None:
+        out = path or self.path
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "comment": (
+                "simlint baseline — accepted findings (the ratchet). "
+                "Regenerate with: python -m repro.analysis <paths> "
+                "--update-baseline " + (os.path.basename(out) or DEFAULT_BASELINE)
+            ),
+            "findings": [
+                {
+                    "code": e.code, "path": e.path, "message": e.message,
+                    "count": e.count, "first_seen": e.first_seen,
+                }
+                for e in self.entries
+            ],
+        }
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _norm(path: str, root: Optional[str] = None) -> str:
+    """Repo-style forward-slash relative path for stable baseline keys."""
+    if root is not None and os.path.isabs(path):
+        rel = os.path.relpath(path, root)
+        if not rel.startswith(".."):
+            path = rel
+    return os.path.normpath(path).replace(os.sep, "/").lstrip("./")

@@ -1,0 +1,168 @@
+"""Incremental analysis cache under ``.simlint_cache/``.
+
+Two layers, invalidated independently:
+
+* **summaries** (pass 1) are keyed per file by ``(mtime, size, sha256)``
+  — an untouched file's :class:`~repro.analysis.callgraph.ModuleSummary`
+  is rehydrated from JSON instead of re-parsed;
+* **findings** (pass 2) are keyed by the file's sha *plus* the project's
+  :meth:`~repro.analysis.callgraph.Project.effects_digest` and the
+  active-rule signature — an edit anywhere that shifts a transitive
+  effect (a new send, a moved ``ledger.phase``) re-lints every file,
+  while a comment-only edit re-lints just the file it touched.
+
+The whole cache is dropped when the analyzer ``fingerprint`` (schema
+version + rule catalog + ``[tool.simlint]`` config) moves, so a rule
+upgrade can never serve stale verdicts.  Corrupt or foreign cache files
+are treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import ModuleSummary
+from repro.analysis.findings import Finding
+
+#: Bump when the summary or findings schema changes shape.
+CACHE_SCHEMA = 2
+
+DEFAULT_CACHE_DIR = ".simlint_cache"
+_CACHE_FILE = "cache.json"
+
+
+def file_sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class AnalysisCache:
+    """The on-disk cache; all lookups are by repo-relative path."""
+
+    def __init__(self, cache_dir: str, fingerprint: str) -> None:
+        self.cache_dir = cache_dir
+        self.fingerprint = fingerprint
+        self.path = os.path.join(cache_dir, _CACHE_FILE)
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._summaries: Dict[str, Dict[str, Any]] = {}
+        self._findings: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("schema") != CACHE_SCHEMA:
+            return
+        if data.get("fingerprint") != self.fingerprint:
+            return  # rule catalog / config moved: start fresh
+        summaries = data.get("summaries", {})
+        findings = data.get("findings", {})
+        if isinstance(summaries, dict):
+            self._summaries = summaries
+        if isinstance(findings, dict):
+            self._findings = findings
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "summaries": self._summaries,
+            "findings": self._findings,
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, self.path)
+        gitignore = os.path.join(self.cache_dir, ".gitignore")
+        if not os.path.exists(gitignore):
+            with open(gitignore, "w", encoding="utf-8") as fh:
+                fh.write("*\n")
+        self._dirty = False
+
+    # -- pass 1: summaries ----------------------------------------------
+    def get_summary(
+        self, key: str, mtime: float, size: int, sha: str
+    ) -> Optional[ModuleSummary]:
+        entry = self._summaries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stat_ok = entry.get("mtime") == mtime and entry.get("size") == size
+        if not (stat_ok or entry.get("sha") == sha):
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put_summary(
+        self, key: str, mtime: float, size: int, sha: str,
+        summary: ModuleSummary,
+    ) -> None:
+        self._summaries[key] = {
+            "mtime": mtime, "size": size, "sha": sha,
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    # -- pass 2: findings -----------------------------------------------
+    def get_findings(
+        self, key: str, sha: str, effects_digest: str, rules_sig: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        entry = self._findings.get(key)
+        if entry is None:
+            return None
+        if (
+            entry.get("sha") != sha
+            or entry.get("effects_digest") != effects_digest
+            or entry.get("rules_sig") != rules_sig
+        ):
+            return None
+        try:
+            findings = [
+                Finding(
+                    code=str(f["code"]), message=str(f["message"]),
+                    path=str(f["path"]), line=int(f["line"]),
+                    col=int(f.get("col", 0)),
+                )
+                for f in entry["findings"]
+            ]
+            used = int(entry["suppressions_used"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, used
+
+    def put_findings(
+        self, key: str, sha: str, effects_digest: str, rules_sig: str,
+        findings: List[Finding], suppressions_used: int,
+    ) -> None:
+        self._findings[key] = {
+            "sha": sha,
+            "effects_digest": effects_digest,
+            "rules_sig": rules_sig,
+            "findings": [f.to_dict() for f in findings],
+            "suppressions_used": suppressions_used,
+        }
+        self._dirty = True
+
+    def drop(self, key: str) -> None:
+        self._summaries.pop(key, None)
+        self._findings.pop(key, None)
+        self._dirty = True

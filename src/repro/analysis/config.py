@@ -1,0 +1,99 @@
+"""Project configuration: the ``[tool.simlint]`` table in pyproject.toml.
+
+The analyzer covers three very different territories — ``src`` (the
+model, full rule set), ``tools`` (driver scripts that may legitimately
+read clocks), and ``tests`` (harness code that pokes at internals by
+design) — so the rule set is configurable *per directory*:
+
+.. code-block:: toml
+
+    [tool.simlint]
+    exclude = ["tests/analysis/fixtures"]
+
+    [tool.simlint.per-directory]
+    "tests" = { disable = ["SIM002", "SIM005"] }
+    "tools" = { disable = ["SIM005"] }
+
+``exclude`` prunes directory walks (seeded-violation fixtures, golden
+corpora); an excluded path scanned *explicitly* (``python -m
+repro.analysis tests/analysis/fixtures``) is still analyzed — explicit
+wins.  ``per-directory`` maps a path prefix (relative to the config
+file) to rule codes disabled beneath it; the longest matching prefix
+applies.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+@dataclass
+class SimlintConfig:
+    """Parsed ``[tool.simlint]`` settings, paths relative to ``root``."""
+
+    root: str
+    exclude: Tuple[str, ...] = ()
+    per_directory: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def _rel(self, path: str) -> str:
+        rel = os.path.relpath(os.path.abspath(path), self.root)
+        return rel.replace(os.sep, "/")
+
+    def is_excluded(self, path: str) -> bool:
+        rel = self._rel(path)
+        return any(
+            rel == ex or rel.startswith(ex + "/") for ex in self.exclude
+        )
+
+    def disabled_for(self, path: str) -> FrozenSet[str]:
+        """Rule codes disabled for ``path`` (longest prefix wins)."""
+        rel = self._rel(path)
+        best: FrozenSet[str] = frozenset()
+        best_len = -1
+        for prefix, codes in self.per_directory.items():
+            if rel == prefix or rel.startswith(prefix + "/"):
+                if len(prefix) > best_len:
+                    best, best_len = codes, len(prefix)
+        return best
+
+    def digest_key(self) -> str:
+        """Stable string for the cache fingerprint."""
+        parts: List[str] = [*sorted(self.exclude)]
+        for prefix in sorted(self.per_directory):
+            parts.append(f"{prefix}={','.join(sorted(self.per_directory[prefix]))}")
+        return ";".join(parts)
+
+
+def find_pyproject(start: str) -> Optional[str]:
+    """Nearest pyproject.toml at or above ``start``."""
+    cur = os.path.abspath(start)
+    while True:
+        candidate = os.path.join(cur, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            return None
+        cur = parent
+
+
+def load_config(start: Optional[str] = None) -> SimlintConfig:
+    """Load ``[tool.simlint]``; absent table means defaults (no excludes)."""
+    pyproject = find_pyproject(start or os.getcwd())
+    if pyproject is None:
+        return SimlintConfig(root=os.path.abspath(start or os.getcwd()))
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("simlint", {})
+    root = os.path.dirname(os.path.abspath(pyproject))
+    exclude = tuple(str(p).replace(os.sep, "/") for p in table.get("exclude", []))
+    per_directory: Dict[str, FrozenSet[str]] = {}
+    for prefix, settings in table.get("per-directory", {}).items():
+        codes = settings.get("disable", []) if isinstance(settings, dict) else []
+        per_directory[str(prefix).replace(os.sep, "/")] = frozenset(
+            str(c) for c in codes
+        )
+    return SimlintConfig(root=root, exclude=exclude, per_directory=per_directory)

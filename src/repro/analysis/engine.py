@@ -1,8 +1,21 @@
-"""The simlint driver: collect files, run rules, apply suppressions.
+"""The simlint driver: two passes over the project, then the ratchet.
 
-The engine is deliberately boring — deterministic file order, one AST
-parse per file, every rule sees every file — so that a finding's
-presence depends only on the source text, never on traversal order.
+v2 is a whole-program analyzer.  **Pass 1** parses every collected file
+once and distils it to a :class:`~repro.analysis.callgraph.ModuleSummary`
+(definitions, imports, call sites, direct effects); the summaries are
+stitched into a :class:`~repro.analysis.callgraph.Project` that resolves
+intra-package calls and propagates effects ("communicates", "charges
+rounds", "mutates gauged state") transitively to a fixpoint.  **Pass 2**
+runs the rule catalog per file with a :class:`LintContext` exposing that
+project view, which is how SIM004 follows a loop's call *chain* to a
+send and SIM009 pairs fast-path twins across modules.
+
+The engine stays deterministic — sorted file order, stable finding
+order, one AST parse per file per pass — so a finding's presence depends
+only on the source tree, never on traversal order or cache state.  The
+incremental cache (:mod:`repro.analysis.cache`) and the baseline ratchet
+(:mod:`repro.analysis.baseline`) compose around the passes without
+changing their results.
 """
 
 from __future__ import annotations
@@ -10,12 +23,27 @@ from __future__ import annotations
 import ast
 import json
 import os
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cache import AnalysisCache, DEFAULT_CACHE_DIR, file_sha256
+from repro.analysis.callgraph import ModuleSummary, Project, summarize_module
+from repro.analysis.config import SimlintConfig, load_config
 from repro.analysis.findings import META_CODE, Finding, sort_findings
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.rules import ALL_RULES, LintContext, Rule
 from repro.analysis.suppress import parse_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", DEFAULT_CACHE_DIR})
 
 
 @dataclass
@@ -25,10 +53,17 @@ class Report:
     findings: List[Finding]
     files_checked: int
     suppressions_used: int = 0
+    #: Findings absorbed by the baseline ratchet (finding, entry) pairs.
+    baselined: List[Tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    #: Baseline entries nothing matched anymore — paid debt to delete.
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        # Stale baseline entries fail too: the ratchet only ratchets if
+        # paid debt must be struck from the inventory.
+        return not self.findings and not self.stale_baseline
 
     def counts_by_code(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -38,12 +73,29 @@ class Report:
 
     def format_text(self) -> str:
         lines = [f.format_text() for f in self.findings]
+        for finding, entry in self.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                f"{finding.code} [baselined {entry.age_days()}d] "
+                f"{finding.message}"
+            )
+        for entry in self.stale_baseline:
+            lines.append(
+                f"simlint: stale baseline entry {entry.code} at {entry.path} "
+                f"(×{entry.count}) — debt paid; regenerate with "
+                "--update-baseline"
+            )
         by_code = ", ".join(f"{c}×{n}" for c, n in self.counts_by_code().items())
         tail = (
             f"{len(self.findings)} finding(s) [{by_code}]"
             if self.findings
             else "clean"
         )
+        if self.baselined or self.stale_baseline:
+            tail += (
+                f", {len(self.baselined)} baselined, "
+                f"{len(self.stale_baseline)} stale baseline entr(ies)"
+            )
         lines.append(
             f"simlint: {self.files_checked} file(s), "
             f"{self.suppressions_used} suppression(s) honoured — {tail}"
@@ -55,28 +107,63 @@ class Report:
             {
                 "files_checked": self.files_checked,
                 "suppressions_used": self.suppressions_used,
+                "cache_hits": self.cache_hits,
                 "counts": self.counts_by_code(),
                 "findings": [f.to_dict() for f in self.findings],
+                "baselined": [
+                    {
+                        **f.to_dict(),
+                        "first_seen": e.first_seen,
+                        "age_days": e.age_days(),
+                    }
+                    for f, e in self.baselined
+                ],
+                "stale_baseline": [
+                    {
+                        "code": e.code, "path": e.path,
+                        "message": e.message, "count": e.count,
+                        "first_seen": e.first_seen,
+                    }
+                    for e in self.stale_baseline
+                ],
             },
             indent=2,
             sort_keys=True,
         )
 
 
-def collect_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def collect_files(
+    paths: Sequence[str], config: Optional[SimlintConfig] = None
+) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``config.exclude`` prunes the walk — unless the scan root itself
+    lies inside an excluded path, in which case the exclusion is
+    ignored for that root: asking for an excluded directory *by name*
+    (the CI fixture self-check does) means you want it analyzed.
+    """
     out: List[str] = []
     for path in paths:
         if os.path.isfile(path):
             out.append(path)
         elif os.path.isdir(path):
+            prune = config is not None and not config.is_excluded(path)
             for dirpath, dirnames, filenames in os.walk(path):
-                dirnames[:] = sorted(
-                    d for d in dirnames if d not in {"__pycache__", ".git"}
-                )
+                keep = []
+                for d in sorted(dirnames):
+                    if d in _SKIP_DIRS:
+                        continue
+                    if prune and config.is_excluded(os.path.join(dirpath, d)):
+                        continue
+                    keep.append(d)
+                dirnames[:] = keep
                 for name in sorted(filenames):
-                    if name.endswith(".py"):
-                        out.append(os.path.join(dirpath, name))
+                    if not name.endswith(".py"):
+                        continue
+                    full = os.path.join(dirpath, name)
+                    if prune and config.is_excluded(full):
+                        continue
+                    out.append(full)
         else:
             raise FileNotFoundError(path)
     return sorted(dict.fromkeys(out))
@@ -87,7 +174,12 @@ def analyze_source(
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Run the rule catalog over one source text (the unit-test surface)."""
+    """Run the rule catalog over one source text (the unit-test surface).
+
+    A one-module project is built around the source, so the
+    interprocedural rules see call chains *within* the file and degrade
+    gracefully (no cross-file edges) rather than switching off.
+    """
     findings, _used = _analyze(source, path, rules)
     return findings
 
@@ -96,9 +188,14 @@ def _analyze(
     source: str,
     path: str,
     rules: Optional[Sequence[Rule]] = None,
+    ctx: Optional[LintContext] = None,
+    disabled: FrozenSet[str] = frozenset(),
 ) -> Tuple[List[Finding], int]:
     """(sorted findings, count of suppressions that silenced something)."""
-    active = list(rules if rules is not None else ALL_RULES)
+    active = [
+        r for r in (rules if rules is not None else ALL_RULES)
+        if r.code not in disabled
+    ]
     table = parse_suppressions(path, source)
     findings: List[Finding] = list(table.errors)
     try:
@@ -107,22 +204,37 @@ def _analyze(
         findings.append(Finding(
             META_CODE, f"file does not parse: {exc.msg}", path, exc.lineno or 1,
         ))
-        return sort_findings(findings), 0
+        return sort_findings(_drop_disabled(findings, disabled)), 0
+    if ctx is None:
+        summary = summarize_module(tree, path)
+        ctx = LintContext(path=path, project=Project([summary]), module=summary)
     for rule in active:
-        for finding in rule.check(tree, path):
+        for finding in rule.check(tree, path, ctx):
             if not table.is_suppressed(finding.code, _finding_lines(tree, finding)):
                 findings.append(finding)
     used = len({
         id(s) for sups in table.by_line.values() for s in sups if s.used
     })
     for sup in table.unused():
+        if disabled and set(sup.codes) <= disabled:
+            # The suppressed rule is switched off in this directory; the
+            # directive is dormant, not dead.
+            continue
         findings.append(Finding(
             META_CODE,
             f"unused suppression of {', '.join(sup.codes)} — nothing to "
             "silence on this line; delete it",
             path, sup.line,
         ))
-    return sort_findings(findings), used
+    return sort_findings(_drop_disabled(findings, disabled)), used
+
+
+def _drop_disabled(
+    findings: List[Finding], disabled: FrozenSet[str]
+) -> List[Finding]:
+    if not disabled:
+        return findings
+    return [f for f in findings if f.code not in disabled]
 
 
 def _finding_lines(tree: ast.Module, finding: Finding) -> range:
@@ -146,26 +258,135 @@ def _finding_lines(tree: ast.Module, finding: Finding) -> range:
     return best if best is not None else range(finding.line, finding.line + 1)
 
 
+def _select_rules(
+    rules: Optional[Sequence[Rule]], select: Optional[Iterable[str]]
+) -> Tuple[List[Rule], Optional[FrozenSet[str]]]:
+    active: List[Rule] = list(rules if rules is not None else ALL_RULES)
+    if select is None:
+        return active, None
+    wanted = frozenset(select)
+    unknown = wanted - {r.code for r in ALL_RULES}
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [r for r in active if r.code in wanted], wanted
+
+
+def _cache_key(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), root)
+    if rel.startswith(".."):
+        return os.path.abspath(path).replace(os.sep, "/")
+    return rel.replace(os.sep, "/")
+
+
+def _fingerprint(config: SimlintConfig) -> str:
+    codes = ",".join(sorted(r.code for r in ALL_RULES))
+    return f"simlint-v2|{codes}|{config.digest_key()}"
+
+
+def build_project(
+    files: Sequence[str],
+    config: Optional[SimlintConfig] = None,
+    cache: Optional[AnalysisCache] = None,
+) -> Tuple[Project, Dict[str, Optional[ModuleSummary]], Dict[str, bytes]]:
+    """Pass 1: summaries for every file (cached where unchanged).
+
+    Returns the propagated project, the per-path summaries (None for
+    files that do not parse), and the raw bytes read per path so pass 2
+    never re-reads the tree off disk.
+    """
+    root = config.root if config is not None else os.getcwd()
+    summaries: Dict[str, Optional[ModuleSummary]] = {}
+    raw_bytes: Dict[str, bytes] = {}
+    for path in files:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        raw_bytes[path] = raw
+        summary: Optional[ModuleSummary] = None
+        key = _cache_key(path, root)
+        sha = file_sha256(raw)
+        mtime = size = 0
+        if cache is not None:
+            st = os.stat(path)
+            mtime, size = st.st_mtime_ns, st.st_size
+            summary = cache.get_summary(key, mtime, size, sha)
+        if summary is None:
+            try:
+                tree = ast.parse(raw.decode("utf-8"), filename=path)
+            except (SyntaxError, UnicodeDecodeError):
+                summaries[path] = None  # pass 2 reports the parse failure
+                continue
+            summary = summarize_module(tree, path, root)
+            if cache is not None:
+                cache.put_summary(key, mtime, size, sha, summary)
+        summaries[path] = summary
+    project = Project([s for s in summaries.values() if s is not None])
+    return project, summaries, raw_bytes
+
+
 def run(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     select: Optional[Iterable[str]] = None,
+    *,
+    config: Optional[SimlintConfig] = None,
+    baseline: Optional[Baseline] = None,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Report:
     """Analyze ``paths``; ``select`` restricts to a subset of rule codes."""
-    active: Sequence[Rule] = list(rules if rules is not None else ALL_RULES)
-    wanted = set(select) if select is not None else None
-    if wanted is not None:
-        unknown = wanted - {r.code for r in ALL_RULES}
-        if unknown:
-            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
-        active = [r for r in active if r.code in wanted]
-    files = collect_files(paths)
+    active, wanted = _select_rules(rules, select)
+    if config is None:
+        start = next((p for p in paths if os.path.exists(p)), None)
+        config = load_config(start)
+    cache: Optional[AnalysisCache] = None
+    if use_cache:
+        cache = AnalysisCache(
+            cache_dir or os.path.join(config.root, DEFAULT_CACHE_DIR),
+            _fingerprint(config),
+        )
+    files = collect_files(paths, config)
+
+    # Pass 1: whole-program symbol table, call graph, effect propagation.
+    project, summaries, raw_bytes = build_project(files, config, cache)
+    digest = project.effects_digest()
+
+    # Pass 2: per-file rules with the project in scope.
     findings: List[Finding] = []
     suppressions_used = 0
+    cache_hits = 0
     for path in files:
-        with open(path, "r", encoding="utf-8") as fh:
-            source = fh.read()
-        file_findings, used = _analyze(source, path, active)
+        disabled = config.disabled_for(path)
+        file_rules = [r for r in active if r.code not in disabled]
+        rules_sig = (
+            ",".join(r.code for r in file_rules)
+            + "|" + ",".join(sorted(disabled))
+        )
+        key = _cache_key(path, config.root)
+        sha = file_sha256(raw_bytes[path])
+        cached = (
+            cache.get_findings(key, sha, digest, rules_sig)
+            if cache is not None else None
+        )
+        if cached is not None:
+            file_findings, used = cached
+            cache_hits += 1
+        else:
+            summary = summaries[path]
+            ctx = (
+                LintContext(
+                    path=path, project=project, module=summary, config=config
+                )
+                if summary is not None
+                else None
+            )
+            file_findings, used = _analyze(
+                raw_bytes[path].decode("utf-8", errors="replace"),
+                path, file_rules, ctx, disabled,
+            )
+            if cache is not None:
+                cache.put_findings(
+                    key, sha, digest, rules_sig, file_findings, used
+                )
         suppressions_used += used
         if wanted is not None:
             # SIM000 (suppression hygiene) stays on even under --select,
@@ -176,4 +397,18 @@ def run(
                 or (f.code == META_CODE and "unused suppression" not in f.message)
             ]
         findings.extend(file_findings)
-    return Report(sort_findings(findings), len(files), suppressions_used)
+    if cache is not None:
+        cache.save()
+
+    report = Report(
+        sort_findings(findings), len(files), suppressions_used,
+        cache_hits=cache_hits,
+    )
+    if baseline is not None:
+        matched = baseline.apply(report.findings, root=config.root)
+        report.findings = matched.new
+        report.baselined = matched.baselined
+        # Under --select most entries are trivially unmatched; staleness
+        # is only meaningful against the full catalog.
+        report.stale_baseline = matched.stale if wanted is None else []
+    return report

@@ -1,7 +1,7 @@
 """Findings: what simlint reports.
 
 A finding pins one model-compliance problem to one source location and
-carries a stable rule code (``SIM001``..``SIM005``; ``SIM000`` is
+carries a stable rule code (``SIM001``..``SIM009``; ``SIM000`` is
 reserved for analyzer-level problems such as malformed suppressions).
 Stable codes are the contract: suppressions, CI greps and the docs all
 key on them, so codes are never renumbered or reused.

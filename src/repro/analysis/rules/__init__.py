@@ -1,0 +1,64 @@
+"""The simlint rule catalog (SIM001..SIM009).
+
+Split by subsystem since v2 (one module per concern, shared vocabulary
+in :mod:`repro.analysis.rules.base`); the import surface of the old
+single-file ``repro.analysis.rules`` is preserved.  Rules are pattern
+detectors over one module's AST plus, where the violation is
+interprocedural (SIM004, SIM006, SIM009), the project-wide call graph
+and effect summaries from :mod:`repro.analysis.callgraph`.
+
+The catalog is append-only: codes are never renumbered or reused.
+``SIM000`` stays reserved for analyzer-level hygiene (bad suppressions,
+unparsable files).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.rules.base import (
+    COMM_TAILS,
+    FAST_GATE_TAILS,
+    GROW_METHODS,
+    LEDGER_TAILS,
+    LintContext,
+    Rule,
+)
+from repro.analysis.rules.charging import UnchargedSend, UnaccountedRounds
+from repro.analysis.rules.columnar import FallbackParity, UnstableColumnarOrder
+from repro.analysis.rules.determinism import Nondeterminism
+from repro.analysis.rules.faults import ImpureFaultHook
+from repro.analysis.rules.state import CrossMachineState, SpaceBudgetEscape
+from repro.analysis.rules.tracing import TraceEventDrift
+
+#: The catalog, in code order.  Append-only: codes are never reused.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnchargedSend(),
+    CrossMachineState(),
+    Nondeterminism(),
+    UnaccountedRounds(),
+    SpaceBudgetEscape(),
+    UnstableColumnarOrder(),
+    ImpureFaultHook(),
+    TraceEventDrift(),
+    FallbackParity(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "COMM_TAILS",
+    "CrossMachineState",
+    "FallbackParity",
+    "FAST_GATE_TAILS",
+    "GROW_METHODS",
+    "ImpureFaultHook",
+    "LEDGER_TAILS",
+    "LintContext",
+    "Nondeterminism",
+    "Rule",
+    "SpaceBudgetEscape",
+    "TraceEventDrift",
+    "UnaccountedRounds",
+    "UnchargedSend",
+    "UnstableColumnarOrder",
+]

@@ -1,0 +1,42 @@
+"""Compatibility shim: the shared rule vocabulary moved to
+:mod:`repro.analysis.astutil` (the call-graph pass needs it *below* the
+rules package in the import graph; importing anything from this package
+instantiates the whole catalog).  Rule modules keep importing from here
+so the split stays an implementation detail.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.astutil import (
+    COMM_TAILS,
+    FAST_GATE_TAILS,
+    GROW_METHODS,
+    LEDGER_TAILS,
+    LintContext,
+    Rule,
+    call_tail,
+    dotted_name,
+    has_star_args,
+    is_literal_nonpositive,
+    is_phase_with,
+    keyword_arg,
+    string_const,
+    walk_functions,
+)
+
+__all__ = [
+    "COMM_TAILS",
+    "FAST_GATE_TAILS",
+    "GROW_METHODS",
+    "LEDGER_TAILS",
+    "LintContext",
+    "Rule",
+    "call_tail",
+    "dotted_name",
+    "has_star_args",
+    "is_literal_nonpositive",
+    "is_phase_with",
+    "keyword_arg",
+    "string_const",
+    "walk_functions",
+]

@@ -1,0 +1,280 @@
+"""Charging rules: SIM001 (uncharged send), SIM004 (unaccounted rounds).
+
+SIM004 is the analyzer's flagship interprocedural rule: since v2 it no
+longer asks "does this loop *textually* contain a send" but "does this
+loop's **call chain** reach a send with no dominating ``ledger.phase``
+anywhere along the chain".  Both halves of that sentence lean on the
+whole-program pass (:mod:`repro.analysis.callgraph`):
+
+* the chain — a loop calling ``helper_a`` which calls ``helper_b``
+  which fires ``superstep`` is flagged, two (or N) frames deep;
+* the dominance — a loop inside a function whose every project call
+  site sits under ``with ledger.phase(...)`` is *not* flagged: the
+  phase two frames up already attributes the rounds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    COMM_TAILS,
+    LEDGER_TAILS,
+    LintContext,
+    Rule,
+    call_tail,
+    has_star_args,
+    is_literal_nonpositive,
+    is_phase_with,
+)
+
+
+# ----------------------------------------------------------------------
+# SIM001 — uncharged send
+# ----------------------------------------------------------------------
+class UnchargedSend(Rule):
+    """A message injected into the network without an honest word cost.
+
+    Every cross-machine word must be declared: a :class:`Message` built
+    without an explicit ``words`` argument silently defaults, and a
+    literal zero/negative cost understates the load the ledger charges.
+    ``broadcast`` calls are held to the same standard.
+    """
+
+    code = "SIM001"
+    name = "uncharged-send"
+    summary = "Message/broadcast with missing or non-positive word cost"
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = call_tail(node)
+            if tail == "Message":
+                yield from self._check_message(node, path)
+            elif tail == "broadcast":
+                yield from self._check_broadcast(node, path)
+
+    def _words_arg(
+        self, call: ast.Call, positional_index: int
+    ) -> Tuple[Optional[ast.AST], bool]:
+        """(words expression or None, True if any *args/**kwargs present)."""
+        has_star = has_star_args(call)
+        for kw in call.keywords:
+            if kw.arg == "words":
+                return kw.value, has_star
+        if len(call.args) > positional_index:
+            return call.args[positional_index], has_star
+        return None, has_star
+
+    def _check_message(self, call: ast.Call, path: str) -> Iterator[Finding]:
+        words, has_star = self._words_arg(call, 3)
+        if words is None:
+            if not has_star:
+                yield self.finding(
+                    "Message constructed without an explicit word cost "
+                    "(pass words=<size>; the default hides the charge)",
+                    path, call,
+                )
+        elif is_literal_nonpositive(words):
+            yield self.finding(
+                "Message constructed with a literal non-positive word cost",
+                path, call,
+            )
+
+    def _check_broadcast(self, call: ast.Call, path: str) -> Iterator[Finding]:
+        # Network.broadcast(src, payload, words) vs
+        # MachineProgram.broadcast(payload, words): disambiguate by arity.
+        words, has_star = self._words_arg(call, len(call.args) - 1 if call.args else 0)
+        n_pos = len(call.args)
+        has_kw_words = any(kw.arg == "words" for kw in call.keywords)
+        if n_pos < 2 and not has_kw_words and not has_star:
+            yield self.finding(
+                "broadcast called without an explicit word cost",
+                path, call,
+            )
+            return
+        if words is not None and is_literal_nonpositive(words):
+            yield self.finding(
+                "broadcast called with a literal non-positive word cost",
+                path, call,
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM004 — unaccounted rounds (interprocedural since v2)
+# ----------------------------------------------------------------------
+class UnaccountedRounds(Rule):
+    """A data-dependent communication loop with no ledger annotation.
+
+    A ``while`` loop (or a ``for`` over a non-``range`` iterable) that
+    fires supersteps runs a data-dependent number of rounds.  That is
+    fine — but only under a ``ledger.phase(...)`` block or with explicit
+    ``charge_rounds`` calls, so the benchmark tables can attribute the
+    cost and a reviewer can match the loop to the paper's bound.
+
+    The reach is interprocedural: a loop whose call chain bottoms out in
+    an unphased send is flagged even when the send is several calls
+    deep, and a loop inside a function that is *only ever called* under
+    a phase block is exempt — the caller's phase dominates it.
+    """
+
+    code = "SIM004"
+    name = "unaccounted-rounds"
+    summary = "data-dependent superstep loop without phase/charge annotation"
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        modname = ctx.module.modname if ctx is not None else None
+        yield from self._visit(tree.body, path, ctx, [], in_phase=False,
+                               modname=modname)
+
+    def _visit(
+        self,
+        body: Sequence[ast.stmt],
+        path: str,
+        ctx: Optional[LintContext],
+        scope: List[str],
+        in_phase: bool,
+        modname: Optional[str],
+    ) -> Iterator[Finding]:
+        for node in body:
+            covered = in_phase
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                covered = covered or is_phase_with(node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                # A fresh frame: lexical phase coverage does not cross a
+                # def boundary (the caller decides), but the project-wide
+                # phase_covered set handles the callers for us.
+                yield from self._visit(
+                    node.body, path, ctx, [*scope, node.name],
+                    in_phase=False, modname=modname,
+                )
+                continue
+            if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+                if self._is_data_dependent(node) and not covered:
+                    yield from self._check_loop(node, path, ctx, scope, modname)
+            for child_body in self._child_bodies(node):
+                yield from self._visit(
+                    child_body, path, ctx, scope, covered, modname
+                )
+
+    def _check_loop(
+        self,
+        node: ast.stmt,
+        path: str,
+        ctx: Optional[LintContext],
+        scope: List[str],
+        modname: Optional[str],
+    ) -> Iterator[Finding]:
+        if self._loop_annotated(node):
+            return
+        kind = "while" if isinstance(node, ast.While) else "for"
+        qualname = self._scope_qualname(ctx, scope, modname)
+        if (
+            ctx is not None
+            and qualname is not None
+            and qualname in ctx.project.phase_covered
+        ):
+            # Every project call site of the enclosing function is under
+            # a ledger.phase — the rounds are attributed upstream.
+            return
+        if self._loop_communicates(node):
+            yield self.finding(
+                f"data-dependent '{kind}' loop fires supersteps "
+                "without a ledger.phase(...) block or "
+                "charge_rounds annotation",
+                path, node,
+            )
+            return
+        if ctx is None or qualname is None:
+            return
+        chain = self._unphased_chain(node, ctx, qualname)
+        if chain:
+            yield self.finding(
+                f"data-dependent '{kind}' loop reaches a send via "
+                f"{' -> '.join(chain)} with no dominating ledger.phase(...) "
+                "anywhere on the call chain (annotate the loop, or charge "
+                "the rounds inside the callee)",
+                path, node,
+            )
+
+    @staticmethod
+    def _scope_qualname(
+        ctx: Optional[LintContext], scope: List[str], modname: Optional[str]
+    ) -> Optional[str]:
+        if ctx is None or modname is None:
+            return None
+        if not scope:
+            from repro.analysis.callgraph import MODULE_BODY
+
+            return f"{modname}.{MODULE_BODY}"
+        return ".".join([modname, *scope])
+
+    def _unphased_chain(
+        self, node: ast.stmt, ctx: LintContext, qualname: str
+    ) -> List[str]:
+        """Call chain from a call inside the loop to an unphased send."""
+        fn = ctx.project.functions.get(qualname)
+        if fn is None:
+            return []
+        sites: Dict[Tuple[int, int], str] = {
+            (s.line, s.col): s.resolved
+            for s in fn.calls
+            if s.resolved is not None
+        }
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            resolved = sites.get((sub.lineno, sub.col_offset))
+            if resolved is None:
+                continue
+            if resolved in ctx.project.unphased_comm:
+                chain = ctx.project.comm_chain(resolved)
+                return chain or [resolved.rsplit(".", 1)[-1]]
+        return []
+
+    @staticmethod
+    def _child_bodies(node: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+        for name in ("body", "orelse", "finalbody"):
+            child = getattr(node, name, None)
+            if child:
+                yield child
+        for handler in getattr(node, "handlers", ()):
+            yield handler.body
+
+    @staticmethod
+    def _is_data_dependent(node: ast.stmt) -> bool:
+        if isinstance(node, ast.While):
+            return True
+        assert isinstance(node, (ast.For, ast.AsyncFor))
+        iterable = node.iter
+        if isinstance(iterable, ast.Call) and call_tail(iterable) in {
+            "range", "enumerate", "zip",
+        }:
+            # ``for _ in range(n)``: bounded by an explicit, auditable count.
+            return False
+        if isinstance(iterable, (ast.Tuple, ast.List)):
+            # A literal sequence has a constant trip count.
+            return False
+        return True
+
+    @staticmethod
+    def _loop_communicates(node: ast.stmt) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and call_tail(sub) in COMM_TAILS
+            for sub in ast.walk(node)
+        )
+
+    @staticmethod
+    def _loop_annotated(node: ast.stmt) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and call_tail(sub) in LEDGER_TAILS
+            for sub in ast.walk(node)
+        )

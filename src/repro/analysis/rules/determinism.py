@@ -1,0 +1,109 @@
+"""Determinism rule: SIM003 (nondeterminism sources in protocol code)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import LintContext, Rule, call_tail, dotted_name
+
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                 "PCG64", "Philox"}
+_TIME_CALLS = {
+    "time.time", "time.monotonic", "time.perf_counter", "time.time_ns",
+    "time.monotonic_ns", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.randbelow",
+}
+
+
+class Nondeterminism(Rule):
+    """Sources of run-to-run variation in protocol code.
+
+    Round counts are only reproducible if every protocol is a
+    deterministic function of (graph, seed).  Flags the global
+    ``random`` module, numpy's legacy global RNG, wall-clock reads,
+    the salted builtin ``hash``, and iteration over unordered sets.
+    """
+
+    code = "SIM003"
+    name = "nondeterminism"
+    summary = "unseeded RNG, wall-clock, salted hash, or set iteration"
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        imports_random = self._imports_module(tree, "random")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, path, imports_random)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(node.iter, path)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._check_iter(gen.iter, path)
+
+    @staticmethod
+    def _imports_module(tree: ast.Module, name: str) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == name for alias in node.names):
+                    return True
+        return False
+
+    def _check_call(
+        self, node: ast.Call, path: str, imports_random: bool
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        if imports_random and dotted.startswith("random.") and dotted != "random.Random":
+            yield self.finding(
+                f"call to the unseeded global RNG '{dotted}' — thread a seeded "
+                "Generator through the protocol instead",
+                path, node,
+            )
+        parts = dotted.split(".")
+        if (
+            len(parts) >= 3
+            and parts[-3] in {"np", "numpy"}
+            and parts[-2] == "random"
+            and parts[-1] not in _NP_RANDOM_OK
+        ):
+            yield self.finding(
+                f"call to numpy's legacy global RNG '{dotted}' — use "
+                "numpy.random.default_rng(seed)",
+                path, node,
+            )
+        if dotted in _TIME_CALLS:
+            yield self.finding(
+                f"wall-clock/entropy read '{dotted}' in protocol code — "
+                "round counts must not depend on real time",
+                path, node,
+            )
+        if dotted == "hash":
+            yield self.finding(
+                "builtin hash() is salted per process (PYTHONHASHSEED) — "
+                "use a keyed/explicit hash",
+                path, node,
+            )
+
+    def _check_iter(self, iterable: ast.AST, path: str) -> Iterator[Finding]:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                "iteration over a set literal/comprehension — order is "
+                "unspecified; iterate a sorted() copy",
+                path, iterable,
+            )
+        elif isinstance(iterable, ast.Call):
+            tail = call_tail(iterable)
+            if tail in {"set", "frozenset"}:
+                yield self.finding(
+                    f"iteration over {tail}(...) — order is unspecified; "
+                    "iterate a sorted() copy or keep the original sequence",
+                    path, iterable,
+                )

@@ -1,0 +1,231 @@
+"""Fault-injection rule: SIM007 (impure fault hook).
+
+A :class:`~repro.sim.network.FaultHook` implementation sits *between*
+protocol code and the wire: it may reorder fate, but it must not become
+a side channel.  Three impurity classes break the chaos suite's
+replay-determinism and accounting guarantees:
+
+* consuming **un-seeded randomness** — ``np.random.default_rng()``
+  with no seed, or the global RNGs — makes the fault schedule differ
+  between the run and its replay;
+* **mutating simulator state** through the ``net`` handle (other than
+  the sanctioned fail-stop entry points) teleports facts past the
+  model;
+* **swallowing a message without billing** — a ``continue`` that
+  excludes a message from delivery with no counter bump or raise in its
+  branch leaves the injector ledger blind to the loss.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    GROW_METHODS,
+    LintContext,
+    Rule,
+    call_tail,
+    dotted_name,
+)
+
+#: Methods a hook may legitimately call on the network/machine handle.
+_SANCTIONED_NET_CALLS = frozenset({
+    "crash_reset", "_count_violation", "resync_entropy",
+})
+#: Mutating container/method tails beyond GROW_METHODS.
+_MUTATORS = GROW_METHODS | {"clear", "pop", "remove", "discard", "popitem"}
+#: Counter-ish call tails that count as "billing" a swallowed message.
+_BILLING_TAILS = frozenset({"bump", "emit", "record", "count", "tally"})
+
+
+def _is_fault_hook_class(cls: ast.ClassDef) -> bool:
+    """A FaultHook implementation: defines ``intercept`` or subclasses a
+    base whose name ends in ``FaultHook``."""
+    for base in cls.bases:
+        dotted = dotted_name(base)
+        if dotted is not None and dotted.split(".")[-1] == "FaultHook":
+            return True
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name == "intercept"
+        for node in cls.body
+    )
+
+
+class ImpureFaultHook(Rule):
+    """A FaultHook implementation with replay-breaking side effects."""
+
+    code = "SIM007"
+    name = "impure-fault-hook"
+    summary = "fault hook mutates machine state, draws unseeded entropy, or swallows unbilled"
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _is_fault_hook_class(node):
+                yield from self._check_hook(node, path)
+
+    def _check_hook(self, cls: ast.ClassDef, path: str) -> Iterator[Finding]:
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            net_params = self._net_params(func)
+            yield from self._check_entropy(func, cls, path)
+            yield from self._check_net_mutation(func, cls, net_params, path)
+            if func.name == "intercept":
+                yield from self._check_swallowed(func, cls, path)
+
+    @staticmethod
+    def _net_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+        """Parameters that hand the hook a simulator handle."""
+        names = [a.arg for a in func.args.args if a.arg != "self"]
+        out = {n for n in names if n in ("net", "network")}
+        if func.name == "intercept" and len(names) >= 2:
+            out.add(names[1])  # intercept(self, messages, net)
+        return out
+
+    # -- unseeded entropy ----------------------------------------------
+    def _check_entropy(
+        self,
+        func: ast.AST,
+        cls: ast.ClassDef,
+        path: str,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func) or ""
+            tail = call_tail(node)
+            if tail == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    f"'{cls.name}' draws from default_rng() with no seed — "
+                    "a fault hook must derive every decision from its "
+                    "plan's seed or replays diverge",
+                    path, node,
+                )
+            elif dotted.startswith("random.") and dotted != "random.Random":
+                yield self.finding(
+                    f"'{cls.name}' calls the global RNG '{dotted}' — fault "
+                    "schedules must replay from the plan seed",
+                    path, node,
+                )
+
+    # -- net/machine mutation ------------------------------------------
+    def _check_net_mutation(
+        self,
+        func: ast.AST,
+        cls: ast.ClassDef,
+        net_params: Set[str],
+        path: str,
+    ) -> Iterator[Finding]:
+        if not net_params:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    root = self._root_name(target)
+                    if root in net_params:
+                        yield self.finding(
+                            f"'{cls.name}.{getattr(func, 'name', '?')}' writes "
+                            f"through the simulator handle '{root}' — a fault "
+                            "hook observes the wire, it does not own machine "
+                            "state",
+                            path, node,
+                        )
+            elif isinstance(node, ast.Call):
+                tail = call_tail(node)
+                if tail is None or tail in _SANCTIONED_NET_CALLS:
+                    continue
+                if tail in _MUTATORS and isinstance(node.func, ast.Attribute):
+                    root = self._root_name(node.func.value)
+                    if root in net_params:
+                        yield self.finding(
+                            f"'{cls.name}.{getattr(func, 'name', '?')}' mutates "
+                            f"'{dotted_name(node.func) or tail}' on the "
+                            "simulator handle — unbilled state surgery breaks "
+                            "replay equivalence",
+                            path, node,
+                        )
+
+    @staticmethod
+    def _root_name(node: ast.AST) -> Optional[str]:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    # -- swallowed messages --------------------------------------------
+    def _check_swallowed(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ast.ClassDef,
+        path: str,
+    ) -> Iterator[Finding]:
+        names = [a.arg for a in func.args.args if a.arg != "self"]
+        msg_params = {n for n in names if n in ("messages", "msgs")}
+        if not msg_params and names:
+            msg_params = {names[0]}
+        for loop in ast.walk(func):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            if not self._iterates_messages(loop.iter, msg_params):
+                continue
+            yield from self._check_loop_continues(loop, cls, path)
+
+    @staticmethod
+    def _iterates_messages(iterable: ast.expr, msg_params: Set[str]) -> bool:
+        for node in ast.walk(iterable):
+            if isinstance(node, ast.Name) and node.id in msg_params:
+                return True
+        return False
+
+    def _check_loop_continues(
+        self, loop: ast.stmt, cls: ast.ClassDef, path: str
+    ) -> Iterator[Finding]:
+        # A `continue` drops the message from this iteration's outcome.
+        # Billing = any call or raise in the statements that run before
+        # it on its branch (the innermost body containing the continue).
+        for body in self._bodies(loop):
+            for idx, stmt in enumerate(body):
+                if not isinstance(stmt, ast.Continue):
+                    continue
+                before = body[:idx]
+                if not any(self._has_call_or_raise(s) for s in before):
+                    yield self.finding(
+                        f"'{cls.name}.intercept' drops a message via bare "
+                        "'continue' with no counter bump, emit, or raise on "
+                        "its branch — every swallowed message must be billed "
+                        "to the injector ledger",
+                        path, stmt,
+                    )
+
+    def _bodies(self, node: ast.stmt) -> Iterator[List[ast.stmt]]:
+        """Every statement list nested in the loop, excluding nested
+        loops' bodies — a ``continue`` there targets the inner loop."""
+        stack: List[Sequence[ast.stmt]] = [getattr(node, "body", [])]
+        while stack:
+            body = list(stack.pop())
+            yield body
+            for stmt in body:
+                if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    continue  # inner loop owns its continues
+                for name in ("body", "orelse", "finalbody"):
+                    child = getattr(stmt, name, None)
+                    if child:
+                        stack.append(child)
+                for handler in getattr(stmt, "handlers", ()):
+                    stack.append(handler.body)
+
+    @staticmethod
+    def _has_call_or_raise(stmt: ast.stmt) -> bool:
+        return any(
+            isinstance(sub, (ast.Call, ast.Raise)) for sub in ast.walk(stmt)
+        )

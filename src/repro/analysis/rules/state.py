@@ -1,0 +1,229 @@
+"""State-isolation rules: SIM002 (cross-machine state), SIM005 (space).
+
+Both are local by nature — the patterns through which isolation breaks
+are visible in one module — so they stay intraprocedural in v2.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    GROW_METHODS,
+    LintContext,
+    Rule,
+    call_tail,
+    dotted_name,
+    walk_functions,
+)
+
+
+# ----------------------------------------------------------------------
+# SIM002 — cross-machine state access
+# ----------------------------------------------------------------------
+class CrossMachineState(Rule):
+    """Machine code touching state it could not own.
+
+    Three patterns break machine isolation: ``global`` declarations
+    (module-level mutable state is visible to every simulated machine at
+    once), mutation of a module-level container from inside a function,
+    and a :class:`MachineProgram` method reaching into another object's
+    ``.state``/``.store``.
+    """
+
+    code = "SIM002"
+    name = "cross-machine-state"
+    summary = "protocol code touches shared or foreign machine state"
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        module_containers = self._module_level_containers(tree)
+        for func in walk_functions(tree):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        f"'global {', '.join(node.names)}' — module-level mutable "
+                        "state is shared across all simulated machines",
+                        path, node,
+                    )
+                elif isinstance(node, ast.Call):
+                    func_expr = node.func
+                    if (
+                        isinstance(func_expr, ast.Attribute)
+                        and func_expr.attr in GROW_METHODS
+                        and isinstance(func_expr.value, ast.Name)
+                        and func_expr.value.id in module_containers
+                    ):
+                        yield self.finding(
+                            f"mutation of module-level container "
+                            f"'{func_expr.value.id}' from protocol code",
+                            path, node,
+                        )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    for target in self._store_roots(node):
+                        if target in module_containers:
+                            yield self.finding(
+                                f"write into module-level container '{target}' "
+                                "from protocol code",
+                                path, node,
+                            )
+        yield from self._check_programs(tree, path)
+
+    def _module_level_containers(self, tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in tree.body:
+            targets: Sequence[ast.AST] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not self._is_container_expr(value):
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        return names
+
+    @staticmethod
+    def _is_container_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"list", "dict", "set", "defaultdict",
+                                    "OrderedDict", "Counter", "deque"}
+        return False
+
+    @staticmethod
+    def _store_roots(node: ast.AST) -> Iterator[str]:
+        # Only subscript stores count as container mutations; a plain
+        # rebind creates a local that shadows the global, it does not mutate.
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            if isinstance(t, ast.Subscript):
+                root = t.value
+                while isinstance(root, ast.Subscript):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    yield root.id
+
+    def _check_programs(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {b for base in node.bases if (b := dotted_name(base)) is not None}
+            if not any(b.split(".")[-1] == "MachineProgram" for b in bases):
+                continue
+            for func in node.body:
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                for sub in ast.walk(func):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr in {"state", "store"}
+                        and not (
+                            isinstance(sub.value, ast.Name)
+                            and sub.value.id == "self"
+                        )
+                    ):
+                        owner = dotted_name(sub.value) or "<expr>"
+                        yield self.finding(
+                            f"MachineProgram method reads '{owner}.{sub.attr}' — "
+                            "a program may only touch self.state; remote facts "
+                            "must arrive through the network",
+                            path, sub,
+                        )
+
+
+# ----------------------------------------------------------------------
+# SIM005 — space-budget escape
+# ----------------------------------------------------------------------
+_GAUGE_CALLS = {"set_gauge", "bump_gauge", "_update_gauges", "refresh_gauges"}
+
+
+class SpaceBudgetEscape(Rule):
+    """Container growth that dodges the machine's space gauges.
+
+    Applies to classes that participate in space accounting (their body
+    calls a gauge method somewhere): any method that grows a public
+    ``self.<container>`` without touching a gauge understates
+    ``Machine.space_words`` until some later method happens to refresh
+    it.  Underscore-prefixed attributes are exempt — they are simulator
+    acceleration caches, not modeled machine state.
+    """
+
+    code = "SIM005"
+    name = "space-budget-escape"
+    summary = "state container grown without a space-gauge update"
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and self._class_uses_gauges(node):
+                yield from self._check_class(node, path)
+
+    @staticmethod
+    def _class_uses_gauges(cls: ast.ClassDef) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and call_tail(sub) in _GAUGE_CALLS
+            for sub in ast.walk(cls)
+        )
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> Iterator[Finding]:
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name == "__init__" or self._has_gauge_call(func):
+                continue
+            for growth, attr in self._growth_sites(func):
+                yield self.finding(
+                    f"'{cls.name}.{func.name}' grows 'self.{attr}' without a "
+                    "space-gauge update (call set_gauge/bump_gauge or the "
+                    "class's gauge refresh)",
+                    path, growth,
+                )
+
+    @staticmethod
+    def _has_gauge_call(func: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and call_tail(sub) in _GAUGE_CALLS
+            for sub in ast.walk(func)
+        )
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        """``self.<attr>`` at the root of an attribute/subscript chain."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _growth_sites(
+        self, func: ast.AST
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = self._self_attr(target.value)
+                        if attr and not attr.startswith("_"):
+                            yield node, attr
+            elif isinstance(node, ast.Call):
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in GROW_METHODS
+                ):
+                    attr = self._self_attr(func_expr.value)
+                    if attr and not attr.startswith("_"):
+                        yield node, attr

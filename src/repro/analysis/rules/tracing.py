@@ -1,0 +1,112 @@
+"""Trace-schema rule: SIM008 (trace event drift).
+
+The JSONL trace format is a versioned contract
+(:mod:`repro.trace.events` owns the schema as typed
+:class:`~repro.trace.events.EventSpec` records).  Every
+``recorder.emit("<type>", field=...)`` call site is checked against
+that registry: an unknown event type, a missing required field, or a
+field the schema does not declare is drift — either the emitter is
+wrong, or the schema needed a version bump and did not get one.
+
+Calls whose event type is not a string literal, or that splat
+``**fields``, are skipped: those sites are the schema module's own
+plumbing and the runtime validator's problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    LintContext,
+    Rule,
+    call_tail,
+    has_star_args,
+    string_const,
+)
+
+#: Fields stamped by the emitter itself, never by the call site.
+_AUTO_FIELDS = frozenset({"type", "seq"})
+
+
+def _load_schema() -> Tuple[Dict[str, Tuple[str, ...]], Dict[str, Tuple[str, ...]]]:
+    """(required, allowed) per event type, from the live schema module.
+
+    Reading the schema from :mod:`repro.trace.events` (stdlib-only, no
+    numpy) keeps the rule and the runtime validator in lock-step: a
+    schema bump updates both, and an emitter that drifts from either is
+    flagged.
+    """
+    from repro.trace.events import EVENT_SPECS
+
+    required: Dict[str, Tuple[str, ...]] = {}
+    allowed: Dict[str, Tuple[str, ...]] = {}
+    for spec in EVENT_SPECS:
+        required[spec.type] = spec.required
+        allowed[spec.type] = spec.required + spec.optional
+    return required, allowed
+
+
+class TraceEventDrift(Rule):
+    """An ``emit(...)`` call that does not fit the versioned event schema."""
+
+    code = "SIM008"
+    name = "trace-event-drift"
+    summary = "emit() call drifts from the versioned trace event schema"
+
+    def __init__(self) -> None:
+        self._schema: Optional[
+            Tuple[Dict[str, Tuple[str, ...]], Dict[str, Tuple[str, ...]]]
+        ] = None
+
+    def check(
+        self, tree: ast.Module, path: str, ctx: Optional[LintContext] = None
+    ) -> Iterator[Finding]:
+        if self._schema is None:
+            try:
+                self._schema = _load_schema()
+            except ImportError:  # pragma: no cover - analysis without repro.trace
+                return
+        required, allowed = self._schema
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or call_tail(node) != "emit":
+                continue
+            if not node.args:
+                continue
+            etype = string_const(node.args[0])
+            if etype is None:
+                continue  # dynamic type: runtime validation's job
+            if etype not in required:
+                yield self.finding(
+                    f"emit of unknown trace event type {etype!r} — not in "
+                    "the repro-trace schema; add an EventSpec (and bump the "
+                    "schema version) before emitting it",
+                    path, node,
+                )
+                continue
+            provided = {kw.arg for kw in node.keywords if kw.arg is not None}
+            unknown = sorted(
+                f for f in provided
+                if f not in allowed[etype] and f not in _AUTO_FIELDS
+            )
+            if unknown:
+                yield self.finding(
+                    f"emit('{etype}') carries field(s) {unknown} the schema "
+                    "does not declare — extend the EventSpec (schema bump) "
+                    "instead of drifting the wire format",
+                    path, node,
+                )
+            if has_star_args(node):
+                continue  # **fields: cannot prove absence statically
+            missing = sorted(
+                f for f in required[etype]
+                if f not in provided and f not in _AUTO_FIELDS
+            )
+            if missing:
+                yield self.finding(
+                    f"emit('{etype}') missing required field(s) {missing} — "
+                    "readers of the versioned schema will reject this event",
+                    path, node,
+                )

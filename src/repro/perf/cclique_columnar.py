@@ -112,7 +112,7 @@ def cc_local_msf_columnar(edges: Sequence["CCEdge"]) -> List["CCEdge"]:
         fix = two_cycle & (node_ids < parent)
         parent[fix] = node_ids[fix]
     sel_idx = np.flatnonzero(selected)
-    sel_idx = sel_idx[np.argsort(rank[sel_idx])]
+    sel_idx = sel_idx[np.argsort(rank[sel_idx], kind="stable")]
     return [edges[i] for i in sel_idx.tolist()]
 
 

@@ -47,7 +47,7 @@ def tour_interval_arrays(
         starts = np.array([a for a, _ in bc.intervals], dtype=np.int64)
         ends = np.array([b for _, b in bc.intervals], dtype=np.int64)
         parents = np.array(bc.parent, dtype=np.int64)
-        deleted = np.sort(np.concatenate((starts, ends)))
+        deleted = np.sort(np.concatenate((starts, ends)), kind="stable")
         out[tid] = (starts, ends, parents, deleted)
     return out
 

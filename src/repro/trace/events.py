@@ -70,58 +70,130 @@ index — the exact content hashed by
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
 #: Schema tag stamped into every ``trace_start`` event.
 TRACE_SCHEMA = "repro-trace/1"
 
-#: Every event type the version-1 schema may emit.
-EVENT_TYPES: Tuple[str, ...] = (
-    "trace_start",
-    "run_start",
-    "run_end",
-    "superstep",
-    "charge",
-    "phase_start",
-    "phase_end",
-    "batch_start",
-    "batch_end",
-    "engine",
-    "violation",
-    "fault",
-    "machine_crash",
-    "machine_restart",
-    "checkpoint",
-    "recovery_start",
-    "recovery_end",
-    "trace_end",
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One event type's contract in the versioned schema.
+
+    ``required`` fields must be present on every instance; ``optional``
+    fields may be present; any *other* field is schema drift (rejected
+    by :func:`validate_event` in strict mode, and flagged statically at
+    the ``emit()`` call site by simlint rule SIM008).  ``type`` and
+    ``seq`` are stamped by the emitter itself and belong to neither
+    list.
+    """
+
+    type: str
+    required: Tuple[str, ...]
+    optional: Tuple[str, ...] = ()
+    #: Carries a ledger-transcript ``index`` and the charge triple — the
+    #: events :mod:`repro.trace.diff` compares.
+    charge_bearing: bool = False
+
+    @property
+    def allowed(self) -> Tuple[str, ...]:
+        return self.required + self.optional
+
+
+#: The ``repro-trace/1`` schema, one spec per event type.  Append-only
+#: within a major version: removing or re-typing a field is a schema
+#: bump, adding an *optional* field is not.
+EVENT_SPECS: Tuple[EventSpec, ...] = (
+    EventSpec("trace_start", required=("schema",), optional=("meta",)),
+    EventSpec(
+        "run_start",
+        required=("model", "k"),
+        optional=(
+            "words_per_round", "space", "engine", "n", "m", "strict",
+            "faults",
+        ),
+    ),
+    EventSpec(
+        "run_end",
+        required=("rounds", "messages", "words"),
+        optional=("profile", "digest", "strict_violations"),
+    ),
+    EventSpec(
+        "superstep",
+        required=(
+            "index", "rounds", "messages", "words", "engine", "send", "recv",
+        ),
+        optional=("phases", "site", "sizes"),
+        charge_bearing=True,
+    ),
+    EventSpec(
+        "charge",
+        required=("index", "rounds", "messages", "words"),
+        optional=("phases", "site"),
+        charge_bearing=True,
+    ),
+    EventSpec("phase_start", required=("name", "depth")),
+    EventSpec(
+        "phase_end",
+        required=("name", "depth", "rounds", "messages", "words"),
+    ),
+    EventSpec("batch_start", required=("size", "mode")),
+    EventSpec(
+        "batch_end",
+        required=("size", "mode", "rounds", "messages", "words"),
+        optional=("details",),
+    ),
+    EventSpec("engine", required=("feature", "engine")),
+    EventSpec("violation", required=("kind", "message")),
+    EventSpec("fault", required=("kinds",)),
+    EventSpec("machine_crash", required=("machine",)),
+    EventSpec("machine_restart", required=("machine",)),
+    EventSpec(
+        "checkpoint",
+        required=("batch",),
+        optional=("machines", "log_cleared"),
+    ),
+    EventSpec("recovery_start", required=("machines",)),
+    EventSpec(
+        "recovery_end", required=("machines", "rounds", "replayed"),
+    ),
+    EventSpec(
+        "trace_end",
+        required=("events", "charges", "rounds", "messages", "words"),
+    ),
 )
+
+#: Spec lookup by event type.
+SPEC_BY_TYPE: Dict[str, EventSpec] = {spec.type: spec for spec in EVENT_SPECS}
+
+#: Every event type the version-1 schema may emit (derived; kept as a
+#: module constant for back-compat with pre-EventSpec readers).
+EVENT_TYPES: Tuple[str, ...] = tuple(spec.type for spec in EVENT_SPECS)
 
 #: Event types that carry a ledger-transcript ``index`` and the charge
 #: triple — the events :mod:`repro.trace.diff` compares.
-CHARGE_BEARING: Tuple[str, ...] = ("superstep", "charge")
+CHARGE_BEARING: Tuple[str, ...] = tuple(
+    spec.type for spec in EVENT_SPECS if spec.charge_bearing
+)
 
-#: Required fields per event type (beyond ``type`` and ``seq``).
+#: Required fields per event type (beyond ``type`` and ``seq``; derived).
 REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
-    "trace_start": ("schema",),
-    "run_start": ("model", "k"),
-    "run_end": ("rounds", "messages", "words"),
-    "superstep": ("index", "rounds", "messages", "words", "engine", "send", "recv"),
-    "charge": ("index", "rounds", "messages", "words"),
-    "phase_start": ("name", "depth"),
-    "phase_end": ("name", "depth", "rounds", "messages", "words"),
-    "batch_start": ("size", "mode"),
-    "batch_end": ("size", "mode", "rounds", "messages", "words"),
-    "engine": ("feature", "engine"),
-    "violation": ("kind", "message"),
-    "fault": ("kinds",),
-    "machine_crash": ("machine",),
-    "machine_restart": ("machine",),
-    "checkpoint": ("batch",),
-    "recovery_start": ("machines",),
-    "recovery_end": ("machines", "rounds", "replayed"),
-    "trace_end": ("events", "charges", "rounds", "messages", "words"),
+    spec.type: spec.required for spec in EVENT_SPECS
 }
+
+#: Every field the schema allows per event type (required + optional).
+ALLOWED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    spec.type: spec.allowed for spec in EVENT_SPECS
+}
+
+
+def spec_for(etype: str) -> EventSpec:
+    """The :class:`EventSpec` for ``etype``; raises on unknown types."""
+    try:
+        return SPEC_BY_TYPE[etype]
+    except KeyError:
+        raise TraceFormatError(f"unknown event type {etype!r}") from None
 
 
 class TraceFormatError(ValueError):
@@ -137,18 +209,32 @@ def charge_triple(event: Dict[str, Any]) -> Tuple[int, int, int]:
     return (int(event["rounds"]), int(event["messages"]), int(event["words"]))
 
 
-def validate_event(event: Dict[str, Any]) -> None:
-    """Raise :class:`TraceFormatError` unless ``event`` fits the schema."""
+def validate_event(event: Dict[str, Any], strict: bool = False) -> None:
+    """Raise :class:`TraceFormatError` unless ``event`` fits the schema.
+
+    ``strict`` additionally rejects fields the event's spec does not
+    declare (readers default to tolerant, so an *optional*-field
+    addition in a newer minor schema still reads).
+    """
     etype = event.get("type")
-    if not isinstance(etype, str) or etype not in EVENT_TYPES:
+    if not isinstance(etype, str) or etype not in SPEC_BY_TYPE:
         raise TraceFormatError(f"unknown event type {etype!r}")
     if not isinstance(event.get("seq"), int):
         raise TraceFormatError(f"event {etype!r} lacks an integer 'seq'")
-    missing = [f for f in REQUIRED_FIELDS[etype] if f not in event]
+    spec = SPEC_BY_TYPE[etype]
+    missing = [f for f in spec.required if f not in event]
     if missing:
         raise TraceFormatError(
             f"event {etype!r} (seq {event['seq']}) missing fields: {missing}"
         )
+    if strict:
+        allowed = set(spec.allowed) | {"type", "seq"}
+        unknown = sorted(f for f in event if f not in allowed)
+        if unknown:
+            raise TraceFormatError(
+                f"event {etype!r} (seq {event['seq']}) carries fields the "
+                f"schema does not declare: {unknown}"
+            )
 
 
 def check_schema(first_event: Dict[str, Any]) -> None:

@@ -1,0 +1,35 @@
+"""SIM006 negatives: stable or non-wire-affecting orderings, zero findings."""
+
+import numpy as np
+
+
+def ship_stable(net, vals):
+    # kind="stable" ties resolve in first-occurrence order — matches the
+    # scalar path's strict-< scan.
+    order = np.argsort(vals, kind="stable")
+    net.broadcast(0, order.tolist(), 8)
+
+
+def ship_lexsort(net, keys, vals):
+    # np.lexsort is always stable; no kind argument exists or is needed.
+    order = np.lexsort((vals, keys))
+    net.broadcast(0, order.tolist(), 8)
+
+
+def local_only(vals):
+    # Unstable, but nothing downstream ships it: not wire-affecting.
+    return np.argsort(vals)
+
+
+def ship_scalar_reduction(net, vals):
+    # np.unique feeding a *reduction* (not the ordered array) is fine.
+    labels = np.unique(np.asarray(vals))
+    total = int(labels.sum())
+    net.broadcast(0, total, 1)
+
+
+def timsort_is_stable(net, rows):
+    # Python list.sort() is Timsort: stable by definition, exempt.
+    ordered = list(rows)
+    ordered.sort()
+    net.broadcast(0, ordered, 8)

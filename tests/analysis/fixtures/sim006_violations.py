@@ -1,0 +1,37 @@
+"""Seeded SIM006 violations: unstable numpy ordering on wire-affecting paths.
+
+Every function here (transitively) communicates, so its sort order is
+wire order.  Each unstable sort must be flagged.
+"""
+
+import numpy as np
+
+
+def ship_order(net, vals):
+    # Unstable argsort: ties between equal vals come back in introsort
+    # order, not first-occurrence order.
+    order = np.argsort(vals)
+    net.broadcast(0, order.tolist(), 8)
+
+
+def ship_wrong_kind(net, vals):
+    # An explicit non-stable kind is just as wrong as the default.
+    idx = np.argsort(vals, kind="quicksort")
+    net.broadcast(0, idx.tolist(), 8)
+
+
+def helper_sort(vals):
+    # Not a communicating function itself, but its caller ships the
+    # result: the wire-affecting closure must reach it.
+    return np.sort(np.asarray(vals))
+
+
+def ship_helper(net, vals):
+    net.broadcast(0, helper_sort(vals).tolist(), 8)
+
+
+def ship_unique(net, vals):
+    # np.unique imposes ascending-value order; feeding it straight into
+    # a payload assumes that matches the scalar path's iteration order.
+    labels = np.unique(np.asarray(vals))
+    net.broadcast(0, labels.tolist(), 8)

@@ -1,0 +1,25 @@
+"""SIM007 negatives: a pure, seeded, fully-billed fault hook."""
+
+import numpy as np
+
+
+class SeededDropHook:
+    def __init__(self, seed):
+        # Every decision derives from the plan seed: replays agree.
+        self.rng = np.random.default_rng(seed)
+        self.dropped = 0
+
+    def bump(self):
+        self.dropped += 1
+
+    def intercept(self, messages, net):
+        delivered = []
+        for msg in messages:
+            if self.rng.random() < 0.25:
+                self.bump()  # billed, then dropped
+                continue
+            delivered.append(msg)
+        for m in (0, 1):
+            # Fail-stop entry points are the sanctioned mutation surface.
+            net.machines[m].crash_reset()
+        return delivered

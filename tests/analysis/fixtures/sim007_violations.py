@@ -1,0 +1,21 @@
+"""Seeded SIM007 violations: a fault hook with replay-breaking side effects."""
+
+import numpy as np
+
+
+class LossyFaultHook:
+    def intercept(self, messages, net):
+        # Un-seeded entropy: the fault schedule differs between a run
+        # and its replay.
+        rng = np.random.default_rng()
+        delivered = []
+        for msg in messages:
+            if rng.random() < 0.5:
+                # Swallowed without billing: no counter bump, emit, or
+                # raise before the continue.
+                continue
+            delivered.append(msg)
+        # State surgery through the simulator handle.
+        net.round_no = 0
+        net.pending.pop()
+        return delivered

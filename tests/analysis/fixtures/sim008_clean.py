@@ -1,0 +1,14 @@
+"""SIM008 negatives: schema-conformant, dynamic, and star-kwargs emits."""
+
+
+def report(recorder, name, extra):
+    # Fully conformant: required fields present, optionals declared.
+    recorder.emit("phase_start", name=name, depth=1)
+    recorder.emit(
+        "batch_end", size=2, mode="batch",
+        rounds=1, messages=3, words=9, details={},
+    )
+    # Dynamic event type: runtime validation's job, not the linter's.
+    recorder.emit(name, payload=1)
+    # Star-kwargs may carry the required fields; absence is unprovable.
+    recorder.emit("run_end", rounds=1, messages=2, words=3, **extra)

@@ -1,0 +1,10 @@
+"""Seeded SIM008 violations: emit() calls drifting from the trace schema."""
+
+
+def report(recorder, profile):
+    # Unknown event type: not in repro.trace.events.EVENT_SPECS.
+    recorder.emit("warp_speed", level=9)
+    # Field the schema does not declare for batch_start.
+    recorder.emit("batch_start", size=1, mode="batch", vibe="chaotic")
+    # phase_end requires the charge triple; only name/depth given.
+    recorder.emit("phase_end", name="p", depth=1)

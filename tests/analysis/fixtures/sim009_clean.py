@@ -1,0 +1,19 @@
+"""SIM009 negatives: a columnar twin in lock-step with its fallback.
+
+Extra trailing parameters are fine when they carry defaults (the
+dispatch never passes them); phase names must match exactly.
+"""
+
+from repro.perf.config import fast_path_enabled
+
+
+def select_edges(net, rows, limit):
+    if fast_path_enabled():
+        return select_edges_columnar(net, rows, limit)
+    with net.ledger.phase("fixture.select"):
+        return net.superstep(rows[:limit])
+
+
+def select_edges_columnar(net, rows, limit, chunk=64):
+    with net.ledger.phase("fixture.select"):
+        return net.superstep(rows[:limit])

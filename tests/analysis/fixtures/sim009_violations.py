@@ -1,0 +1,20 @@
+"""Seeded SIM009 violations: a columnar twin drifting from its fallback.
+
+The dispatch promises ``select_edges_columnar`` is a drop-in for the
+scalar body — but its signature lost a parameter and it bills a
+different phase name.  Both drifts are flagged at the dispatch site.
+"""
+
+from repro.perf.config import fast_path_enabled
+
+
+def select_edges(net, rows, limit):
+    if fast_path_enabled():
+        return select_edges_columnar(net, rows)
+    with net.ledger.phase("fixture.select"):
+        return net.superstep(rows[:limit])
+
+
+def select_edges_columnar(net, rows):
+    with net.ledger.phase("fixture.select_fast"):
+        return net.superstep(rows)

@@ -24,26 +24,32 @@ def run_cli(*args):
     )
 
 
+ALL_CODES = tuple(f"SIM00{i}" for i in range(10))
+
+
 def test_fixture_directory_exits_nonzero_with_correct_codes():
-    proc = run_cli(FIXTURES)
+    proc = run_cli(FIXTURES, "--no-cache")
     assert proc.returncode == 1, proc.stdout + proc.stderr
     out = proc.stdout
-    for code in ("SIM000", "SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+    for code in ALL_CODES:
         assert code in out, f"{code} missing from:\n{out}"
     assert "suppression(s) honoured" in out
 
 
-def test_clean_tree_exits_zero():
-    proc = run_cli(os.path.join(SRC, "repro"))
+def test_gated_tree_exits_zero():
+    proc = run_cli(
+        os.path.join(SRC, "repro"),
+        "--baseline", "simlint-baseline.json", "--no-cache",
+    )
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "clean" in proc.stdout
+    assert "baselined" in proc.stdout
 
 
 def test_json_format_is_machine_readable():
-    proc = run_cli(FIXTURES, "--format", "json")
+    proc = run_cli(FIXTURES, "--format", "json", "--no-cache")
     assert proc.returncode == 1
     payload = json.loads(proc.stdout)
-    assert payload["files_checked"] >= 12
+    assert payload["files_checked"] >= 20
     counts = {}
     for f in payload["findings"]:
         assert set(f) >= {"code", "message", "path", "line", "col"}
@@ -53,11 +59,15 @@ def test_json_format_is_machine_readable():
     assert counts["SIM003"] == 7  # 6 seeded + 1 un-silenced by bare directive
     assert counts["SIM004"] == 2
     assert counts["SIM005"] == 2
+    assert counts["SIM006"] == 4
+    assert counts["SIM007"] == 4
+    assert counts["SIM008"] == 3
+    assert counts["SIM009"] == 2
     assert counts["SIM000"] == 3
 
 
 def test_select_restricts_rules():
-    proc = run_cli(FIXTURES, "--select", "SIM005", "--format", "json")
+    proc = run_cli(FIXTURES, "--select", "SIM005", "--format", "json", "--no-cache")
     assert proc.returncode == 1
     codes = {f["code"] for f in json.loads(proc.stdout)["findings"]}
     # Hygiene errors on malformed suppressions always surface.
@@ -78,12 +88,12 @@ def test_missing_path_is_usage_error():
 def test_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+    for code in ALL_CODES[1:]:
         assert code in proc.stdout
 
 
 def test_text_findings_are_clickable_locations():
-    proc = run_cli(os.path.join(FIXTURES, "sim001_violations.py"))
+    proc = run_cli(os.path.join(FIXTURES, "sim001_violations.py"), "--no-cache")
     assert proc.returncode == 1
     first = proc.stdout.splitlines()[0]
     # path:line:col: CODE message
@@ -91,7 +101,7 @@ def test_text_findings_are_clickable_locations():
     assert ": SIM001 " in first
 
 
-@pytest.mark.parametrize("rule", ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"])
+@pytest.mark.parametrize("rule", list(ALL_CODES[1:]))
 def test_each_rule_has_positive_and_negative_fixture(rule):
     base = rule.lower()
     assert os.path.exists(os.path.join(FIXTURES, f"{base}_violations.py"))

@@ -1,0 +1,141 @@
+"""The baseline ratchet: adopt-with-debt, fail-on-new, surface-paid-debt."""
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _entry(code="SIM004", path="pkg/mod.py", message="debt", count=1,
+           first_seen="2026-01-01"):
+    return BaselineEntry(code, path, message, count, first_seen)
+
+
+def _finding(code="SIM004", path="pkg/mod.py", message="debt", line=10):
+    return Finding(code, message, path, line)
+
+
+def test_baselined_finding_is_absorbed_with_age():
+    result = Baseline([_entry()]).apply([_finding()])
+    assert result.new == []
+    [(finding, entry)] = result.baselined
+    assert entry.age_days(datetime.date(2026, 1, 31)) == 30
+    assert result.stale == []
+
+
+def test_new_finding_fails_even_with_baseline_present():
+    result = Baseline([_entry()]).apply([_finding(), _finding(line=99, message="fresh")])
+    assert [f.message for f in result.new] == ["fresh"]
+
+
+def test_count_caps_how_many_identical_findings_absorb():
+    result = Baseline([_entry(count=1)]).apply([_finding(line=1), _finding(line=2)])
+    assert len(result.baselined) == 1
+    assert len(result.new) == 1
+
+
+def test_paid_debt_surfaces_as_stale():
+    result = Baseline([_entry()]).apply([])
+    assert result.stale == [_entry()]
+
+
+def test_update_preserves_first_seen_for_surviving_entries():
+    prior = Baseline([_entry(first_seen="2025-06-01")])
+    updated = prior.updated_with(
+        [_finding(), _finding(code="SIM006", message="other")],
+        today=datetime.date(2026, 8, 1),
+    )
+    by_code = {e.code: e for e in updated.entries}
+    assert by_code["SIM004"].first_seen == "2025-06-01"  # survived
+    assert by_code["SIM006"].first_seen == "2026-08-01"  # newly inventoried
+
+
+def test_write_load_round_trip(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    Baseline([_entry()]).write(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == [_entry()]
+    payload = json.load(open(path))
+    assert payload["schema"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI round trip on a scratch tree
+# ----------------------------------------------------------------------
+def _run_cli(cwd, *args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, env=env, cwd=str(cwd),
+    )
+
+VIOLATION = '''
+def f(net, work):
+    while work:
+        work = net.superstep(work)
+'''
+
+
+def test_cli_ratchet_round_trip(tmp_path):
+    mod = tmp_path / "proto.py"
+    mod.write_text(VIOLATION)
+
+    # 1. bare run fails
+    assert _run_cli(tmp_path, "proto.py", "--no-cache").returncode == 1
+    # 2. inventory the debt
+    proc = _run_cli(
+        tmp_path, "proto.py", "--no-cache",
+        "--update-baseline", "baseline.json",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # 3. gated run passes, reporting the debt with age
+    proc = _run_cli(
+        tmp_path, "proto.py", "--no-cache", "--baseline", "baseline.json",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "[baselined 0d]" in proc.stdout
+    # 4. a second violation is new debt: the ratchet fails it
+    mod.write_text(VIOLATION + '''
+def g(net, work):
+    while work:
+        work = net.superstep(work)
+''')
+    proc = _run_cli(
+        tmp_path, "proto.py", "--no-cache", "--baseline", "baseline.json",
+    )
+    assert proc.returncode == 1
+    # 5. paying down ALL debt makes the baseline stale: also a failure,
+    #    so the inventory cannot quietly loosen.
+    mod.write_text("def f():\n    return 1\n")
+    proc = _run_cli(
+        tmp_path, "proto.py", "--no-cache", "--baseline", "baseline.json",
+    )
+    assert proc.returncode == 1
+    assert "stale baseline entry" in proc.stdout
+    # 6. regenerating the (now empty) baseline restores a clean gate
+    proc = _run_cli(
+        tmp_path, "proto.py", "--no-cache",
+        "--baseline", "baseline.json", "--update-baseline", "baseline.json",
+    )
+    assert proc.returncode == 0
+    proc = _run_cli(
+        tmp_path, "proto.py", "--no-cache", "--baseline", "baseline.json",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repo_baseline_gate_is_green():
+    """The checked-in baseline must gate the checked-in tree cleanly."""
+    proc = _run_cli(
+        REPO_ROOT, "src", "tools", "tests",
+        "--baseline", "simlint-baseline.json", "--no-cache",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

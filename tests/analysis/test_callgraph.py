@@ -1,0 +1,160 @@
+"""Pass 1 unit tests: summaries, resolution, effect propagation.
+
+These pin the call-graph layer's contract independently of any rule:
+what gets summarized, which calls resolve, how effects flow to a
+fixpoint, and that the whole thing survives a JSON round-trip (the
+incremental cache depends on that).
+"""
+
+import ast
+
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    ModuleSummary,
+    Project,
+    summarize_module,
+)
+
+DRIVER = '''
+from helpers import deliver
+
+def fan_out(net, frontier):
+    for part in frontier:
+        relay(net, part)
+
+def relay(net, part):
+    deliver(net, part)
+
+class Engine:
+    def step(self, net, part):
+        self.push(net, part)
+
+    def push(self, net, part):
+        net.superstep([part])
+'''
+
+HELPERS = '''
+def deliver(net, part):
+    net.broadcast(0, part, 4)
+
+def annotate(net, part):
+    with net.ledger.phase("annotate"):
+        deliver(net, part)
+'''
+
+
+def _project():
+    mods = [
+        summarize_module(ast.parse(DRIVER), "/proj/driver.py", root="/proj"),
+        summarize_module(ast.parse(HELPERS), "/proj/helpers.py", root="/proj"),
+    ]
+    return Project(mods)
+
+
+def test_summary_captures_defs_params_and_module_body():
+    summary = summarize_module(ast.parse(DRIVER), "/proj/driver.py", root="/proj")
+    quals = set(summary.functions)
+    assert "driver.fan_out" in quals
+    assert "driver.Engine.step" in quals
+    assert f"driver.{MODULE_BODY}" in quals
+    assert summary.functions["driver.relay"].params == ("net", "part")
+
+
+def test_import_alias_resolves_cross_module_call():
+    project = _project()
+    relay = project.functions["driver.relay"]
+    resolved = {s.resolved for s in relay.calls}
+    assert "helpers.deliver" in resolved
+
+
+def test_self_method_call_resolves_to_sibling():
+    project = _project()
+    step = project.functions["driver.Engine.step"]
+    assert {s.resolved for s in step.calls} == {"driver.Engine.push"}
+
+
+def test_communicates_propagates_transitively():
+    project = _project()
+    # deliver → relay → fan_out, and push → step: four hops of comm.
+    for q in (
+        "helpers.deliver", "driver.relay", "driver.fan_out",
+        "driver.Engine.push", "driver.Engine.step",
+    ):
+        assert q in project.communicates, q
+
+
+def test_unphased_comm_stops_at_a_phase_block():
+    project = _project()
+    # annotate calls deliver under a phase: the chain is phased there.
+    assert "helpers.annotate" not in project.unphased_comm
+    assert "driver.relay" in project.unphased_comm
+
+
+def test_phase_covered_requires_every_call_site_phased():
+    covered_src = '''
+def drain(net, queue):
+    net.superstep(queue)
+
+def driver(net, queue):
+    with net.ledger.phase("drain"):
+        drain(net, queue)
+'''
+    project = Project([summarize_module(ast.parse(covered_src), "/proj/m.py", root="/proj")])
+    assert "m.drain" in project.phase_covered
+
+    uncovered = covered_src + '''
+def rogue(net, queue):
+    drain(net, queue)
+'''
+    project = Project([summarize_module(ast.parse(uncovered), "/proj/m.py", root="/proj")])
+    assert "m.drain" not in project.phase_covered
+
+
+def test_fast_twin_detected_through_gate_return():
+    src = '''
+from repro.perf.config import fast_path_enabled
+
+def scalar(net, rows):
+    if fast_path_enabled():
+        return columnar(net, rows)
+    return net.superstep(rows)
+
+def columnar(net, rows):
+    return net.superstep(rows)
+'''
+    project = Project([summarize_module(ast.parse(src), "/proj/m.py", root="/proj")])
+    pairs = [(s.qualname, t.qualname) for s, t, _ in project.fast_twins]
+    assert pairs == [("m.scalar", "m.columnar")]
+
+
+def test_comm_chain_is_readable_hops():
+    project = _project()
+    chain = project.comm_chain("driver.fan_out")
+    assert chain[0] == "fan_out"
+    assert chain[-1].endswith("()")
+
+
+def test_summary_json_round_trip_preserves_project_effects():
+    mods = [
+        summarize_module(ast.parse(DRIVER), "/proj/driver.py", root="/proj"),
+        summarize_module(ast.parse(HELPERS), "/proj/helpers.py", root="/proj"),
+    ]
+    direct = Project(mods)
+    # Re-summarize (resolution mutates call sites in place), then round-trip.
+    mods2 = [
+        summarize_module(ast.parse(DRIVER), "/proj/driver.py", root="/proj"),
+        summarize_module(ast.parse(HELPERS), "/proj/helpers.py", root="/proj"),
+    ]
+    rehydrated = Project(
+        [ModuleSummary.from_dict(m.to_dict()) for m in mods2]
+    )
+    assert rehydrated.communicates == direct.communicates
+    assert rehydrated.unphased_comm == direct.unphased_comm
+    assert rehydrated.effects_digest() == direct.effects_digest()
+
+
+def test_effects_digest_moves_when_a_phase_appears():
+    base = Project([summarize_module(ast.parse(HELPERS), "/proj/helpers.py", root="/proj")])
+    rephased = HELPERS.replace('phase("annotate")', 'phase("renamed")')
+    other = Project([summarize_module(ast.parse(rephased), "/proj/helpers.py", root="/proj")])
+    assert base.effects_digest() != other.effects_digest()

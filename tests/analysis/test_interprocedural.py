@@ -1,0 +1,139 @@
+"""Flow-sensitive rule behaviour that *requires* the whole-program pass.
+
+The ISSUE-level acceptance criteria for simlint v2 live here: SIM004
+must flag a send reached two calls deep, and must stay silent when the
+``ledger.phase`` sits two frames *up* the call stack; SIM006's
+wire-affecting scope must follow the call graph, not the file.
+"""
+
+from repro.analysis import analyze_source
+
+
+def _codes(src):
+    return [f.code for f in analyze_source(src)]
+
+
+# ----------------------------------------------------------------------
+# SIM004: interprocedural unaccounted rounds
+# ----------------------------------------------------------------------
+def test_sim004_send_two_calls_deep_is_flagged():
+    src = '''
+def fan_out(net, frontier):
+    for part in frontier:
+        relay(net, part)
+
+def relay(net, part):
+    deliver(net, part)
+
+def deliver(net, part):
+    net.broadcast(0, part, 4)
+'''
+    findings = analyze_source(src)
+    assert [f.code for f in findings] == ["SIM004"]
+    assert findings[0].line == 3  # the loop, not the send
+    assert "relay -> deliver -> broadcast()" in findings[0].message
+
+
+def test_sim004_phase_two_frames_up_suppresses():
+    src = '''
+def drain(net, queue):
+    for item in queue:
+        net.superstep(item)
+
+def driver(net, queue):
+    with net.ledger.phase("drain"):
+        drain(net, queue)
+'''
+    assert _codes(src) == []
+
+
+def test_sim004_one_unphased_call_site_reinstates_the_finding():
+    src = '''
+def drain(net, queue):
+    for item in queue:
+        net.superstep(item)
+
+def driver(net, queue):
+    with net.ledger.phase("drain"):
+        drain(net, queue)
+
+def rogue(net, queue):
+    drain(net, queue)
+'''
+    assert _codes(src) == ["SIM004"]
+
+
+def test_sim004_phase_inside_the_callee_suppresses():
+    src = '''
+def fan_out(net, frontier):
+    for part in frontier:
+        relay(net, part)
+
+def relay(net, part):
+    with net.ledger.phase("relay"):
+        net.broadcast(0, part, 4)
+'''
+    assert _codes(src) == []
+
+
+def test_sim004_direct_loop_send_message_unchanged():
+    # The v1 intraprocedural case still reads the same.
+    src = '''
+def f(net, work):
+    while work:
+        work = net.superstep(work)
+'''
+    findings = analyze_source(src)
+    assert [f.code for f in findings] == ["SIM004"]
+    assert "fires supersteps" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# SIM006: wire-affecting scope follows the call graph
+# ----------------------------------------------------------------------
+def test_sim006_helper_of_communicating_function_is_in_scope():
+    src = '''
+import numpy as np
+
+def helper(vals):
+    return np.argsort(vals)
+
+def ship(net, vals):
+    net.broadcast(0, helper(vals).tolist(), 8)
+'''
+    findings = analyze_source(src)
+    assert [f.code for f in findings] == ["SIM006"]
+    assert findings[0].line == 5
+
+
+def test_sim006_pure_local_function_is_out_of_scope():
+    src = '''
+import numpy as np
+
+def local_order(vals):
+    return np.argsort(vals)
+
+def consume(vals):
+    return local_order(vals).sum()
+'''
+    assert _codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# SIM009: twins pair across the project
+# ----------------------------------------------------------------------
+def test_sim009_reports_at_the_dispatch_site():
+    src = '''
+from repro.perf.config import fast_path_enabled
+
+def scalar(net, rows, limit):
+    if fast_path_enabled():
+        return columnar(net, rows)
+    return net.superstep(rows[:limit])
+
+def columnar(net, rows):
+    return net.superstep(rows)
+'''
+    findings = analyze_source(src)
+    assert [f.code for f in findings] == ["SIM009"]
+    assert findings[0].line == 6  # the `return columnar(...)` dispatch

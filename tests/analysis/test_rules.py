@@ -33,6 +33,10 @@ def _codes(findings):
     ("SIM003", 6),
     ("SIM004", 2),
     ("SIM005", 2),
+    ("SIM006", 4),
+    ("SIM007", 4),
+    ("SIM008", 3),
+    ("SIM009", 2),
 ])
 def test_violation_fixture_is_caught(code, min_count):
     findings = _findings(f"{code.lower()}_violations.py")
@@ -41,7 +45,9 @@ def test_violation_fixture_is_caught(code, min_count):
 
 
 @pytest.mark.parametrize(
-    "code", ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+    "code",
+    ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+     "SIM006", "SIM007", "SIM008", "SIM009"],
 )
 def test_clean_fixture_is_silent(code):
     assert _findings(f"{code.lower()}_clean.py") == []
@@ -49,7 +55,7 @@ def test_clean_fixture_is_silent(code):
 
 def test_rule_codes_are_stable_and_unique():
     codes = [r.code for r in ALL_RULES]
-    assert codes == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+    assert codes == [f"SIM00{i}" for i in range(1, 10)]
     assert all(r.name and r.summary for r in ALL_RULES)
 
 

@@ -272,3 +272,62 @@ class TestCCLocalMSFColumnar:
 
     def test_empty_input(self):
         assert cc_local_msf_columnar([]) == []
+
+
+class TestDuplicateRankStability:
+    """Regression: the selected-edge reorder in the columnar local MSF
+    must be a *stable* sort (simlint SIM006).
+
+    The §6.2 reduction ships each contracted edge to both endpoint
+    machines, so merged lists carry exact duplicates; tied weights make
+    the sort-rank assignment itself depend on stability.  These inputs
+    are adversarial on both axes and must still reproduce the scalar
+    scan's objects, order, and wire.
+    """
+
+    def _duplicate_heavy_edges(self, seed, n_base=None):
+        rng = np.random.default_rng(seed)
+        nv = 24
+        n_base = n_base or (VECTOR_MIN_ROWS * 2)
+        edges = []
+        while len(edges) < n_base:
+            u, v = rng.integers(0, nv, size=2).tolist()
+            if u != v:
+                # Two distinct weights only: almost every comparison ties
+                # on the leading key component.
+                w = 0.25 if rng.random() < 0.5 else 0.5
+                edges.append(CCEdge.make(u, v, (w, u, v)))
+        # Exact duplicates, interleaved at random positions.
+        dupes = [edges[int(i)] for i in rng.integers(0, len(edges), size=len(edges))]
+        merged = edges + dupes
+        rng.shuffle(merged)
+        return merged
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kernel_matches_scalar_object_for_object(self, seed):
+        edges = self._duplicate_heavy_edges(seed)
+        dsu = DisjointSet()
+        want = [e for e in sorted(edges) if dsu.union(e.cu, e.cv)]
+        got = cc_local_msf_columnar(edges)
+        assert got == want
+        # Same *objects*, not just equal values: the scalar scan keeps
+        # the first duplicate in sorted order, so must the kernel.
+        assert all(g is w for g, w in zip(got, want))
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_engine_transcript_identical_with_duplicates(self, engine):
+        k = 4
+        edges = self._duplicate_heavy_edges(99, n_base=VECTOR_MIN_ROWS * 3)
+        local = [edges[m::k] for m in range(k)]
+        runs = {}
+        for fast in (False, True):
+            with override_fast_path(fast):
+                net = KMachineNetwork(k)
+                got = cc_msf(net, 24, [list(part) for part in local],
+                             engine=engine, rng=np.random.default_rng(7))
+                runs[fast] = (
+                    [(e.key, e.cu, e.cv) for e in got],
+                    list(net.ledger.transcript),
+                    net.ledger.digest(),
+                )
+        assert runs[True] == runs[False]
