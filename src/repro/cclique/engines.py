@@ -39,7 +39,8 @@ from repro.comm.rerouting import scheduled_broadcasts
 from repro.cclique.ccedge import CCEdge
 from repro.graphs.dsu import DisjointSet
 from repro.graphs.generators import RngLike, as_rng
-from repro.perf.config import VECTOR_MIN_ROWS, fast_path_enabled
+from repro.perf import config as _perf_config
+from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_COMPONENT_EDGE, Message
 from repro.sim.network import Network
 
@@ -52,7 +53,7 @@ def _cc_local_msf(edges: Sequence[CCEdge]) -> List[CCEdge]:
     above the vectorize/loop crossover when the fast path is on; it
     returns the identical edge list in the identical order.
     """
-    if fast_path_enabled() and len(edges) >= VECTOR_MIN_ROWS:
+    if fast_path_enabled() and len(edges) >= _perf_config.VECTOR_MIN_ROWS:
         from repro.perf.cclique_columnar import cc_local_msf_columnar
 
         return cc_local_msf_columnar(edges)
@@ -82,8 +83,16 @@ def boruvka_engine(
     local_edges: Sequence[Sequence[CCEdge]],
     rng: RngLike = None,
 ) -> List[CCEdge]:
-    """Deterministic Borůvka with batched per-component min-queries."""
-    if fast_path_enabled():
+    """Deterministic Borůvka with batched per-component min-queries.
+
+    Dispatch is adaptive like the update path (any execution backend
+    whose fast path is on — ``inproc-columnar`` or ``parallel`` — takes
+    the columnar engine, but only above the vectorize/loop crossover;
+    both engines are wire-identical, so the gate never changes a ledger).
+    """
+    if fast_path_enabled() and (
+        sum(len(edges) for edges in local_edges) >= _perf_config.VECTOR_MIN_ROWS
+    ):
         from repro.perf.cclique_columnar import boruvka_engine_columnar
 
         return boruvka_engine_columnar(net, n_vertices, local_edges, rng)

@@ -29,7 +29,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         g = read_edge_list(args.input)
     else:
         g = random_weighted_graph(args.n, args.m, rng)
-    dm = DynamicMST.build(g, args.k, rng=rng, init=args.init, engine=args.engine)
+    dm = DynamicMST.build(g, args.k, rng=rng, init=args.init, engine=args.engine,
+                          backend=args.backend)
     if args.profile:
         from repro.sim.metrics import PhaseProfiler
 
@@ -123,6 +124,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     summary = run_traced(
         scenario, out, fast=fast, engine=args.engine, init=args.init,
         profile=args.profile, perturb_batch=args.perturb_batch,
+        backend=args.backend,
     )
     print(f"traced scenario {scenario.name}: n={scenario.n} k={scenario.k} "
           f"batch={scenario.batch}x{scenario.n_batches}")
@@ -198,7 +200,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     summary = run_chaos(
         scenario, plan, checkpoint_every=args.checkpoint_every,
-        engine=args.engine, sink=args.out,
+        engine=args.engine, sink=args.out, backend=args.backend,
     )
     print(f"chaos scenario {scenario.name}: n={scenario.n} k={scenario.k} "
           f"batch={scenario.batch}x{scenario.n_batches}")
@@ -259,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--init", choices=["distributed", "free"], default="distributed")
     demo.add_argument("--engine", default="sample_gather",
                       choices=["boruvka", "lotker", "sample_gather"])
+    demo.add_argument("--backend", default=None, metavar="NAME",
+                      help="execution backend: reference, inproc-columnar, "
+                           "or parallel (default: ambient REPRO_BACKEND)")
     demo.add_argument("--profile", action="store_true",
                       help="print per-phase wall-time/allocation counters")
     demo.set_defaults(fn=_cmd_demo)
@@ -301,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="pin the columnar fast path on")
     engine_pin.add_argument("--scalar", action="store_true",
                             help="pin the scalar reference path on")
+    trace.add_argument("--backend", default=None, metavar="NAME",
+                       help="execution backend: reference, inproc-columnar, "
+                            "or parallel (outranks --fast/--scalar)")
     trace.add_argument("--perturb-batch", type=int, default=None,
                        help="charge one extra round before this batch index "
                             "(seeded fault for trace-diff demos)")
@@ -351,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint period in batches (default 2)")
     chaos.add_argument("--engine", default="sample_gather",
                        choices=["boruvka", "lotker", "sample_gather"])
+    chaos.add_argument("--backend", default=None, metavar="NAME",
+                       help="execution backend: reference, inproc-columnar, "
+                            "or parallel (faults still decide in the parent)")
     chaos.add_argument("-o", "--out", default=None,
                        help="record the run (incl. fault/recovery events) "
                             "to this JSONL trace")

@@ -42,6 +42,7 @@ from repro.euler.labels import (
 from repro.euler.tour import ETEdge
 from repro.core.state import MachineState
 from repro.graphs.graph import normalize
+from repro.perf import config as _perf_config
 from repro.perf.config import fast_path_enabled
 from repro.sim.message import WORDS_ET_EDGE, WORDS_ID
 from repro.sim.network import Network
@@ -388,6 +389,29 @@ def _repair_witnesses(
                 st.tour_of[x] = tid
 
 
+def estimate_batch_rows(
+    states: Sequence[MachineState],
+    cuts: Sequence[Tuple[int, int]],
+    links: Sequence[Tuple[int, int, float]],
+) -> int:
+    """Estimate the rows a columnar batch would pack (harness-side).
+
+    The columnar engine packs every machine's MST-edge rows in the tours
+    the batch touches, so the estimate sums the locally-known sizes of
+    those tours across machines.  Both engines are wire-identical, so
+    the estimate steers local cost only — it can never change a ledger.
+    """
+    endpoints = {x for (u, v) in cuts for x in (u, v)}
+    endpoints.update(x for (u, v, _w) in links for x in (u, v))
+    tours = set()
+    for st in states:
+        for x in endpoints:
+            t = st.tour_of.get(x)
+            if t is not None:
+                tours.add(t)
+    return sum(st.tour_size.get(t, 0) for st in states for t in tours)
+
+
 def run_structural_batch(
     net: Network,
     vp: VertexPartition,
@@ -401,8 +425,15 @@ def run_structural_batch(
     Returns the advanced replicated tour-id counter.  Cost: O(|cuts| +
     |links|) broadcasts in O(1) dependency sets → O((|cuts|+|links|)/k + 1)
     rounds, measured on ``net.ledger``.
+
+    Dispatch is adaptive: the columnar engine pays a fixed pack/scatter
+    cost per batch, so batches whose estimated affected slice is under
+    ``UPDATE_MIN_ROWS`` run the scalar per-edge loops instead (same
+    wire, same ledger — only the local arithmetic differs).
     """
-    if fast_path_enabled():
+    if fast_path_enabled() and (
+        estimate_batch_rows(states, cuts, links) >= _perf_config.UPDATE_MIN_ROWS
+    ):
         from repro.perf.columnar import run_structural_batch_columnar
 
         return run_structural_batch_columnar(

@@ -22,6 +22,7 @@ def run_chaos(
     checkpoint_every: Optional[int] = 2,
     engine: str = "sample_gather",
     sink: Optional[Union[str, IO[str]]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run ``scenario``'s churn workload under ``plan``; return a summary.
 
@@ -29,6 +30,11 @@ def run_chaos(
     ``n``/``m``/``k``/``batch``/``n_batches``/``seed``/``init``).  When
     ``sink`` is given, a trace recorder rides the whole run, so fault,
     checkpoint and recovery events land in the JSONL stream.
+    ``backend`` pins an execution backend by name (falls back to the
+    scenario's ``backend`` field, then the ambient default).  Fault
+    decisions always run in the parent process — the plane path routes
+    per-message while a hook is enabled — so injection stays
+    seeded-deterministic under every backend.
 
     The summary's ``ok`` is True iff the maintained forest weight and
     edge multiset matched the oracle after *every* batch and the final
@@ -61,8 +67,11 @@ def run_chaos(
                 "fault_plan": plan.to_spec(),
             },
         )
+    if backend is None:
+        backend = getattr(scenario, "backend", None)
     dm = DynamicMST.build(
-        graph, scenario.k, rng=rng, init=scenario.init, engine=engine, trace=rec
+        graph, scenario.k, rng=rng, init=scenario.init, engine=engine, trace=rec,
+        backend=backend,
     )
     mirror = graph.copy()
     batches: List[Dict[str, Any]] = []

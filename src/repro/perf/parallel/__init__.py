@@ -1,0 +1,131 @@
+"""repro.perf.parallel — shared-memory worker-process execution backend.
+
+The package has four layers, parent-side to worker-side:
+
+* :mod:`~repro.perf.parallel.backend` — :class:`ParallelBackend`, the
+  :class:`~repro.sim.executor.ExecutionBackend` registered as ``parallel``;
+* :mod:`~repro.perf.parallel.pool` — :class:`KernelPool`, persistent
+  workers with a barrier at every dispatch;
+* :mod:`~repro.perf.parallel.worker` — the worker main loop (pure
+  kernels only, no machine state, no wire);
+* :mod:`~repro.perf.parallel.shm` — named, growable int64 shared slabs.
+
+This module additionally exports the **kernel twins** — the worker-pool
+counterparts of the Lemma 5.5–5.7 kernels in
+:mod:`repro.euler.vectorized`.  Each twin carries the same validation as
+its inline twin, dispatches to the active backend's pool, and computes
+inline when no pool is available (or a worker dies mid-call), so
+callers get the exact same arrays and exceptions either way.  The
+dispatch gates live in :mod:`repro.euler.vectorized`; simlint's SIM009
+checks the twin pairs stay in step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.euler.labels import JoinSpec, SplitSpec
+from repro.euler.vectorized import (
+    _join_m1_impl,
+    _join_m2_impl,
+    _reroot_impl,
+    _split_impl,
+)
+from repro.perf.parallel.backend import ParallelBackend
+from repro.perf.parallel.pool import KernelPool, PoolUnavailable
+from repro.perf.parallel.shm import SharedSlab
+
+__all__ = [
+    "ParallelBackend",
+    "KernelPool",
+    "PoolUnavailable",
+    "SharedSlab",
+    "reroot_labels_parallel",
+    "split_labels_parallel",
+    "join_m1_labels_parallel",
+    "join_m2_labels_parallel",
+]
+
+
+def _pool() -> Optional[KernelPool]:
+    from repro.perf.config import parallel_kernels
+
+    return parallel_kernels()  # type: ignore[return-value]
+
+
+def reroot_labels_parallel(labels: np.ndarray, d: int, size: int) -> np.ndarray:
+    """Worker-pool Lemma 5.5: (labels - d) mod size."""
+    if size <= 0:
+        raise ValueError("cannot reroot an edgeless tour")
+    pool = _pool()
+    if pool is None:
+        return _reroot_impl(labels, d, size)
+    try:
+        return pool.run_elementwise("reroot", (int(d), int(size)), labels)
+    except PoolUnavailable:
+        return _reroot_impl(labels, d, size)
+
+
+def split_labels_parallel(
+    labels: np.ndarray, spec: SplitSpec
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Worker-pool Lemma 5.6; validation stays in the parent."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if np.any((labels == spec.e_min) | (labels == spec.e_max)):
+        raise ValueError("the removed edge's own labels have no image")
+    pool = _pool()
+    if pool is None:
+        return _split_impl(labels, spec)
+    wire_spec = (
+        int(spec.e_min),
+        int(spec.e_max),
+        int(spec.size),
+        int(spec.old_tour),
+        int(spec.inside_tour),
+    )
+    try:
+        return pool.run_split(wire_spec, labels)
+    except PoolUnavailable:
+        return _split_impl(labels, spec)
+
+
+def join_m1_labels_parallel(labels: np.ndarray, spec: JoinSpec) -> np.ndarray:
+    """Worker-pool Lemma 5.7, M1 side."""
+    pool = _pool()
+    if pool is None:
+        return _join_m1_impl(np.asarray(labels, dtype=np.int64), spec)
+    wire_spec = (
+        int(spec.a),
+        int(spec.b),
+        int(spec.size1),
+        int(spec.size2),
+        int(spec.tour1),
+        int(spec.tour2),
+    )
+    try:
+        return pool.run_elementwise("join_m1", wire_spec, labels)
+    except PoolUnavailable:
+        return _join_m1_impl(np.asarray(labels, dtype=np.int64), spec)
+
+
+def join_m2_labels_parallel(labels: np.ndarray, spec: JoinSpec) -> np.ndarray:
+    """Worker-pool Lemma 5.7, M2 side."""
+    if spec.size2 <= 0:
+        raise ValueError("singleton M2 has no labels")
+    pool = _pool()
+    if pool is None:
+        return _join_m2_impl(np.asarray(labels, dtype=np.int64), spec)
+    wire_spec = (
+        int(spec.a),
+        int(spec.b),
+        int(spec.size1),
+        int(spec.size2),
+        int(spec.tour1),
+        int(spec.tour2),
+    )
+    try:
+        return pool.run_elementwise("join_m2", wire_spec, labels)
+    except PoolUnavailable:
+        return _join_m2_impl(np.asarray(labels, dtype=np.int64), spec)

@@ -1,0 +1,110 @@
+"""The ``parallel`` execution backend: columnar engine + worker pool.
+
+:class:`ParallelBackend` is the columnar engine with the pure label
+kernels and message-plane load gauges offloaded to a
+:class:`~repro.perf.parallel.pool.KernelPool` of worker processes over
+shared memory.  The pool starts lazily — the first time a gated kernel
+sees an array of at least ``PARALLEL_MIN_ROWS`` rows — so selecting the
+backend costs nothing until a workload actually crosses the offload
+threshold.
+
+Degradation is graceful and silent at the ledger level: if the pool
+cannot start (restricted start methods, sandboxed ``/dev/shm``) or a
+worker dies, the backend marks itself failed and every kernel computes
+inline from then on.  The run completes single-process with the exact
+same ledger, because the offloaded kernels are pure functions either
+way.
+
+Environment knobs:
+
+* ``REPRO_WORKERS`` — pool size (default ``min(4, cpu_count)``);
+* ``REPRO_SPAWN`` — set to use the ``spawn`` start method instead of
+  ``fork`` (or name a method explicitly: ``spawn``/``fork``/``forkserver``);
+* ``REPRO_PARALLEL_MIN_ROWS`` — the offload threshold (see
+  :mod:`repro.perf.config`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.perf.parallel.pool import KernelPool, PoolUnavailable
+from repro.sim.executor import ExecutionBackend
+
+
+def default_workers() -> int:
+    """Pool size from ``REPRO_WORKERS``, else ``min(4, cpu_count)``."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None and env.strip():
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def start_method_from_env() -> Optional[str]:
+    """Start method named by ``REPRO_SPAWN`` (``None`` = pool default, fork)."""
+    value = os.environ.get("REPRO_SPAWN")
+    if value is None:
+        return None
+    value = value.strip().lower()
+    if value in ("", "0", "false", "no"):
+        return None
+    if value in ("1", "true", "yes", "spawn"):
+        return "spawn"
+    return value  # explicit method name, e.g. "forkserver"
+
+
+class ParallelBackend(ExecutionBackend):
+    """Columnar engine with shared-memory worker-process kernels."""
+
+    name = "parallel"
+    fast = True
+
+    def __init__(
+        self, workers: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
+        self._requested_workers = default_workers() if workers is None else max(1, workers)
+        self._start_method = start_method_from_env() if start_method is None else start_method
+        self._pool: Optional[KernelPool] = None
+        self._failed = False
+
+    @property
+    def workers(self) -> int:
+        if self._pool is not None and not self._pool.dead:
+            return self._pool.workers
+        return 0 if self._failed else self._requested_workers
+
+    def kernel_pool(self) -> Optional[KernelPool]:
+        """The live pool, starting it on first use; ``None`` after failure."""
+        if self._failed:
+            return None
+        if self._pool is not None and self._pool.dead:
+            self._pool.close()
+            self._pool = None
+            self._failed = True
+            return None
+        if self._pool is None:
+            try:
+                self._pool = KernelPool(self._requested_workers, self._start_method)
+            except PoolUnavailable:
+                self._failed = True
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._failed = False
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        pool = self._pool
+        info["start_method"] = (
+            pool.start_method if pool is not None else (self._start_method or "fork")
+        )
+        info["pool_failed"] = self._failed
+        from repro.perf import config
+
+        info["parallel_min_rows"] = config.PARALLEL_MIN_ROWS
+        return info

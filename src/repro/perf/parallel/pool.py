@@ -1,0 +1,231 @@
+"""The shared-memory kernel pool: persistent workers, barrier dispatch.
+
+:class:`KernelPool` implements the :class:`~repro.sim.executor.KernelPoolLike`
+protocol.  Workers are started once (fork by default, spawn via
+``REPRO_SPAWN``), handshake with a ``("ready",)`` message, and then serve
+kernel tasks over private pipes.  Every ``run_*`` call is one superstep
+of the pool:
+
+1. the parent copies the input columns into parent-owned shared slabs;
+2. each worker gets one contiguous shard ``[lo, hi)`` of the rows;
+3. the parent blocks until **every** worker replied — the barrier —
+   then reads the output slab back.
+
+Because the kernels are pure elementwise functions (or shard-local
+int64 bincounts summed in fixed worker order), the result is exactly
+the array the inline path computes, independent of scheduling.  Any
+worker failure raises :class:`PoolUnavailable`; callers fall back to the
+inline kernel, so a dying pool degrades to single-process execution
+instead of corrupting a run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.perf.parallel.shm import SharedSlab
+from repro.perf.parallel.worker import worker_main
+
+
+class PoolUnavailable(RuntimeError):
+    """The worker pool cannot serve kernels (startup failed or a worker died)."""
+
+
+class KernelPool:
+    """A fixed set of worker processes serving shared-memory kernels."""
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        handshake_timeout: float = 10.0,
+    ) -> None:
+        self._slabs: Dict[str, SharedSlab] = {}
+        self._procs: List[mp.process.BaseProcess] = []
+        self._conns: List = []
+        self.dead = False
+        methods = mp.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else mp.get_start_method()
+        if start_method not in methods:
+            raise PoolUnavailable(
+                f"start method {start_method!r} unavailable (have: {methods})"
+            )
+        self.start_method = start_method
+        ctx = mp.get_context(start_method)
+        # Start the resource tracker *before* the workers exist, so every
+        # worker inherits it (fork shares it only if it is already
+        # running; spawn/forkserver always pass the fd).  With one shared
+        # tracker, a worker's attach-registration is a set no-op and the
+        # parent's unlink clears each name exactly once — no worker-exit
+        # "leaked shared_memory" sweeps that would unlink live blocks.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        try:
+            for _ in range(max(1, workers)):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=worker_main, args=(child_conn,), daemon=True)
+                proc.start()
+                child_conn.close()
+                if not parent_conn.poll(handshake_timeout):
+                    raise PoolUnavailable("worker did not report ready in time")
+                if parent_conn.recv() != ("ready",):
+                    raise PoolUnavailable("worker sent a malformed ready handshake")
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except PoolUnavailable:
+            self.close()
+            raise
+        except Exception as exc:  # start-method restrictions, EOF mid-handshake, ...
+            self.close()
+            raise PoolUnavailable(f"could not start worker pool: {exc}") from exc
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    # ------------------------------------------------------------------
+    # dispatch plumbing
+    # ------------------------------------------------------------------
+    def _slab(self, role: str) -> SharedSlab:
+        slab = self._slabs.get(role)
+        if slab is None:
+            slab = self._slabs[role] = SharedSlab(role)
+        return slab
+
+    def _bounds(self, n: int) -> List[int]:
+        w = self.workers
+        return [(i * n) // w for i in range(w + 1)]
+
+    def _send(self, conn, task: Tuple) -> None:
+        try:
+            conn.send(task)
+        except (BrokenPipeError, OSError) as exc:
+            self.dead = True
+            raise PoolUnavailable("worker pipe broke mid-dispatch") from exc
+
+    def _barrier(self, sent: List) -> None:
+        """Collect one reply per dispatched worker; raise after all answered."""
+        errors: List[str] = []
+        for conn in sent:
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                self.dead = True
+                raise PoolUnavailable("worker died mid-task") from exc
+            if reply[0] == "err":
+                errors.append(reply[1])
+        if errors:
+            self.dead = True
+            raise PoolUnavailable("kernel failed in worker:\n" + "\n".join(errors))
+
+    def _load_input(self, role: str, data: np.ndarray) -> None:
+        slab = self._slab(role)
+        slab.ensure(data.size)
+        slab.view(data.size)[:] = data
+
+    def _blocks(self, roles: List[str]) -> Dict[str, Tuple[str, int]]:
+        return {role: (self._slabs[role].name, self._slabs[role].rows) for role in roles}
+
+    # ------------------------------------------------------------------
+    # KernelPoolLike API
+    # ------------------------------------------------------------------
+    def run_elementwise(
+        self, kind: str, spec: Tuple[int, ...], labels: np.ndarray
+    ) -> np.ndarray:
+        if self.dead:
+            raise PoolUnavailable("pool is dead")
+        labels = np.ascontiguousarray(labels, dtype=np.int64)
+        n = labels.size
+        self._load_input("in0", labels)
+        self._slab("out0").ensure(n)
+        blocks = self._blocks(["in0", "out0"])
+        bounds = self._bounds(n)
+        sent = []
+        for w, conn in enumerate(self._conns):
+            lo, hi = bounds[w], bounds[w + 1]
+            if lo == hi:
+                continue
+            self._send(conn, ("task", kind, spec, blocks, lo, hi))
+            sent.append(conn)
+        self._barrier(sent)
+        return self._slabs["out0"].view(n).copy()
+
+    def run_split(
+        self, spec: Tuple[int, ...], labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.dead:
+            raise PoolUnavailable("pool is dead")
+        labels = np.ascontiguousarray(labels, dtype=np.int64)
+        n = labels.size
+        self._load_input("in0", labels)
+        self._slab("out0").ensure(n)
+        self._slab("out1").ensure(n)
+        blocks = self._blocks(["in0", "out0", "out1"])
+        bounds = self._bounds(n)
+        sent = []
+        for w, conn in enumerate(self._conns):
+            lo, hi = bounds[w], bounds[w + 1]
+            if lo == hi:
+                continue
+            self._send(conn, ("task", "split", spec, blocks, lo, hi))
+            sent.append(conn)
+        self._barrier(sent)
+        return self._slabs["out0"].view(n).copy(), self._slabs["out1"].view(n).copy()
+
+    def plane_loads(
+        self, src: np.ndarray, dst: np.ndarray, words: np.ndarray, k: int
+    ) -> np.ndarray:
+        if self.dead:
+            raise PoolUnavailable("pool is dead")
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        words = np.ascontiguousarray(words, dtype=np.int64)
+        n = src.size
+        w_total = self.workers
+        self._load_input("in0", src)
+        self._load_input("in1", dst)
+        self._load_input("in2", words)
+        out = self._slab("out0")
+        out.ensure(w_total * k * k)
+        out.view(w_total * k * k)[:] = 0
+        blocks = self._blocks(["in0", "in1", "in2", "out0"])
+        bounds = self._bounds(n)
+        sent = []
+        for w, conn in enumerate(self._conns):
+            lo, hi = bounds[w], bounds[w + 1]
+            if lo == hi:
+                continue
+            self._send(conn, ("task", "plane_loads", (k, w), blocks, lo, hi))
+            sent.append(conn)
+        self._barrier(sent)
+        per_worker = self._slabs["out0"].view(w_total * k * k).reshape(w_total, k, k)
+        # Fixed worker order; int64 addition is exact, so the order is a
+        # convention, not a correctness requirement.
+        return per_worker.sum(axis=0, dtype=np.int64).copy()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and release every shared-memory block (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+        self._procs.clear()
+        for slab in self._slabs.values():
+            slab.close()
+        self._slabs.clear()
+        self.dead = True

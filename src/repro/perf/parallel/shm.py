@@ -1,0 +1,113 @@
+"""Shared-memory slabs: named, growable int64 column storage.
+
+Every array the worker pool touches lives in a :class:`SharedSlab` — a
+``multiprocessing.shared_memory`` block owned (created and unlinked) by
+the parent process and attached read/write by workers on demand.  Slabs
+grow geometrically and keep a stable *role* (``in0``, ``out1``, …); a
+grown slab gets a fresh kernel name, and workers re-attach when a task
+names a block they have not mapped yet.
+
+Everything the kernels move is ``int64`` (Euler labels, tour ids,
+machine ids, word counts), so slabs are typed once and sized in rows.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+_ITEM = 8  # np.int64 itemsize
+
+
+class SharedSlab:
+    """A growable, parent-owned shared-memory block of int64 rows."""
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self._seq = 0
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self.rows = 0
+
+    @property
+    def name(self) -> str:
+        assert self._shm is not None, "ensure() before name"
+        return self._shm.name
+
+    def ensure(self, rows: int) -> None:
+        """Grow to hold at least ``rows`` int64 values (never shrinks)."""
+        if self._shm is not None and rows <= self.rows:
+            return
+        new_rows = max(rows, 2 * self.rows, 1024)
+        old = self._shm
+        while True:
+            self._seq += 1
+            name = f"repro-{os.getpid()}-{self.tag}-{self._seq}"
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=new_rows * _ITEM
+                )
+                break
+            except FileExistsError:  # stale block from a dead run
+                continue
+        self.rows = new_rows
+        if old is not None:
+            old.close()
+            try:
+                old.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def view(self, rows: int) -> np.ndarray:
+        """An int64 ndarray over the first ``rows`` rows."""
+        assert self._shm is not None and rows <= self.rows
+        return np.ndarray((rows,), dtype=np.int64, buffer=self._shm.buf)
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent; parent side only)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        self._shm = None
+        self.rows = 0
+
+
+class AttachCache:
+    """Worker-side cache of attached blocks, keyed by role.
+
+    A task names ``(role, name, rows)`` triples; the cache re-attaches
+    only when the name under a role changed (i.e. the parent grew that
+    slab) and detaches the stale mapping.
+
+    Attaching registers the name with the resource tracker even for
+    non-owners (``track=False`` exists only from 3.13), but pool workers
+    share the parent's tracker process, whose cache is a set — the
+    duplicate registration is a no-op, and the parent's unlink clears it
+    exactly once.  No unregister workaround is needed (and one would be
+    wrong: it would drop the parent's own registration).
+    """
+
+    def __init__(self) -> None:
+        self._by_role: Dict[str, Tuple[str, shared_memory.SharedMemory]] = {}
+
+    def view(self, role: str, name: str, rows: int) -> np.ndarray:
+        cached = self._by_role.get(role)
+        if cached is None or cached[0] != name:
+            if cached is not None:
+                cached[1].close()
+            shm = shared_memory.SharedMemory(name=name)
+            self._by_role[role] = (name, shm)
+        else:
+            shm = cached[1]
+        return np.ndarray((rows,), dtype=np.int64, buffer=shm.buf)
+
+    def close(self) -> None:
+        for _name, shm in self._by_role.values():
+            shm.close()
+        self._by_role.clear()

@@ -1,0 +1,103 @@
+"""Worker process main loop for the ``parallel`` execution backend.
+
+A worker is a pure function server: it attaches the shared-memory blocks
+a task names, applies one of the Euler label kernels (or the
+message-plane load gauge) to its half-open shard ``[lo, hi)``, writes
+the result into the output block, and replies.  Workers never see
+machine state, never touch the wire, and never make a decision that
+could reach the ledger — every kernel here is an exact elementwise (or
+shard-local bincount) function of ``int64`` inputs, so the result is
+bit-identical no matter how the OS schedules the pool.
+
+The kernels are imported from :mod:`repro.euler.vectorized` (the private
+``_*_impl`` bodies, below the dispatch gates) so parent and workers share
+one source of truth for the math of Lemmas 5.5–5.7.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.euler.labels import JoinSpec, SplitSpec
+from repro.euler.vectorized import (
+    _join_m1_impl,
+    _join_m2_impl,
+    _reroot_impl,
+    _split_impl,
+)
+from repro.perf.parallel.shm import AttachCache
+
+
+def _kern_reroot(labels: np.ndarray, spec: Tuple[int, ...]) -> np.ndarray:
+    d, size = spec
+    return _reroot_impl(labels, d, size)
+
+
+def _kern_join_m1(labels: np.ndarray, spec: Tuple[int, ...]) -> np.ndarray:
+    return _join_m1_impl(labels, JoinSpec(*spec))
+
+
+def _kern_join_m2(labels: np.ndarray, spec: Tuple[int, ...]) -> np.ndarray:
+    return _join_m2_impl(labels, JoinSpec(*spec))
+
+
+_ELEMENTWISE = {
+    "reroot": _kern_reroot,
+    "join_m1": _kern_join_m1,
+    "join_m2": _kern_join_m2,
+}
+
+
+def _run_task(
+    cache: AttachCache,
+    kind: str,
+    spec: Tuple[int, ...],
+    blocks: Dict[str, Tuple[str, int]],
+    lo: int,
+    hi: int,
+) -> None:
+    views = {role: cache.view(role, name, rows) for role, (name, rows) in blocks.items()}
+    if kind in _ELEMENTWISE:
+        views["out0"][lo:hi] = _ELEMENTWISE[kind](views["in0"][lo:hi], spec)
+    elif kind == "split":
+        tours, new_labels = _split_impl(views["in0"][lo:hi], SplitSpec(*spec))
+        views["out0"][lo:hi] = tours
+        views["out1"][lo:hi] = new_labels
+    elif kind == "plane_loads":
+        k, widx = spec
+        loads = np.zeros(k * k, dtype=np.int64)
+        # np.add.at (not bincount) so word counts stay exact int64.
+        np.add.at(loads, views["in0"][lo:hi] * k + views["in1"][lo:hi], views["in2"][lo:hi])
+        views["out0"][widx * k * k : (widx + 1) * k * k] = loads
+    else:
+        raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+def worker_main(conn: Any) -> None:
+    """Serve kernel tasks on ``conn`` until a ``("stop",)`` message.
+
+    Protocol: send ``("ready",)`` once, then for each
+    ``("task", kind, spec, blocks, lo, hi)`` reply ``("ok",)`` or
+    ``("err", traceback_text)``.  The reply is the pool's barrier.
+    """
+    cache = AttachCache()
+    try:
+        conn.send(("ready",))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _tag, kind, spec, blocks, lo, hi = msg
+            try:
+                _run_task(cache, kind, spec, blocks, lo, hi)
+                conn.send(("ok",))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        cache.close()
+        conn.close()

@@ -1,28 +1,220 @@
-"""Optional process-parallel execution of machine-local computation.
+"""Execution backends: how machine-local computation is scheduled.
 
 The reproduction's primary metric is communication rounds (see
 DESIGN.md), which the simulator measures exactly regardless of how the
-*local* computation is scheduled.  Python's GIL prevents faithful
-shared-memory thread parallelism, but the machine-local steps — cycle
-deletion, M'-membership scans, candidate labelling — are pure functions
-of one machine's state and parallelize across processes.
+*local* computation is scheduled.  An :class:`ExecutionBackend` names
+one scheduling strategy; all of them are held to the same contract —
+**byte-identical ledgers, digests and trace events** — enforced by the
+cross-backend equivalence suite in ``tests/perf``:
 
-:func:`parallel_local_map` runs one pure function per machine in a
-process pool and is a drop-in for the sequential loop.  It exists to
-demonstrate (and measure, in ``bench_parallel_local.py``) that the
-simulator's local phase scales across cores; the protocol code keeps the
-sequential loop by default because at bench scales fork+pickle overhead
-dominates.
+* ``reference`` — the scalar in-process engine; per-edge Python loops,
+  the ground truth every other backend is diffed against;
+* ``inproc-columnar`` — the NumPy columnar engine of :mod:`repro.perf`
+  (the production default);
+* ``parallel`` — the columnar engine with the pure label kernels and
+  message-plane load gauges dispatched to a pool of worker processes
+  over ``multiprocessing.shared_memory`` arrays, with a barrier at every
+  dispatch (see :mod:`repro.perf.parallel`).  Workers only ever compute
+  pure functions of shared-memory columns; the parent applies every
+  send, charge and fault decision in the same deterministic order as
+  the in-process backends, so worker scheduling can never reach the
+  wire.
+
+Backend selection goes through :func:`resolve_backend` — explicit
+``backend=`` argument, then ``fast=``, then a scenario's ``backend``
+field, then the ``REPRO_BACKEND`` environment variable, then the
+fast-path default.  The active backend for a dynamic scope is managed by
+:func:`repro.perf.config.override_backend`.
+
+:func:`parallel_local_map` (below) is the older per-machine process-pool
+map; it remains for the local-phase scaling demonstration in
+``bench_parallel_local.py``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class KernelPoolLike(Protocol):
+    """What the simulator needs from a shared-memory worker pool.
+
+    Implemented by :class:`repro.perf.parallel.pool.KernelPool`; declared
+    here so the mypy-strict simulator kernel needs no import of (and no
+    dependency on) the parallel layer.  Every method is a *barrier*: it
+    returns only once all workers finished their shard, so the caller
+    observes one superstep-synchronous result regardless of worker
+    scheduling.
+    """
+
+    @property
+    def workers(self) -> int: ...
+
+    def run_elementwise(
+        self, kind: str, spec: Tuple[int, ...], labels: "np.ndarray[Any, Any]"
+    ) -> "np.ndarray[Any, Any]": ...
+
+    def run_split(
+        self, spec: Tuple[int, ...], labels: "np.ndarray[Any, Any]"
+    ) -> Tuple["np.ndarray[Any, Any]", "np.ndarray[Any, Any]"]: ...
+
+    def plane_loads(
+        self,
+        src: "np.ndarray[Any, Any]",
+        dst: "np.ndarray[Any, Any]",
+        words: "np.ndarray[Any, Any]",
+        k: int,
+    ) -> "np.ndarray[Any, Any]": ...
+
+
+class ExecutionBackend:
+    """One way of executing machine-local computation.
+
+    Subclasses pin ``name`` (the registry key), ``fast`` (whether the
+    columnar plane math drives supersteps) and optionally a kernel pool.
+    Backends are stateless from the simulator's point of view: the
+    ledger/wire contract is identical across all of them.
+    """
+
+    name: str = "reference"
+    fast: bool = False
+
+    @property
+    def workers(self) -> int:
+        """Worker processes backing this backend (0 = in-process)."""
+        return 0
+
+    def kernel_pool(self) -> Optional[KernelPoolLike]:
+        """The shared-memory kernel pool, or ``None`` to compute inline."""
+        return None
+
+    def close(self) -> None:
+        """Release any worker processes/shared memory (idempotent)."""
+
+    def describe(self) -> Dict[str, object]:
+        """Metadata for bench/trace output (JSON-serializable)."""
+        return {"name": self.name, "fast": self.fast, "workers": self.workers}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ReferenceBackend(ExecutionBackend):
+    """The scalar in-process engine — the equivalence ground truth."""
+
+    name = "reference"
+    fast = False
+
+
+class ColumnarBackend(ExecutionBackend):
+    """The in-process NumPy columnar engine (production default)."""
+
+    name = "inproc-columnar"
+    fast = True
+
+
+#: Accepted spellings per canonical backend name.
+BACKEND_ALIASES: Dict[str, str] = {
+    "reference": "reference",
+    "scalar": "reference",
+    "inproc-columnar": "inproc-columnar",
+    "columnar": "inproc-columnar",
+    "parallel": "parallel",
+}
+
+_instances: Dict[str, ExecutionBackend] = {}
+
+
+def backend_names() -> List[str]:
+    """Canonical backend names, stable order (reference first)."""
+    return ["reference", "inproc-columnar", "parallel"]
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The (cached) backend registered under ``name`` or an alias.
+
+    Raises ``ValueError`` naming the known backends on an unknown name.
+    The ``parallel`` backend is imported lazily so the in-process
+    backends never pay for the multiprocessing machinery.
+    """
+    canonical = BACKEND_ALIASES.get(name.strip().lower())
+    if canonical is None:
+        known = ", ".join(sorted(BACKEND_ALIASES))
+        raise ValueError(
+            f"unknown execution backend {name!r} (known backends and "
+            f"aliases: {known})"
+        )
+    inst = _instances.get(canonical)
+    if inst is None:
+        if canonical == "reference":
+            inst = ReferenceBackend()
+        elif canonical == "inproc-columnar":
+            inst = ColumnarBackend()
+        else:
+            from repro.perf.parallel import ParallelBackend
+
+            inst = ParallelBackend()
+        # simlint: disable=SIM002 process-level backend registry cache, not simulated machine state; all backends charge identical ledgers
+        _instances[canonical] = inst
+    return inst
+
+
+def backend_from_env() -> ExecutionBackend:
+    """The backend the environment selects when nothing explicit does.
+
+    ``REPRO_BACKEND`` wins; otherwise the fast-path default decides
+    between the two in-process backends (``REPRO_FAST`` unset/on →
+    columnar).
+    """
+    name = os.environ.get("REPRO_BACKEND")
+    if name is not None and name.strip():
+        return get_backend(name)
+    from repro.perf.config import fast_path_enabled
+
+    return get_backend("inproc-columnar" if fast_path_enabled() else "reference")
+
+
+def resolve_backend(
+    backend: Optional[str] = None,
+    fast: Optional[bool] = None,
+    scenario: Optional[str] = None,
+) -> Optional[ExecutionBackend]:
+    """Resolve the backend for a run; ``None`` means "defer to ambient".
+
+    Precedence (highest first): the explicit ``backend`` argument, the
+    explicit ``fast`` argument, the scenario's ``backend`` field, the
+    ``REPRO_BACKEND`` environment variable.  When none of them pins a
+    backend the result is ``None`` and the caller keeps today's dynamic
+    behaviour: every operation consults the ambient config
+    (:func:`repro.perf.config.current_backend`) at call time.
+    """
+    if backend is not None:
+        return get_backend(backend)
+    if fast is not None:
+        return get_backend("inproc-columnar" if fast else "reference")
+    if scenario is not None:
+        return get_backend(scenario)
+    name = os.environ.get("REPRO_BACKEND")
+    if name is not None and name.strip():
+        return get_backend(name)
+    return None
 
 _worker_fn: Optional[Callable[[Any], Any]] = None
 

@@ -239,15 +239,15 @@ class Network:
             i = int(np.argmax(bad))
             offender = int(src[i]) if not 0 <= int(src[i]) < self.k else int(dst[i])
             raise BandwidthExceeded(f"machine id {offender} outside [0, {self.k})")
-        pair = src * self.k + dst
-        loads = np.bincount(pair, weights=words)
-        nonzero = np.flatnonzero(loads)
+        load_matrix = self._plane_load_matrix(src, dst, words)
+        nz_src, nz_dst = np.nonzero(load_matrix)
         pair_words: Dict[Tuple[int, int], int] = {
-            (int(p) // self.k, int(p) % self.k): int(loads[p]) for p in nonzero
+            (int(s), int(d)): int(load_matrix[s, d])
+            for s, d in zip(nz_src.tolist(), nz_dst.tolist())
         }
-        n_words = int(words.sum())
-        in_words = np.bincount(dst, weights=words, minlength=self.k)
-        out_words = np.bincount(src, weights=words, minlength=self.k)
+        n_words = int(load_matrix.sum())
+        in_words = load_matrix.sum(axis=0)
+        out_words = load_matrix.sum(axis=1)
         for m in np.flatnonzero(in_words).tolist():
             self.ingress_words[m] += int(in_words[m])
         for m in np.flatnonzero(out_words).tolist():
@@ -275,6 +275,26 @@ class Network:
         for i in np.lexsort((src, dst)).tolist():
             inboxes.setdefault(dst_list[i], []).append((src_list[i], payloads[i]))
         return inboxes
+
+    def _plane_load_matrix(self, src: Any, dst: Any, words: Any) -> Any:
+        """Per-(src, dst) word loads as a dense ``(k, k)`` int64 matrix.
+
+        Large planes are offloaded to the ``parallel`` backend's worker
+        pool (each worker bincounts a shard, the parent sums the shards
+        in fixed order); the inline twin is the same exact int64
+        accumulation.  Every charge, gauge and pair load downstream is
+        derived from this one matrix, so the transcript is identical
+        whichever side computed it.
+        """
+        from repro.perf import config
+
+        if words.size >= config.PARALLEL_MIN_ROWS and config.parallel_path_enabled():
+            pool = config.parallel_kernels()
+            if pool is not None:
+                return pool.plane_loads(src, dst, words, self.k)
+        pair = src * self.k + dst
+        loads = np.bincount(pair, weights=words, minlength=self.k * self.k)
+        return loads.astype(np.int64).reshape(self.k, self.k)
 
     def broadcast(self, src: int, payload: Any, words: int) -> None:
         """One machine sends the same ``words`` over all its links."""

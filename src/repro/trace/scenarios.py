@@ -30,6 +30,11 @@ class Scenario:
     #: out of their ledgers) or ``distributed`` (the measured Theorem 5.8
     #: protocol; the init scenarios below benchmark it end to end).
     init: str = "free"
+    #: Execution backend the scenario pins (``reference``,
+    #: ``inproc-columnar``, ``parallel``); ``None`` defers to the caller
+    #: and then the ambient default.  Explicit ``fast=``/``backend=``
+    #: arguments to the drivers outrank this field.
+    backend: Optional[str] = None
 
     @property
     def m(self) -> int:
@@ -82,10 +87,14 @@ def run_traced(
     init: Optional[str] = None,
     profile: bool = False,
     perturb_batch: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one scenario with a recorder attached; returns a run summary.
 
     ``fast`` pins the columnar path on/off (None = process default).
+    ``backend`` pins a full execution backend by name; precedence is
+    ``backend`` argument > ``fast`` argument > ``scenario.backend`` >
+    the ambient default (see :func:`repro.sim.executor.resolve_backend`).
     ``init`` overrides the scenario's init mode (None = use
     ``scenario.init``).
     ``perturb_batch`` deliberately charges one extra bookkeeping round
@@ -102,6 +111,8 @@ def run_traced(
 
     if init is None:
         init = scenario.init
+    if backend is None and fast is None:
+        backend = scenario.backend
     rng = np.random.default_rng(scenario.seed)
     graph = random_weighted_graph(scenario.n, scenario.m, rng)
     stream = list(
@@ -125,7 +136,7 @@ def run_traced(
     # is part of the trace — charge indices are contiguous from 0.
     dm = DynamicMST.build(
         graph, scenario.k, rng=rng, init=init, engine=engine, fast=fast,
-        trace=rec,
+        trace=rec, backend=backend,
     )
     if profile:
         dm.net.ledger.profiler = PhaseProfiler()

@@ -1,0 +1,26 @@
+"""SIM009 three-way negatives: a full backend-twin family in lock-step.
+
+The scalar body, the columnar twin and the parallel twin all bill the
+same phase with compatible signatures; the family check stays silent.
+"""
+
+from repro.perf.config import fast_path_enabled, parallel_path_enabled
+
+
+def route_rows(net, rows):
+    if parallel_path_enabled():
+        return route_rows_parallel(net, rows)
+    if fast_path_enabled():
+        return route_rows_columnar(net, rows)
+    with net.ledger.phase("fixture.route"):
+        return net.superstep(rows)
+
+
+def route_rows_columnar(net, rows):
+    with net.ledger.phase("fixture.route"):
+        return net.superstep(rows)
+
+
+def route_rows_parallel(net, rows, shards=2):
+    with net.ledger.phase("fixture.route"):
+        return net.superstep(rows)

@@ -1,0 +1,29 @@
+"""Seeded SIM009 three-way violations: backend twins disagreeing.
+
+One scalar function dispatches to a columnar twin (``fast_path_enabled``
+gate) and a parallel twin (``parallel_path_enabled`` gate).  The
+columnar twin matches the scalar, but the parallel twin bills a
+different phase — flagged twice: once against the scalar fallback, once
+against its sibling twin (the three-way family check).
+"""
+
+from repro.perf.config import fast_path_enabled, parallel_path_enabled
+
+
+def route_rows(net, rows):
+    if parallel_path_enabled():
+        return route_rows_parallel(net, rows)
+    if fast_path_enabled():
+        return route_rows_columnar(net, rows)
+    with net.ledger.phase("fixture.route"):
+        return net.superstep(rows)
+
+
+def route_rows_columnar(net, rows):
+    with net.ledger.phase("fixture.route"):
+        return net.superstep(rows)
+
+
+def route_rows_parallel(net, rows):
+    with net.ledger.phase("fixture.route_mp"):
+        return net.superstep(rows)

@@ -62,7 +62,7 @@ def test_json_format_is_machine_readable():
     assert counts["SIM006"] == 4
     assert counts["SIM007"] == 4
     assert counts["SIM008"] == 3
-    assert counts["SIM009"] == 2
+    assert counts["SIM009"] == 4  # 2 pairwise drifts + pair/family from the backends fixture
     assert counts["SIM000"] == 3
 
 

@@ -43,7 +43,9 @@ def test_suppressions_in_src_are_all_used():
     # run() already folds unused suppressions into findings as SIM000;
     # a clean report therefore also certifies every suppression earns
     # its keep.  Pin the current count so new ones get a second look.
-    # 7 from the seed + 2×SIM002 (repro.perf.config harness toggle) +
-    # 2×SIM003 (repro.sim.metrics profiler clock reads).
+    # 7 from the seed + 2×SIM002 (repro.perf.config fast-path toggle) +
+    # 3×SIM002 (repro.perf.config backend toggle) + 1×SIM002
+    # (repro.sim.executor backend registry cache) + 2×SIM003
+    # (repro.sim.metrics profiler clock reads).
     report = _report()
-    assert report.suppressions_used == 11, report.format_text()
+    assert report.suppressions_used == 15, report.format_text()

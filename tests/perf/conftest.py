@@ -1,0 +1,18 @@
+"""Shared fixtures for the perf suite.
+
+The equivalence tests here run deliberately tiny trajectories, which the
+adaptive update-path gate (``UPDATE_MIN_ROWS``) would route to the
+scalar engine — silently turning engine-comparison tests into
+scalar-vs-scalar no-ops.  Pin the gate open so ``fast=True`` really
+exercises the columnar structural-batch engine at any size.
+"""
+
+import pytest
+
+from repro.perf import config
+
+
+@pytest.fixture(autouse=True)
+def _force_columnar_updates(monkeypatch):
+    monkeypatch.setattr(config, "UPDATE_MIN_ROWS", 0)
+    monkeypatch.setattr(config, "VECTOR_MIN_ROWS", 0)

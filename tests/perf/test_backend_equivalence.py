@@ -1,0 +1,158 @@
+"""Cross-backend equivalence: the tentpole contract of the parallel PR.
+
+Every execution backend — ``reference``, ``inproc-columnar`` and the
+shared-memory ``parallel`` worker pool — must produce **byte-identical
+ledgers, digests and trace events** on the same workload, under
+``REPRO_STRICT=1``, across seeds and machine counts k ∈ {4, 8, 16}.
+
+``PARALLEL_MIN_ROWS`` is pinned to 0 here so the parallel runs actually
+cross the offload threshold on test-sized arrays: every Euler label
+kernel and plane-load gauge goes through the worker pool, and the result
+must still be the reference transcript bit for bit.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMST
+from repro.graphs import churn_stream, random_weighted_graph
+from repro.graphs.mst import msf_key_multiset
+from repro.perf import config
+from repro.perf.parallel import ParallelBackend
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="the parallel runs pin the fork start method",
+)
+
+
+@pytest.fixture(autouse=True)
+def _strict_and_offload(monkeypatch):
+    monkeypatch.setenv("REPRO_STRICT", "1")
+    monkeypatch.setattr(config, "PARALLEL_MIN_ROWS", 0)
+
+
+@pytest.fixture(scope="module")
+def parallel_backend():
+    """One 2-worker pool for the whole module (startup is the slow part)."""
+    backend = ParallelBackend(workers=2, start_method="fork")
+    yield backend
+    backend.close()
+
+
+def _workload(seed, n, k, batch, n_batches=3):
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(n, 3 * n, rng, connected=False)
+    stream = list(churn_stream(g.copy(), batch, n_batches, rng=rng))
+    return g, stream
+
+
+def _run(g, stream, k, seed, backend_name, parallel_backend):
+    if backend_name == "parallel":
+        ctx = config.override_backend(parallel_backend)
+        build_kwargs = {}
+    else:
+        ctx = config.override_fast_path(None)
+        build_kwargs = {"backend": backend_name}
+    with ctx:
+        dm = DynamicMST.build(g, k, rng=np.random.default_rng(seed),
+                              **build_kwargs)
+        for batch in stream:
+            dm.apply_batch(batch)
+        dm.check()
+    return {
+        "transcript": list(dm.net.ledger.transcript),
+        "digest": dm.net.ledger.digest(),
+        "msf": msf_key_multiset(dm.msf_edges()),
+        "weight": round(dm.total_weight(), 9),
+        "violations": dm.net.strict_violations,
+    }
+
+
+@pytest.mark.parametrize("k", [4, 8, 16])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_three_backends_byte_identical(k, seed, parallel_backend):
+    g, stream = _workload(seed, n=12 * k // 2 + 30, k=k, batch=k)
+    runs = {
+        name: _run(g, stream, k, seed, name, parallel_backend)
+        for name in ("reference", "inproc-columnar", "parallel")
+    }
+    ref = runs["reference"]
+    assert ref["violations"] == 0
+    for name in ("inproc-columnar", "parallel"):
+        got = runs[name]
+        assert got["violations"] == 0
+        assert got["transcript"] == ref["transcript"], f"{name} transcript"
+        assert got["digest"] == ref["digest"], f"{name} digest"
+        assert got["msf"] == ref["msf"]
+        assert got["weight"] == ref["weight"]
+    # The pool really served kernels (the run was not a silent fallback).
+    pool = parallel_backend.kernel_pool()
+    assert pool is not None and not pool.dead
+
+
+def test_parallel_trace_is_byte_identical_to_columnar(tmp_path, parallel_backend,
+                                                      monkeypatch):
+    """Trace events — not just digests — must match across fast backends.
+
+    The parallel backend runs the same columnar engines, so its JSONL
+    trace must equal the in-process columnar trace byte for byte (the
+    scalar reference differs only in its engine tags, by design).
+    """
+    from repro.trace.scenarios import Scenario, run_traced
+
+    scenario = Scenario("t-eq", n=60, k=4, batch=6, n_batches=3, seed=2)
+    col_path = tmp_path / "columnar.jsonl"
+    par_path = tmp_path / "parallel.jsonl"
+    run_traced(scenario, str(col_path), backend="inproc-columnar")
+    with config.override_backend(parallel_backend):
+        run_traced(scenario, str(par_path))
+    assert col_path.read_bytes() == par_path.read_bytes()
+
+
+def test_distributed_init_across_backends(parallel_backend):
+    """Theorem 5.8 init under the worker pool charges the reference ledger."""
+    seed, k = 3, 4
+    rng = np.random.default_rng(seed)
+    g = random_weighted_graph(30, 90, rng, connected=False)
+    stream = list(churn_stream(g.copy(), 4, 2, rng=rng))
+
+    def run(backend_name):
+        if backend_name == "parallel":
+            with config.override_backend(parallel_backend):
+                dm = DynamicMST.build(g, k, rng=np.random.default_rng(seed),
+                                      init="distributed")
+                for batch in stream:
+                    dm.apply_batch(batch)
+                dm.check()
+        else:
+            dm = DynamicMST.build(g, k, rng=np.random.default_rng(seed),
+                                  init="distributed", backend=backend_name)
+            for batch in stream:
+                dm.apply_batch(batch)
+            dm.check()
+        return dm.net.ledger.digest()
+
+    digests = {name: run(name)
+               for name in ("reference", "inproc-columnar", "parallel")}
+    assert len(set(digests.values())) == 1, digests
+
+
+def test_chaos_equivalence_under_parallel_backend(parallel_backend):
+    """Fault injection runs in the parent under every backend: the chaos
+    run must end on the oracle forest with the parallel pool active."""
+    from repro.faults import CrashEvent, FaultPlan, run_chaos
+    from repro.trace.scenarios import Scenario
+
+    scenario = Scenario("t-chaos", n=40, k=4, batch=4, n_batches=3, seed=4)
+    plan = FaultPlan(seed=5, drop=0.02, dup=0.01,
+                     crashes=(CrashEvent(batch=1, machine=2),))
+    baseline = run_chaos(scenario, plan, checkpoint_every=2)
+    with config.override_backend(parallel_backend):
+        chaotic = run_chaos(scenario, plan, checkpoint_every=2)
+    assert baseline["ok"] and chaotic["ok"]
+    assert chaotic["msf_weight"] == baseline["msf_weight"]
+    assert chaotic["rounds"] == baseline["rounds"]
+    assert chaotic["faults"] == baseline["faults"]

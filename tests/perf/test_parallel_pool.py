@@ -1,0 +1,242 @@
+"""Unit tests for the shared-memory worker pool and its kernel twins.
+
+The pool's contract is mechanical: every ``run_*`` call is a barrier
+over shard-local pure kernels, so the result must be the exact array the
+inline twin computes — for any worker count, any shard boundary, and
+after any failure (which degrades to inline computation, never to a
+wrong answer).
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.euler.labels import JoinSpec, SplitSpec
+from repro.euler.vectorized import (
+    _join_m1_impl,
+    _join_m2_impl,
+    _reroot_impl,
+    _split_impl,
+)
+from repro.perf import config
+from repro.perf.parallel import (
+    KernelPool,
+    ParallelBackend,
+    PoolUnavailable,
+    SharedSlab,
+    join_m1_labels_parallel,
+    join_m2_labels_parallel,
+    reroot_labels_parallel,
+    split_labels_parallel,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="pool tests pin the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = KernelPool(workers=2, start_method="fork")
+    yield p
+    p.close()
+
+
+def _labels(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, size, size=n).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# SharedSlab
+# ----------------------------------------------------------------------
+class TestSharedSlab:
+    def test_roundtrip(self):
+        slab = SharedSlab("t0")
+        try:
+            slab.ensure(10)
+            slab.view(10)[:] = np.arange(10)
+            assert slab.view(10).tolist() == list(range(10))
+        finally:
+            slab.close()
+
+    def test_growth_renames_block(self):
+        slab = SharedSlab("t1")
+        try:
+            slab.ensure(8)
+            first = slab.name
+            slab.ensure(1_000_000)
+            assert slab.name != first
+            assert slab.rows >= 1_000_000
+        finally:
+            slab.close()
+
+    def test_ensure_never_shrinks(self):
+        slab = SharedSlab("t2")
+        try:
+            slab.ensure(4096)
+            name, rows = slab.name, slab.rows
+            slab.ensure(16)
+            assert (slab.name, slab.rows) == (name, rows)
+        finally:
+            slab.close()
+
+    def test_close_idempotent(self):
+        slab = SharedSlab("t3")
+        slab.ensure(4)
+        slab.close()
+        slab.close()
+
+
+# ----------------------------------------------------------------------
+# KernelPool vs the inline twins
+# ----------------------------------------------------------------------
+class TestKernelPool:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 1000])
+    def test_reroot_matches_inline(self, pool, n):
+        size = 64
+        labels = _labels(n, size)
+        got = pool.run_elementwise("reroot", (13, size), labels)
+        np.testing.assert_array_equal(got, _reroot_impl(labels, 13, size))
+
+    def test_split_matches_inline(self, pool):
+        size = 128
+        spec = SplitSpec(e_min=20, e_max=90, size=size, old_tour=1, inside_tour=2)
+        labels = _labels(500, size, seed=1)
+        labels = labels[(labels != spec.e_min) & (labels != spec.e_max)]
+        tours, out = pool.run_split(
+            (spec.e_min, spec.e_max, spec.size, spec.old_tour, spec.inside_tour),
+            labels,
+        )
+        ref_tours, ref_out = _split_impl(labels, spec)
+        np.testing.assert_array_equal(tours, ref_tours)
+        np.testing.assert_array_equal(out, ref_out)
+
+    def test_joins_match_inline(self, pool):
+        spec = JoinSpec(a=30, b=10, size1=100, size2=60, tour1=1, tour2=2)
+        wire = (spec.a, spec.b, spec.size1, spec.size2, spec.tour1, spec.tour2)
+        l1 = _labels(400, spec.size1, seed=2)
+        l2 = _labels(400, spec.size2, seed=3)
+        np.testing.assert_array_equal(
+            pool.run_elementwise("join_m1", wire, l1), _join_m1_impl(l1, spec)
+        )
+        np.testing.assert_array_equal(
+            pool.run_elementwise("join_m2", wire, l2), _join_m2_impl(l2, spec)
+        )
+
+    def test_plane_loads_matches_bincount(self, pool):
+        k = 7
+        rng = np.random.default_rng(4)
+        src = rng.integers(0, k, size=900).astype(np.int64)
+        dst = rng.integers(0, k, size=900).astype(np.int64)
+        words = rng.integers(1, 50, size=900).astype(np.int64)
+        got = pool.plane_loads(src, dst, words, k)
+        ref = (
+            np.bincount(src * k + dst, weights=words, minlength=k * k)
+            .astype(np.int64)
+            .reshape(k, k)
+        )
+        np.testing.assert_array_equal(got, ref)
+        assert got.dtype == np.int64
+
+    def test_more_workers_than_rows(self):
+        p = KernelPool(workers=4, start_method="fork")
+        try:
+            labels = _labels(2, 16)
+            got = p.run_elementwise("reroot", (3, 16), labels)
+            np.testing.assert_array_equal(got, _reroot_impl(labels, 3, 16))
+        finally:
+            p.close()
+
+    def test_worker_error_marks_pool_dead(self):
+        p = KernelPool(workers=2, start_method="fork")
+        try:
+            with pytest.raises(PoolUnavailable):
+                p.run_elementwise("no-such-kernel", (), _labels(64, 16))
+            assert p.dead
+            with pytest.raises(PoolUnavailable):
+                p.run_elementwise("reroot", (1, 16), _labels(64, 16))
+        finally:
+            p.close()
+
+    def test_worker_death_marks_pool_dead(self):
+        p = KernelPool(workers=2, start_method="fork")
+        try:
+            for proc in p._procs:
+                proc.terminate()
+                proc.join()
+            with pytest.raises(PoolUnavailable):
+                p.run_elementwise("reroot", (1, 16), _labels(64, 16))
+            assert p.dead
+        finally:
+            p.close()
+
+    def test_unknown_start_method_is_pool_unavailable(self):
+        with pytest.raises(PoolUnavailable):
+            KernelPool(workers=1, start_method="no-such-method")
+
+
+# ----------------------------------------------------------------------
+# twins: pool path vs inline fallback
+# ----------------------------------------------------------------------
+class TestKernelTwins:
+    @pytest.fixture()
+    def parallel(self, monkeypatch):
+        """A live 2-worker parallel backend installed as the ambient one."""
+        monkeypatch.setattr(config, "PARALLEL_MIN_ROWS", 0)
+        backend = ParallelBackend(workers=2, start_method="fork")
+        with config.override_backend(backend):
+            yield backend
+        backend.close()
+
+    def test_twins_match_inline_through_pool(self, parallel):
+        size = 96
+        labels = _labels(700, size, seed=5)
+        np.testing.assert_array_equal(
+            reroot_labels_parallel(labels, 11, size), _reroot_impl(labels, 11, size)
+        )
+        jspec = JoinSpec(a=30, b=10, size1=size, size2=48, tour1=1, tour2=2)
+        np.testing.assert_array_equal(
+            join_m1_labels_parallel(labels, jspec), _join_m1_impl(labels, jspec)
+        )
+        l2 = _labels(700, jspec.size2, seed=6)
+        np.testing.assert_array_equal(
+            join_m2_labels_parallel(l2, jspec), _join_m2_impl(l2, jspec)
+        )
+        sspec = SplitSpec(e_min=5, e_max=60, size=size, old_tour=1, inside_tour=2)
+        dom = labels[(labels != sspec.e_min) & (labels != sspec.e_max)]
+        got = split_labels_parallel(dom, sspec)
+        ref = _split_impl(dom, sspec)
+        np.testing.assert_array_equal(got[0], ref[0])
+        np.testing.assert_array_equal(got[1], ref[1])
+
+    def test_twins_validate_like_inline(self, parallel):
+        with pytest.raises(ValueError):
+            reroot_labels_parallel(_labels(4, 8), 1, 0)
+        with pytest.raises(ValueError):
+            join_m2_labels_parallel(
+                _labels(4, 8), JoinSpec(a=1, b=0, size1=8, size2=0, tour1=1, tour2=2)
+            )
+        spec = SplitSpec(e_min=2, e_max=5, size=8, old_tour=1, inside_tour=2)
+        with pytest.raises(ValueError):
+            split_labels_parallel(np.array([1, 2, 3], dtype=np.int64), spec)
+
+    def test_twins_fall_back_when_pool_dies_mid_run(self, parallel):
+        labels = _labels(300, 64, seed=7)
+        pool = parallel.kernel_pool()
+        for proc in pool._procs:
+            proc.terminate()
+            proc.join()
+        # The twin absorbs the dead pool and computes inline — same array.
+        np.testing.assert_array_equal(
+            reroot_labels_parallel(labels, 9, 64), _reroot_impl(labels, 9, 64)
+        )
+
+    def test_twins_compute_inline_without_parallel_backend(self):
+        # Ambient backend is in-process → no pool → inline twin, no workers.
+        labels = _labels(50, 32, seed=8)
+        np.testing.assert_array_equal(
+            reroot_labels_parallel(labels, 3, 32), _reroot_impl(labels, 3, 32)
+        )

@@ -1,0 +1,174 @@
+"""Backend selection: registry, precedence, and graceful degradation.
+
+The selection seam (satellite of the parallel-backend ISSUE) has an
+exact precedence order — explicit ``backend=`` argument, then explicit
+``fast=``, then a scenario's ``backend`` field, then ``REPRO_BACKEND``,
+then the fast-path default — and an exact failure mode: when no
+multiprocessing start method works, the parallel backend degrades to
+single-process execution with the identical ledger, never to an error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf import config
+from repro.sim.executor import (
+    BACKEND_ALIASES,
+    ColumnarBackend,
+    ReferenceBackend,
+    backend_from_env,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_FAST", raising=False)
+
+
+class TestRegistry:
+    def test_canonical_names(self):
+        assert backend_names() == ["reference", "inproc-columnar", "parallel"]
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("reference", "reference"),
+            ("scalar", "reference"),
+            ("SCALAR", "reference"),
+            ("inproc-columnar", "inproc-columnar"),
+            ("columnar", "inproc-columnar"),
+            ("parallel", "parallel"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert get_backend(alias).name == canonical
+
+    def test_instances_are_cached(self):
+        assert get_backend("scalar") is get_backend("reference")
+
+    def test_unknown_backend_message_names_the_menu(self):
+        with pytest.raises(ValueError) as exc:
+            get_backend("gpu")
+        msg = str(exc.value)
+        assert "unknown execution backend 'gpu'" in msg
+        for alias in BACKEND_ALIASES:
+            assert alias in msg
+
+    def test_fast_flags(self):
+        assert get_backend("reference").fast is False
+        assert get_backend("inproc-columnar").fast is True
+        assert get_backend("parallel").fast is True
+
+
+class TestPrecedence:
+    def test_explicit_backend_wins_over_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        got = resolve_backend(backend="reference", fast=True, scenario="columnar")
+        assert got.name == "reference"
+
+    def test_fast_arg_beats_scenario_and_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        assert resolve_backend(fast=True, scenario="reference").name == "inproc-columnar"
+        assert resolve_backend(fast=False, scenario="parallel").name == "reference"
+
+    def test_scenario_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert resolve_backend(scenario="parallel").name == "parallel"
+
+    def test_env_is_the_last_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "scalar")
+        assert resolve_backend().name == "reference"
+
+    def test_nothing_pinned_defers_to_ambient(self):
+        assert resolve_backend() is None
+
+    def test_env_default_backend_follows_fast_path(self, monkeypatch):
+        assert backend_from_env().name == "inproc-columnar"
+        monkeypatch.setenv("REPRO_FAST", "0")
+        assert backend_from_env().name == "reference"
+
+    def test_scenario_field_flows_through_run_traced(self, tmp_path):
+        from repro.trace.scenarios import Scenario, run_traced
+
+        base = Scenario("t-sel", n=24, k=4, batch=4, n_batches=2, seed=0)
+        pinned = Scenario("t-sel", n=24, k=4, batch=4, n_batches=2, seed=0,
+                          backend="reference")
+        plain = run_traced(base, str(tmp_path / "plain.jsonl"))
+        ref = run_traced(pinned, str(tmp_path / "ref.jsonl"))
+        # The pin changes the engine, never the ledger.
+        assert ref["digest"] == plain["digest"]
+        # An explicit fast argument outranks the scenario pin.
+        fast = run_traced(pinned, str(tmp_path / "fast.jsonl"), fast=True)
+        assert fast["digest"] == plain["digest"]
+
+    def test_build_pins_the_instance(self):
+        from repro.core import DynamicMST
+        from repro.graphs import random_weighted_graph
+
+        g = random_weighted_graph(16, 30, np.random.default_rng(0))
+        dm = DynamicMST.build(g, 4, rng=np.random.default_rng(0),
+                              backend="columnar")
+        assert dm.exec_backend is not None
+        assert dm.exec_backend.name == "inproc-columnar"
+        assert dm.fast is True
+
+
+class TestOverrides:
+    def test_override_backend_drives_fast_gates(self):
+        with config.override_backend(ReferenceBackend()):
+            assert config.current_backend().name == "reference"
+            assert config.fast_path_enabled() is False
+        with config.override_backend(ColumnarBackend()):
+            assert config.fast_path_enabled() is True
+        assert not config.parallel_path_enabled()
+
+    def test_set_backend_installs_process_default(self):
+        try:
+            config.set_backend(ReferenceBackend())
+            assert config.current_backend().name == "reference"
+            assert config.fast_path_enabled() is False
+        finally:
+            config.set_backend(None)
+        assert config.fast_path_enabled() is True
+
+
+class TestGracefulFallback:
+    def test_unavailable_start_method_degrades_to_inline(self, monkeypatch):
+        from repro.perf.parallel import ParallelBackend
+
+        monkeypatch.setattr(config, "PARALLEL_MIN_ROWS", 0)
+        backend = ParallelBackend(workers=2, start_method="no-such-method")
+        assert backend.kernel_pool() is None
+        assert backend.workers == 0
+        assert backend.describe()["pool_failed"] is True
+
+        from repro.core import DynamicMST
+        from repro.graphs import churn_stream, random_weighted_graph
+
+        def run(with_backend):
+            g = random_weighted_graph(20, 40, np.random.default_rng(1))
+            stream = list(churn_stream(g.copy(), 4, 2,
+                                       rng=np.random.default_rng(1)))
+            ctx = (config.override_backend(backend) if with_backend
+                   else config.override_fast_path(True))
+            with ctx:
+                dm = DynamicMST.build(g, 4, rng=np.random.default_rng(1))
+                for batch in stream:
+                    dm.apply_batch(batch)
+                dm.check()
+            return dm.net.ledger.digest()
+
+        # Single-process fallback: same run, same ledger, no error.
+        assert run(with_backend=True) == run(with_backend=False)
+
+    def test_close_resets_failure_latch(self):
+        from repro.perf.parallel import ParallelBackend
+
+        backend = ParallelBackend(workers=1, start_method="no-such-method")
+        assert backend.kernel_pool() is None
+        backend.close()
+        assert backend.workers == 1  # requested again after reset
