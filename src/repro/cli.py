@@ -7,6 +7,7 @@
     python -m repro report run.jsonl
     python -m repro trace-diff a.jsonl b.jsonl
     python -m repro chaos smoke-medium --drop 0.02 --crashes 1:3
+    python -m repro watch smoke-medium
 """
 
 from __future__ import annotations
@@ -107,6 +108,34 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_metrics(args: argparse.Namespace):  # -> context manager
+    """An :class:`~repro.obs.ObsSession` for ``--serve-metrics``, or a no-op.
+
+    Yields the live telemetry sink to tee into the run (``None`` when
+    the flag is absent) and prints the scrape URL once the server is up.
+    """
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _ctx():
+        port = getattr(args, "serve_metrics", None)
+        if port is None:
+            yield None
+            return
+        from repro.obs import ObsSession
+
+        with ObsSession(port=port) as session:
+            print(f"serving metrics at {session.url}/metrics "
+                  f"(dashboard {session.url}/)", file=sys.stderr)
+            sink = session.sink()
+            try:
+                yield sink
+            finally:
+                sink.close()
+
+    return _ctx()
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace import get_scenario, run_traced
 
@@ -121,11 +150,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     elif args.scalar:
         fast = False
     out = args.out or f"{scenario.name}.trace.jsonl"
-    summary = run_traced(
-        scenario, out, fast=fast, engine=args.engine, init=args.init,
-        profile=args.profile, perturb_batch=args.perturb_batch,
-        backend=args.backend,
-    )
+    with _serving_metrics(args) as telemetry:
+        summary = run_traced(
+            scenario, out, fast=fast, engine=args.engine, init=args.init,
+            profile=args.profile, perturb_batch=args.perturb_batch,
+            backend=args.backend, telemetry=telemetry,
+        )
     print(f"traced scenario {scenario.name}: n={scenario.n} k={scenario.k} "
           f"batch={scenario.batch}x{scenario.n_batches}")
     print(f"rounds={summary['rounds']} messages={summary['messages']} "
@@ -198,10 +228,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             reorder=args.reorder,
             crashes=FaultPlan.parse_crashes(args.crashes or ""),
         )
-    summary = run_chaos(
-        scenario, plan, checkpoint_every=args.checkpoint_every,
-        engine=args.engine, sink=args.out, backend=args.backend,
-    )
+    with _serving_metrics(args) as telemetry:
+        summary = run_chaos(
+            scenario, plan, checkpoint_every=args.checkpoint_every,
+            engine=args.engine, sink=args.out, backend=args.backend,
+            telemetry=telemetry,
+        )
     print(f"chaos scenario {scenario.name}: n={scenario.n} k={scenario.k} "
           f"batch={scenario.batch}x{scenario.n_batches}")
     spec = summary["plan"]
@@ -226,6 +258,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               "sequential oracle", file=sys.stderr)
         return 1
     print("all batches match the sequential oracle; consistency check passed")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs import watch_scenario
+    from repro.trace import get_scenario
+
+    try:
+        get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    def on_ready(session) -> None:  # noqa: ANN001 - CLI callback
+        print(f"watching {args.scenario}: dashboard {session.url}/  "
+              f"metrics {session.url}/metrics")
+        if args.loops == 0:
+            print("looping until interrupted (Ctrl-C to stop)")
+
+    def on_loop(i: int, summary) -> None:  # noqa: ANN001 - CLI callback
+        print(f"loop {i}: rounds={summary['rounds']} "
+              f"words={summary['words']} digest={summary['digest'][:16]}")
+
+    report = watch_scenario(
+        args.scenario, host=args.host, port=args.port, loops=args.loops,
+        engine=args.engine, init=args.init, backend=args.backend,
+        envelope=args.envelope, on_ready=on_ready, on_loop=on_loop,
+    )
+    snap = report["snapshot"]
+    print(f"stopped after {report['loops']} loop(s); "
+          f"{snap['totals']['rounds']} rounds, "
+          f"{snap['bus']['events']} bus events "
+          f"({snap['bus']['dropped']} dropped)")
     return 0
 
 
@@ -312,6 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--perturb-batch", type=int, default=None,
                        help="charge one extra round before this batch index "
                             "(seeded fault for trace-diff demos)")
+    trace.add_argument("--serve-metrics", type=int, default=None, const=0,
+                       nargs="?", metavar="PORT",
+                       help="serve live /metrics and the dashboard while the "
+                            "run executes (default port: auto)")
     trace.set_defaults(fn=_cmd_trace)
 
     report = sub.add_parser(
@@ -365,7 +434,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("-o", "--out", default=None,
                        help="record the run (incl. fault/recovery events) "
                             "to this JSONL trace")
+    chaos.add_argument("--serve-metrics", type=int, default=None, const=0,
+                       nargs="?", metavar="PORT",
+                       help="serve live /metrics and the dashboard while the "
+                            "run executes (default port: auto)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    watch = sub.add_parser(
+        "watch",
+        help="loop a scenario with the live dashboard/metrics server up",
+    )
+    watch.add_argument("scenario",
+                       help="scenario name (see repro.trace.scenarios.SCENARIOS)")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=0,
+                       help="HTTP port (default: pick a free one)")
+    watch.add_argument("--loops", type=int, default=0,
+                       help="runs of the scenario (0 = until interrupted)")
+    watch.add_argument("--engine", default="sample_gather",
+                       choices=["boruvka", "lotker", "sample_gather"])
+    watch.add_argument("--init", choices=["distributed", "free"], default=None,
+                       help="override the scenario's init mode")
+    watch.add_argument("--backend", default=None, metavar="NAME",
+                       help="execution backend: reference, inproc-columnar, "
+                            "or parallel")
+    watch.add_argument("--envelope", type=int, default=None,
+                       help="rounds allowed per ceil(batch/capacity) unit "
+                            "(default: repro.trace.budgets.DEFAULT_ENVELOPE)")
+    watch.set_defaults(fn=_cmd_watch)
 
     lb = sub.add_parser("lowerbound", help="run the Theorem 7.1 adversary")
     lb.add_argument("--n", type=int, default=150)

@@ -23,6 +23,7 @@ def run_chaos(
     engine: str = "sample_gather",
     sink: Optional[Union[str, IO[str]]] = None,
     backend: Optional[str] = None,
+    telemetry: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run ``scenario``'s churn workload under ``plan``; return a summary.
 
@@ -35,6 +36,9 @@ def run_chaos(
     decisions always run in the parent process — the plane path routes
     per-message while a hook is enabled — so injection stays
     seeded-deterministic under every backend.
+    ``telemetry`` is an extra :class:`~repro.sim.metrics.TraceSink`
+    (typically a :class:`repro.obs.BusSink`) teed alongside the file
+    recorder; teeing never changes file bytes or ledger digests.
 
     The summary's ``ok`` is True iff the maintained forest weight and
     edge multiset matched the oracle after *every* batch and the final
@@ -67,11 +71,17 @@ def run_chaos(
                 "fault_plan": plan.to_spec(),
             },
         )
+    if rec is not None and telemetry is not None:
+        from repro.obs.sink import TeeSink
+
+        trace_sink: Optional[Any] = TeeSink(rec, telemetry)
+    else:
+        trace_sink = rec if rec is not None else telemetry
     if backend is None:
         backend = getattr(scenario, "backend", None)
     dm = DynamicMST.build(
-        graph, scenario.k, rng=rng, init=scenario.init, engine=engine, trace=rec,
-        backend=backend,
+        graph, scenario.k, rng=rng, init=scenario.init, engine=engine,
+        trace=trace_sink, backend=backend,
     )
     mirror = graph.copy()
     batches: List[Dict[str, Any]] = []
@@ -117,7 +127,8 @@ def run_chaos(
                 "batches": batches,
             }
     finally:
-        if rec is not None:
+        if trace_sink is not None:
             dm.detach_trace()
+        if rec is not None:
             rec.close()
     return summary

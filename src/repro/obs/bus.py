@@ -1,0 +1,148 @@
+"""The telemetry bus: bounded in-process pub/sub over a ring buffer.
+
+:class:`TelemetryBus` is the fan-out point of the live observability
+layer.  A single producer (the simulator thread, via
+:class:`~repro.obs.sink.BusSink`) publishes event dicts; any number of
+subscribers (a :class:`~repro.obs.registry.MetricsRegistry`, the HTTP
+server's scrape handlers, tests) poll them at their own pace.
+
+The design constraint is the same one the trace recorder lives under:
+**telemetry must never stall the simulator.**  So the bus is
+
+* *bounded* — a preallocated ring of ``capacity`` slots; publishing is
+  one slot write + one counter increment, no allocation, no locks, no
+  waiting;
+* *lossy per subscriber* — a subscriber that falls more than
+  ``capacity`` events behind loses the overwritten events and its
+  :attr:`Subscription.dropped` counter says exactly how many.  The
+  producer never blocks, never sheds its own events, and never sees the
+  subscribers at all;
+* *lock-free* — correctness rides on the CPython memory model: the slot
+  store happens-before the cursor increment, both are atomic under the
+  GIL, and readers re-check the cursor after reading a slot to discard
+  torn (lapped) reads.
+
+Events are plain dicts shaped exactly like trace-file events (``type``,
+``seq``, payload fields) plus the ambient ``wall_ns`` stamp, so every
+consumer of :mod:`repro.trace.events` schemas can read bus traffic
+unchanged.  Publishers must treat a published dict as frozen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Default ring capacity — a few complete smoke scenarios' worth of
+#: events; scrape-rate consumers lag by far less.
+DEFAULT_CAPACITY = 8192
+
+
+class Subscription:
+    """One subscriber's read position on a :class:`TelemetryBus`.
+
+    Created by :meth:`TelemetryBus.subscribe`.  :meth:`poll` returns
+    every event published since the previous poll that is still in the
+    ring; events the subscriber was too slow to see are counted in
+    :attr:`dropped` (and in the bus-wide total) instead of blocking the
+    producer.
+    """
+
+    def __init__(self, bus: "TelemetryBus", name: str, start: int) -> None:
+        self.bus = bus
+        self.name = name
+        #: Cursor of the next event to read (monotone, bus-wide).
+        self.position = start
+        #: Events overwritten before this subscriber read them.
+        self.dropped = 0
+        self.closed = False
+
+    def pending(self) -> int:
+        """Events published and not yet polled (including any now lost)."""
+        return self.bus.published - self.position
+
+    def poll(self, max_events: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Drain available events, oldest first; never blocks.
+
+        ``max_events`` caps one drain (the rest stay for the next poll);
+        the cap applies after accounting for anything already lost.
+        """
+        if self.closed:
+            return []
+        bus = self.bus
+        cursor = bus.published
+        start = self.position
+        lost = cursor - start - bus.capacity
+        if lost > 0:
+            # The producer lapped us: the oldest `lost` events are gone.
+            self.dropped += lost
+            start += lost
+        if max_events is not None and cursor - start > max_events:
+            cursor = start + max_events
+        out: List[Dict[str, Any]] = []
+        ring = bus._ring
+        capacity = bus.capacity
+        for i in range(start, cursor):
+            event = ring[i % capacity]
+            if bus.published - i > capacity:
+                # Lapped mid-read; the slot no longer holds event i.
+                self.dropped += 1
+                continue
+            if event is not None:
+                out.append(event)
+        self.position = cursor
+        return out
+
+    def close(self) -> None:
+        self.closed = True
+        self.bus._detach(self)
+
+
+class TelemetryBus:
+    """Bounded, drop-counting, in-process event fan-out (single producer)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("bus capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[Optional[Dict[str, Any]]] = [None] * capacity
+        #: Total events ever published (monotone; ring index modulo capacity).
+        self.published = 0
+        self._subscriptions: List[Subscription] = []
+
+    # -- producer side -------------------------------------------------
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Store one event; O(1), lock-free, never blocks or raises.
+
+        The slot write lands before the cursor increment (program order
+        under the GIL), so a reader that observes the new cursor value
+        observes the event too.
+        """
+        self._ring[self.published % self.capacity] = event
+        self.published += 1
+
+    # -- consumer side -------------------------------------------------
+    def subscribe(self, name: str = "subscriber") -> Subscription:
+        """Attach a new subscriber positioned at the current cursor."""
+        sub = Subscription(self, name, start=self.published)
+        self._subscriptions.append(sub)
+        return sub
+
+    def _detach(self, sub: Subscription) -> None:
+        try:
+            self._subscriptions.remove(sub)
+        except ValueError:
+            pass
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._subscriptions)
+
+    def dropped_total(self) -> int:
+        """Events lost across all live subscribers (slow-consumer tally)."""
+        return sum(sub.dropped for sub in self._subscriptions)
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryBus(capacity={self.capacity}, "
+            f"published={self.published}, subscribers={self.subscribers})"
+        )

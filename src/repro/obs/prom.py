@@ -1,0 +1,166 @@
+"""Prometheus text exposition, shared by every scrape surface.
+
+One formatter serves both the post-hoc report
+(:func:`repro.trace.report.to_prometheus`) and the live ``/metrics``
+endpoint (:class:`repro.obs.server.ObsServer`), so the two surfaces can
+never drift: same ``# HELP``/``# TYPE`` headers, same label escaping,
+same value formatting.
+
+The model is the subset of the exposition format the repo needs:
+
+* :class:`MetricFamily` — one metric name with its type (``counter``,
+  ``gauge`` or ``histogram``) and help text;
+* :class:`Sample` — one sample line: optional labels plus a value.
+
+Histograms are pre-bucketed by the caller and rendered as the standard
+``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: The exposition types this formatter speaks.
+VALID_TYPES = ("counter", "gauge", "histogram", "untyped")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (\\\\, \\", \\n)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value: Number) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, bool):  # bool is an int; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    value: Number
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+    @staticmethod
+    def of(value: Number, **labels: object) -> "Sample":
+        return Sample(
+            value=value,
+            labels=tuple((k, str(v)) for k, v in labels.items()),
+        )
+
+    def render(self, name: str) -> str:
+        if not self.labels:
+            return f"{name} {format_value(self.value)}"
+        inner = ",".join(
+            f'{k}="{escape_label_value(v)}"' for k, v in self.labels
+        )
+        return f"{name}{{{inner}}} {format_value(self.value)}"
+
+
+@dataclass
+class MetricFamily:
+    """One named metric: type, help text, and its sample lines."""
+
+    name: str
+    mtype: str
+    help: str
+    samples: List[Sample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mtype not in VALID_TYPES:
+            raise ValueError(
+                f"metric type {self.mtype!r} not in {VALID_TYPES}"
+            )
+
+    def add(self, value: Number, **labels: object) -> "MetricFamily":
+        self.samples.append(Sample.of(value, **labels))
+        return self
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.mtype}",
+        ]
+        if not self.samples:
+            # An empty family still scrapes as a present-but-zero series.
+            lines.append(f"{self.name} 0")
+            return lines
+        lines.extend(sample.render(self.name) for sample in self.samples)
+        return lines
+
+
+def histogram_family(
+    name: str,
+    help_text: str,
+    bucket_counts: Dict[float, int],
+    total_sum: Number,
+    total_count: int,
+    labels: Optional[Dict[str, str]] = None,
+) -> MetricFamily:
+    """Build a histogram family from per-bucket (non-cumulative) counts.
+
+    ``bucket_counts`` maps each upper bound to the observations that
+    landed in that bucket; the renderer accumulates them and appends the
+    ``+Inf`` bucket, ``_sum`` and ``_count`` per the exposition format.
+    """
+    base = dict(labels or {})
+    fam = MetricFamily(name, "histogram", help_text)
+    cumulative = 0
+    for bound in sorted(bucket_counts):
+        cumulative += bucket_counts[bound]
+        bound_text = format_value(bound)
+        fam.samples.append(
+            Sample.of(cumulative, **base, le=bound_text)
+        )
+    fam.samples.append(Sample.of(total_count, **base, le="+Inf"))
+    # _sum and _count render under suffixed names; mark them in-band and
+    # let render_families expand (keeps MetricFamily a single name).
+    fam.samples.append(Sample.of(total_sum, __suffix__="_sum", **base))
+    fam.samples.append(Sample.of(total_count, __suffix__="_count", **base))
+    return fam
+
+
+def _render_histogram(fam: MetricFamily) -> List[str]:
+    lines = [
+        f"# HELP {fam.name} {fam.help}",
+        f"# TYPE {fam.name} histogram",
+    ]
+    for sample in fam.samples:
+        labels = dict(sample.labels)
+        suffix = labels.pop("__suffix__", None)
+        if suffix is not None:
+            name = fam.name + suffix
+            rendered = Sample(
+                value=sample.value, labels=tuple(labels.items())
+            ).render(name)
+        else:
+            rendered = Sample(
+                value=sample.value, labels=tuple(labels.items())
+            ).render(fam.name + "_bucket")
+        lines.append(rendered)
+    return lines
+
+
+def render_families(families: Sequence[MetricFamily]) -> str:
+    """The full scrape body for a sequence of metric families."""
+    lines: List[str] = []
+    for fam in families:
+        if fam.mtype == "histogram":
+            lines.extend(_render_histogram(fam))
+        else:
+            lines.extend(fam.render())
+    return "\n".join(lines) + "\n"

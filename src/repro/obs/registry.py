@@ -1,0 +1,541 @@
+"""The metrics registry: bus events in, counters/gauges/histograms out.
+
+A :class:`MetricsRegistry` subscribes to a
+:class:`~repro.obs.bus.TelemetryBus` and folds the event stream into
+the live operational state the ROADMAP dashboard asks for:
+
+* throughput — cumulative rounds/messages/words plus a **rounds/sec**
+  gauge over the run's wall-clock window;
+* balance — per-machine cumulative send/recv words and their **skew**
+  (max/mean), the quantity the Lenzen-routing assumptions keep near 1;
+* latency — **batch histograms** in both charged rounds and wall
+  seconds;
+* headroom — the live **theorem-budget headroom** per batch, from
+  :func:`repro.trace.budgets.budget_for_run` (positive: rounds to
+  spare under the envelope; negative: over budget);
+* chaos — fault/retry/crash/checkpoint/recovery counters;
+* the worker pool — per-worker dispatch/barrier-wait time, shm slab
+  bytes, inline-fallback counts (the ``pool_*`` events);
+* the bus itself — events seen and events dropped on the floor because
+  this consumer was too slow.
+
+Aggregation happens on :meth:`pump` (called by every ``collect``/
+``snapshot``), so the registry needs no thread of its own: the HTTP
+scrape is the scheduler.  Nothing here ever touches the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.bus import Subscription, TelemetryBus
+from repro.obs.prom import MetricFamily, histogram_family
+from repro.trace.budgets import RoundBudget, budget_for_run
+
+#: Bucket bounds for batch cost in charged rounds.
+BATCH_ROUND_BUCKETS: Tuple[float, ...] = (
+    64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+)
+#: Bucket bounds for batch latency in wall seconds.
+BATCH_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+#: Bucket bounds for one pool dispatch in wall seconds.
+POOL_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+)
+
+#: How many finished batches the JSON snapshot keeps for the dashboard.
+RECENT_BATCH_WINDOW = 50
+
+
+class Histogram:
+    """Fixed-bucket histogram (counts per bound, plus sum and count)."""
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts: Dict[float, int] = {b: 0 for b in self.bounds}
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for bound in self.bounds:
+            if value <= bound:
+                self.counts[bound] += 1
+                break
+
+    def family(self, name: str, help_text: str) -> MetricFamily:
+        return histogram_family(
+            name, help_text, self.counts, round(self.total, 9), self.count
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": {str(b): self.counts[b] for b in self.bounds},
+            "sum": round(self.total, 9),
+            "count": self.count,
+        }
+
+
+def _skew(loads: Sequence[int]) -> float:
+    positive = [x for x in loads if x > 0]
+    if not positive:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean > 0 else 1.0
+
+
+def _grow_to(vec: List[int], n: int) -> None:
+    if len(vec) < n:
+        vec.extend([0] * (n - len(vec)))
+
+
+class MetricsRegistry:
+    """Folds telemetry-bus events into scrapeable metric families."""
+
+    def __init__(
+        self,
+        bus: Optional[TelemetryBus] = None,
+        envelope: Optional[int] = None,
+    ) -> None:
+        self.bus = bus
+        self.envelope = envelope
+        self._sub: Optional[Subscription] = (
+            bus.subscribe("metrics-registry") if bus is not None else None
+        )
+        # throughput
+        self.rounds = 0
+        self.messages = 0
+        self.words = 0
+        self.charges = 0
+        self.supersteps = 0
+        self.engines: Dict[str, int] = {}
+        self.events_seen = 0
+        # wall-clock window (from event wall_ns stamps; None until seen)
+        self.first_wall_ns: Optional[int] = None
+        self.last_wall_ns: Optional[int] = None
+        # balance
+        self.send_words: List[int] = []
+        self.recv_words: List[int] = []
+        self.size_hist: Dict[int, int] = {}
+        # phases (same attribution rule as the ledger)
+        self.phase_rounds: Dict[str, int] = {}
+        self.phase_words: Dict[str, int] = {}
+        # batches / budget
+        self.run_meta: Dict[str, Any] = {}
+        self.budget: Optional[RoundBudget] = None
+        self.batches = 0
+        self.budget_violations = 0
+        self.last_headroom: Optional[int] = None
+        self.min_headroom: Optional[int] = None
+        self.batch_rounds = Histogram(BATCH_ROUND_BUCKETS)
+        self.batch_seconds = Histogram(BATCH_SECONDS_BUCKETS)
+        self.recent_batches: List[Dict[str, Any]] = []
+        self._open_batch_wall_ns: Optional[int] = None
+        # chaos
+        self.violations = 0
+        self.faults: Dict[str, int] = {}
+        self.crashes = 0
+        self.restarts = 0
+        self.checkpoints = 0
+        self.recoveries = 0
+        self.recovery_rounds = 0
+        self.replayed_batches = 0
+        # worker pool
+        self.pool_workers = 0
+        self.pool_start_method: Optional[str] = None
+        self.pool_dispatches: Dict[str, int] = {}
+        self.pool_dispatch_seconds = Histogram(POOL_SECONDS_BUCKETS)
+        self.pool_rows = 0
+        self.pool_worker_wait_ns: List[int] = []
+        self.pool_slab_bytes = 0
+        self.pool_fallbacks: Dict[str, int] = {}
+        # lifecycle
+        self.runs_started = 0
+        self.runs_ended = 0
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def pump(self, max_events: Optional[int] = None) -> int:
+        """Drain and fold pending bus events; returns how many."""
+        if self._sub is None:
+            return 0
+        events = self._sub.poll(max_events)
+        for event in events:
+            self.apply(event)
+        return len(events)
+
+    def apply(self, event: Dict[str, Any]) -> None:
+        """Fold one event (public so tests can feed events directly)."""
+        self.events_seen += 1
+        wall = event.get("wall_ns")
+        if isinstance(wall, int):
+            if self.first_wall_ns is None:
+                self.first_wall_ns = wall
+            self.last_wall_ns = wall
+        etype = event.get("type")
+        handler = getattr(self, f"_on_{etype}", None)
+        if handler is not None:
+            handler(event)
+
+    # -- event handlers (one per type; unknown types are ignored) -------
+    def _on_run_start(self, event: Dict[str, Any]) -> None:
+        self.runs_started += 1
+        self.run_meta = {
+            k: v for k, v in event.items()
+            if k not in ("type", "seq", "wall_ns")
+        }
+        self.budget = budget_for_run(self.run_meta, envelope=self.envelope)
+
+    def _on_run_end(self, event: Dict[str, Any]) -> None:
+        self.runs_ended += 1
+
+    def _on_superstep(self, event: Dict[str, Any]) -> None:
+        self._fold_charge(event)
+        self.supersteps += 1
+        engine = str(event.get("engine", "?"))
+        self.engines[engine] = self.engines.get(engine, 0) + 1
+        send = [int(x) for x in event.get("send", ())]
+        recv = [int(x) for x in event.get("recv", ())]
+        _grow_to(self.send_words, len(send))
+        _grow_to(self.recv_words, len(recv))
+        for i, w in enumerate(send):
+            self.send_words[i] += w
+        for i, w in enumerate(recv):
+            self.recv_words[i] += w
+        for wstr, count in (event.get("sizes") or {}).items():
+            w = int(wstr)
+            self.size_hist[w] = self.size_hist.get(w, 0) + int(count)
+
+    def _on_charge(self, event: Dict[str, Any]) -> None:
+        self._fold_charge(event)
+
+    def _fold_charge(self, event: Dict[str, Any]) -> None:
+        rounds = int(event["rounds"])
+        words = int(event["words"])
+        self.charges += 1
+        self.rounds += rounds
+        self.messages += int(event["messages"])
+        self.words += words
+        for name in event.get("phases", ()):
+            self.phase_rounds[name] = self.phase_rounds.get(name, 0) + rounds
+            self.phase_words[name] = self.phase_words.get(name, 0) + words
+
+    def _on_batch_start(self, event: Dict[str, Any]) -> None:
+        wall = event.get("wall_ns")
+        self._open_batch_wall_ns = wall if isinstance(wall, int) else None
+
+    def _on_batch_end(self, event: Dict[str, Any]) -> None:
+        self.batches += 1
+        size = int(event["size"])
+        mode = str(event["mode"])
+        rounds = int(event["rounds"])
+        self.batch_rounds.observe(float(rounds))
+        wall = event.get("wall_ns")
+        seconds: Optional[float] = None
+        if isinstance(wall, int) and self._open_batch_wall_ns is not None:
+            seconds = max(0.0, (wall - self._open_batch_wall_ns) / 1e9)
+            self.batch_seconds.observe(seconds)
+        self._open_batch_wall_ns = None
+        headroom: Optional[int] = None
+        if self.budget is not None:
+            allowed = self.budget.batch_budget(size, mode)
+            headroom = allowed - rounds
+            self.last_headroom = headroom
+            self.min_headroom = (
+                headroom if self.min_headroom is None
+                else min(self.min_headroom, headroom)
+            )
+            if headroom < 0:
+                self.budget_violations += 1
+        self.recent_batches.append(
+            {
+                "size": size, "mode": mode, "rounds": rounds,
+                "words": int(event["words"]),
+                "seconds": None if seconds is None else round(seconds, 6),
+                "headroom": headroom,
+            }
+        )
+        del self.recent_batches[:-RECENT_BATCH_WINDOW]
+
+    def _on_violation(self, event: Dict[str, Any]) -> None:
+        self.violations += 1
+
+    def _on_fault(self, event: Dict[str, Any]) -> None:
+        for kind, count in (event.get("kinds") or {}).items():
+            self.faults[str(kind)] = self.faults.get(str(kind), 0) + int(count)
+
+    def _on_machine_crash(self, event: Dict[str, Any]) -> None:
+        self.crashes += 1
+
+    def _on_machine_restart(self, event: Dict[str, Any]) -> None:
+        self.restarts += 1
+
+    def _on_checkpoint(self, event: Dict[str, Any]) -> None:
+        self.checkpoints += 1
+
+    def _on_recovery_end(self, event: Dict[str, Any]) -> None:
+        self.recoveries += 1
+        self.recovery_rounds += int(event["rounds"])
+        self.replayed_batches += int(event["replayed"])
+
+    def _on_pool_start(self, event: Dict[str, Any]) -> None:
+        self.pool_workers = int(event["workers"])
+        self.pool_start_method = str(event["start_method"])
+
+    def _on_pool_stop(self, event: Dict[str, Any]) -> None:
+        self.pool_workers = 0
+
+    def _on_pool_dispatch(self, event: Dict[str, Any]) -> None:
+        kind = str(event["kind"])
+        self.pool_dispatches[kind] = self.pool_dispatches.get(kind, 0) + 1
+        self.pool_rows += int(event["rows"])
+        work_ns = event.get("work_ns")
+        if isinstance(work_ns, int):
+            self.pool_dispatch_seconds.observe(work_ns / 1e9)
+        waits = event.get("wait_ns")
+        if waits:
+            _grow_to(self.pool_worker_wait_ns, len(waits))
+            for i, w in enumerate(waits):
+                self.pool_worker_wait_ns[i] += int(w)
+        slab = event.get("slab_bytes")
+        if isinstance(slab, int):
+            self.pool_slab_bytes = slab
+
+    def _on_pool_fallback(self, event: Dict[str, Any]) -> None:
+        kind = str(event["kind"])
+        self.pool_fallbacks[kind] = self.pool_fallbacks.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # derived gauges
+    # ------------------------------------------------------------------
+    @property
+    def send_skew(self) -> float:
+        return _skew(self.send_words)
+
+    @property
+    def recv_skew(self) -> float:
+        return _skew(self.recv_words)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self.first_wall_ns is None or self.last_wall_ns is None:
+            return 0.0
+        return max(0.0, (self.last_wall_ns - self.first_wall_ns) / 1e9)
+
+    @property
+    def rounds_per_second(self) -> float:
+        elapsed = self.elapsed_seconds
+        return self.rounds / elapsed if elapsed > 0 else 0.0
+
+    def dropped_events(self) -> int:
+        return self._sub.dropped if self._sub is not None else 0
+
+    # ------------------------------------------------------------------
+    # export surfaces
+    # ------------------------------------------------------------------
+    def collect(self) -> List[MetricFamily]:
+        """Pump the bus, then emit every family (the /metrics body)."""
+        self.pump()
+        fams: List[MetricFamily] = []
+
+        def counter(name: str, help_text: str) -> MetricFamily:
+            fam = MetricFamily(name, "counter", help_text)
+            fams.append(fam)
+            return fam
+
+        def gauge(name: str, help_text: str) -> MetricFamily:
+            fam = MetricFamily(name, "gauge", help_text)
+            fams.append(fam)
+            return fam
+
+        counter("repro_rounds_total",
+                "Synchronous rounds charged on the ledger").add(self.rounds)
+        counter("repro_messages_total", "Messages delivered").add(self.messages)
+        counter("repro_words_total", "Words moved").add(self.words)
+        counter("repro_charges_total", "Ledger charges recorded").add(self.charges)
+        fam = counter("repro_supersteps_total",
+                      "Communication supersteps by engine")
+        for name, count in sorted(self.engines.items()):
+            fam.add(count, engine=name)
+        gauge("repro_rounds_per_second",
+              "Charged rounds per wall second over the run window"
+              ).add(round(self.rounds_per_second, 3))
+
+        fam = counter("repro_phase_rounds_total",
+                      "Rounds attributed to each ledger phase")
+        for name in sorted(self.phase_rounds):
+            fam.add(self.phase_rounds[name], phase=name)
+        fam = counter("repro_phase_words_total",
+                      "Words attributed to each ledger phase")
+        for name in sorted(self.phase_words):
+            fam.add(self.phase_words[name], phase=name)
+
+        fam = counter("repro_machine_send_words_total",
+                      "Cumulative words sent per machine")
+        for i, w in enumerate(self.send_words):
+            fam.add(w, machine=i)
+        fam = counter("repro_machine_recv_words_total",
+                      "Cumulative words received per machine")
+        for i, w in enumerate(self.recv_words):
+            fam.add(w, machine=i)
+        gauge("repro_machine_send_skew",
+              "Max/mean skew of cumulative per-machine send words"
+              ).add(round(self.send_skew, 4))
+        gauge("repro_machine_recv_skew",
+              "Max/mean skew of cumulative per-machine recv words"
+              ).add(round(self.recv_skew, 4))
+        fam = counter("repro_message_size_count",
+                      "Messages by declared word size")
+        for w, c in sorted(self.size_hist.items()):
+            fam.add(c, words=w)
+
+        counter("repro_batches_total", "Update batches applied").add(self.batches)
+        fams.append(self.batch_rounds.family(
+            "repro_batch_rounds",
+            "Charged rounds per applied batch"))
+        fams.append(self.batch_seconds.family(
+            "repro_batch_duration_seconds",
+            "Wall-clock latency per applied batch"))
+        if self.last_headroom is not None:
+            gauge("repro_budget_headroom_rounds",
+                  "Theorem-budget headroom of the latest batch "
+                  "(envelope minus measured rounds; negative = over budget)"
+                  ).add(self.last_headroom)
+        if self.min_headroom is not None:
+            gauge("repro_budget_headroom_rounds_min",
+                  "Worst theorem-budget headroom seen this run"
+                  ).add(self.min_headroom)
+        counter("repro_batch_budget_violations_total",
+                "Batches whose measured rounds exceeded the theorem envelope"
+                ).add(self.budget_violations)
+
+        counter("repro_strict_violations_total",
+                "Strict-mode violations recorded").add(self.violations)
+        fam = counter("repro_faults_total",
+                      "Injected transport faults by kind")
+        for kind, count in sorted(self.faults.items()):
+            fam.add(count, kind=kind)
+        counter("repro_machine_crashes_total",
+                "Fail-stop machine crashes").add(self.crashes)
+        counter("repro_machine_restarts_total",
+                "Machine restarts after a crash").add(self.restarts)
+        counter("repro_checkpoints_total",
+                "Coordinated checkpoints taken").add(self.checkpoints)
+        counter("repro_recoveries_total",
+                "Rollback-replay recoveries completed").add(self.recoveries)
+        counter("repro_recovery_rounds_total",
+                "Rounds spent in crash-recovery rollback/replay"
+                ).add(self.recovery_rounds)
+
+        gauge("repro_pool_workers",
+              "Live worker processes in the kernel pool").add(self.pool_workers)
+        fam = counter("repro_pool_dispatches_total",
+                      "Kernel-pool dispatches by kind")
+        for kind, count in sorted(self.pool_dispatches.items()):
+            fam.add(count, kind=kind)
+        counter("repro_pool_rows_total",
+                "Rows shipped through the kernel pool").add(self.pool_rows)
+        fams.append(self.pool_dispatch_seconds.family(
+            "repro_pool_dispatch_duration_seconds",
+            "Wall-clock latency of one pool dispatch (load, barrier, read-back)"))
+        fam = counter("repro_pool_worker_wait_seconds_total",
+                      "Cumulative barrier wait per pool worker")
+        for i, ns in enumerate(self.pool_worker_wait_ns):
+            fam.add(round(ns / 1e9, 9), worker=i)
+        gauge("repro_pool_slab_bytes",
+              "Shared-memory slab bytes currently mapped by the pool"
+              ).add(self.pool_slab_bytes)
+        fam = counter("repro_pool_fallbacks_total",
+                      "Kernel dispatches that fell back inline by kind")
+        for kind, count in sorted(self.pool_fallbacks.items()):
+            fam.add(count, kind=kind)
+
+        counter("repro_bus_events_total",
+                "Telemetry-bus events folded into this registry"
+                ).add(self.events_seen)
+        counter("repro_bus_dropped_events_total",
+                "Bus events lost because this consumer lagged the ring"
+                ).add(self.dropped_events())
+        return fams
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pump the bus, then emit the dashboard's JSON state."""
+        self.pump()
+        return {
+            "schema": "repro-obs-snapshot/1",
+            "run": self.run_meta,
+            "runs": {"started": self.runs_started, "ended": self.runs_ended},
+            "totals": {
+                "rounds": self.rounds,
+                "messages": self.messages,
+                "words": self.words,
+                "charges": self.charges,
+                "supersteps": self.supersteps,
+                "batches": self.batches,
+            },
+            "rates": {
+                "rounds_per_second": round(self.rounds_per_second, 3),
+                "elapsed_seconds": round(self.elapsed_seconds, 3),
+            },
+            "machines": {
+                "send_words": self.send_words,
+                "recv_words": self.recv_words,
+                "send_skew": round(self.send_skew, 4),
+                "recv_skew": round(self.recv_skew, 4),
+            },
+            "engines": self.engines,
+            "phases": {
+                name: {
+                    "rounds": self.phase_rounds[name],
+                    "words": self.phase_words.get(name, 0),
+                }
+                for name in sorted(self.phase_rounds)
+            },
+            "budget": {
+                "describe": (
+                    self.budget.describe() if self.budget is not None else None
+                ),
+                "last_headroom": self.last_headroom,
+                "min_headroom": self.min_headroom,
+                "violations": self.budget_violations,
+            },
+            "batches": self.recent_batches,
+            "batch_rounds": self.batch_rounds.as_dict(),
+            "batch_seconds": self.batch_seconds.as_dict(),
+            "chaos": {
+                "faults": dict(sorted(self.faults.items())),
+                "crashes": self.crashes,
+                "restarts": self.restarts,
+                "checkpoints": self.checkpoints,
+                "recoveries": self.recoveries,
+                "recovery_rounds": self.recovery_rounds,
+                "replayed_batches": self.replayed_batches,
+                "strict_violations": self.violations,
+            },
+            "pool": {
+                "workers": self.pool_workers,
+                "start_method": self.pool_start_method,
+                "dispatches": dict(sorted(self.pool_dispatches.items())),
+                "rows": self.pool_rows,
+                "dispatch_seconds": self.pool_dispatch_seconds.as_dict(),
+                "worker_wait_seconds": [
+                    round(ns / 1e9, 6) for ns in self.pool_worker_wait_ns
+                ],
+                "slab_bytes": self.pool_slab_bytes,
+                "fallbacks": dict(sorted(self.pool_fallbacks.items())),
+            },
+            "bus": {
+                "events": self.events_seen,
+                "dropped": self.dropped_events(),
+                "published": self.bus.published if self.bus else None,
+            },
+        }
+
+    def close(self) -> None:
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None

@@ -1,0 +1,141 @@
+"""The obs server: stdlib HTTP endpoints over a metrics registry.
+
+:class:`ObsServer` wraps a :class:`~repro.obs.registry.MetricsRegistry`
+in a daemon-threaded :class:`http.server.ThreadingHTTPServer`:
+
+* ``GET /metrics``  — Prometheus text exposition (shared formatter);
+* ``GET /healthz``  — liveness JSON (also reports bus drop counts);
+* ``GET /snapshot`` — the dashboard's JSON state;
+* ``GET /``         — the single-file HTML dashboard.
+
+The server only ever *reads* registry state (each handler pumps the bus
+subscription first); the simulator never waits on it.  Binding port 0
+picks a free port — ``server.port``/``server.url`` report the real one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs.dashboard import DASHBOARD_HTML
+from repro.obs.prom import render_families
+from repro.obs.registry import MetricsRegistry
+
+#: Prometheus exposition content type (text format, version 0.0.4).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; one registry pump per request."""
+
+    server: "_ObsHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_families(self.server.registry.collect())
+                self._reply(200, PROM_CONTENT_TYPE, body.encode())
+            elif path == "/healthz":
+                self._reply_json(200, self.server.health())
+            elif path == "/snapshot":
+                self._reply_json(200, self.server.registry.snapshot())
+            elif path in ("/", "/index.html"):
+                self._reply(200, "text/html; charset=utf-8",
+                            DASHBOARD_HTML.encode())
+            else:
+                self._reply_json(404, {"error": f"no route {path!r}"})
+        except BrokenPipeError:  # client went away mid-reply
+            pass
+
+    def _reply(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._reply(
+            status, "application/json; charset=utf-8",
+            json.dumps(payload, separators=(",", ":")).encode(),
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes are periodic; default per-request stderr lines would
+        # drown the CLI output the server rides alongside.
+        pass
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    registry: MetricsRegistry
+    started_monotonic: float
+
+    def health(self) -> Dict[str, Any]:
+        reg = self.registry
+        reg.pump()
+        return {
+            "status": "ok",
+            "events": reg.events_seen,
+            "dropped": reg.dropped_events(),
+            "runs_started": reg.runs_started,
+            "runs_ended": reg.runs_ended,
+        }
+
+
+class ObsServer:
+    """A daemon-threaded metrics/dashboard server over one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self._httpd = _ObsHTTPServer((host, port), _Handler)
+        self._httpd.registry = registry
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,211 @@
+"""Trace sinks that feed the telemetry bus.
+
+:class:`BusSink` is the live twin of
+:class:`repro.trace.recorder.TraceRecorder`: it implements the same
+:class:`~repro.sim.metrics.TraceSink` hook protocol and shapes the same
+schema-versioned events (see :mod:`repro.trace.events`), but instead of
+writing JSON lines it publishes the event dicts onto a
+:class:`~repro.obs.bus.TelemetryBus`.  Because a ledger has a single
+``recorder`` slot, :class:`TeeSink` fans one ledger out to several
+sinks — in practice a file recorder *and* a bus sink — so recording to
+disk and watching live are not mutually exclusive.
+
+Bus events carry a ``wall_ns`` ambient stamp (the registry needs real
+time to compute rates and latencies).  That is safe by construction:
+bus traffic never reaches a digest — ledger digests hash only the
+charge transcript, trace-file bytes come only from the file recorder,
+and ambient fields are stripped by every equivalence path
+(:func:`repro.trace.events.strip_ambient`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.bus import TelemetryBus
+from repro.trace.events import TRACE_SCHEMA
+
+
+class BusSink:
+    """Publishes schema-shaped trace events onto a telemetry bus.
+
+    Satisfies the :class:`~repro.sim.metrics.TraceSink` protocol, so it
+    attaches anywhere a :class:`~repro.trace.recorder.TraceRecorder`
+    does: ``ledger.recorder = sink``, ``DynamicMST.build(trace=sink)``,
+    or one leg of a :class:`TeeSink`.
+    """
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.bus = bus
+        self.seq = 0
+        self.charges = 0
+        self.rounds = 0
+        self.messages = 0
+        self.words = 0
+        self.closed = False
+        #: Superstep context stashed by :meth:`on_superstep`, merged into
+        #: the next charge (same shaping rule as the file recorder).
+        self._pending: Optional[Dict[str, Any]] = None
+        self.emit("trace_start", schema=TRACE_SCHEMA, meta=meta or {})
+
+    # ------------------------------------------------------------------
+    # low-level emission
+    # ------------------------------------------------------------------
+    def emit(self, etype: str, **fields: Any) -> None:
+        """Publish one event (assigns ``seq`` and the wall stamp)."""
+        if self.closed:
+            return
+        event: Dict[str, Any] = {"type": etype, "seq": self.seq}
+        event.update(fields)
+        # simlint: disable=SIM003 live-telemetry timestamp; bus events never reach a digest and wall time never feeds round accounting
+        event["wall_ns"] = time.time_ns()
+        self.seq += 1
+        self.bus.publish(event)
+
+    def flush(self) -> None:  # file-recorder API parity; nothing buffers
+        pass
+
+    def close(self, extra: Optional[Dict[str, Any]] = None) -> None:
+        """Publish the ``trace_end`` totals; idempotent."""
+        if self.closed:
+            return
+        self.emit(
+            "trace_end",
+            events=self.seq,
+            charges=self.charges,
+            rounds=self.rounds,
+            messages=self.messages,
+            words=self.words,
+            **(extra or {}),
+        )
+        self.closed = True
+
+    def __enter__(self) -> "BusSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # TraceSink hooks (called by the instrumented simulator)
+    # ------------------------------------------------------------------
+    def on_superstep(
+        self,
+        engine: str,
+        n_messages: int,
+        n_words: int,
+        send: Sequence[int],
+        recv: Sequence[int],
+        sizes: Dict[int, int],
+    ) -> None:
+        self._pending = {
+            "engine": engine,
+            "send": list(send),
+            "recv": list(recv),
+            "sizes": {str(w): c for w, c in sorted(sizes.items())},
+        }
+
+    def on_charge(
+        self,
+        rounds: int,
+        messages: int,
+        words: int,
+        index: int,
+        phases: Sequence[str],
+    ) -> None:
+        self.charges += 1
+        self.rounds += rounds
+        self.messages += messages
+        self.words += words
+        pending, self._pending = self._pending, None
+        etype = "superstep" if pending is not None else "charge"
+        self.emit(
+            etype,
+            index=index,
+            rounds=rounds,
+            messages=messages,
+            words=words,
+            phases=list(phases),
+            **(pending or {}),
+        )
+
+    def on_phase_start(self, name: str, depth: int) -> None:
+        self.emit("phase_start", name=name, depth=depth)
+
+    def on_phase_end(
+        self, name: str, depth: int, rounds: int, messages: int, words: int
+    ) -> None:
+        self.emit(
+            "phase_end", name=name, depth=depth,
+            rounds=rounds, messages=messages, words=words,
+        )
+
+    def on_violation(self, kind: str, message: str) -> None:
+        self._pending = None
+        self.emit("violation", kind=kind, message=message)
+
+    def on_engine(self, feature: str, engine: str) -> None:
+        self.emit("engine", feature=feature, engine=engine)
+
+
+class TeeSink:
+    """Fan one ledger's trace hooks out to several sinks.
+
+    Every :class:`~repro.sim.metrics.TraceSink` hook (and ``emit``, and
+    ``close``) is forwarded to each child in order.  Children keep their
+    own ``seq`` counters, so a file recorder teed with a bus sink writes
+    exactly the bytes it would have written alone — the equivalence
+    tests pin this.
+    """
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks: List[Any] = [s for s in sinks if s is not None]
+
+    def emit(self, etype: str, **fields: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(etype, **fields)
+
+    def close(self, extra: Optional[Dict[str, Any]] = None) -> None:
+        for sink in self.sinks:
+            sink.close(extra)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def on_charge(
+        self, rounds: int, messages: int, words: int,
+        index: int, phases: Sequence[str],
+    ) -> None:
+        for sink in self.sinks:
+            sink.on_charge(rounds, messages, words, index, phases)
+
+    def on_phase_start(self, name: str, depth: int) -> None:
+        for sink in self.sinks:
+            sink.on_phase_start(name, depth)
+
+    def on_phase_end(
+        self, name: str, depth: int, rounds: int, messages: int, words: int
+    ) -> None:
+        for sink in self.sinks:
+            sink.on_phase_end(name, depth, rounds, messages, words)
+
+    def on_superstep(
+        self, engine: str, n_messages: int, n_words: int,
+        send: Sequence[int], recv: Sequence[int], sizes: Dict[int, int],
+    ) -> None:
+        for sink in self.sinks:
+            sink.on_superstep(engine, n_messages, n_words, send, recv, sizes)
+
+    def on_violation(self, kind: str, message: str) -> None:
+        for sink in self.sinks:
+            sink.on_violation(kind, message)
+
+    def on_engine(self, feature: str, engine: str) -> None:
+        for sink in self.sinks:
+            sink.on_engine(feature, engine)

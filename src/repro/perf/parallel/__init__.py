@@ -55,6 +55,15 @@ def _pool() -> Optional[KernelPool]:
     return parallel_kernels()  # type: ignore[return-value]
 
 
+def _note_fallback(kind: str, exc: PoolUnavailable) -> None:
+    """Publish a ``pool_fallback`` telemetry event (bus-only, best-effort)."""
+    from repro.perf.parallel.pool import telemetry_sink
+
+    sink = telemetry_sink()
+    if sink is not None:
+        sink.emit("pool_fallback", kind=kind, reason=str(exc))
+
+
 def reroot_labels_parallel(labels: np.ndarray, d: int, size: int) -> np.ndarray:
     """Worker-pool Lemma 5.5: (labels - d) mod size."""
     if size <= 0:
@@ -64,7 +73,8 @@ def reroot_labels_parallel(labels: np.ndarray, d: int, size: int) -> np.ndarray:
         return _reroot_impl(labels, d, size)
     try:
         return pool.run_elementwise("reroot", (int(d), int(size)), labels)
-    except PoolUnavailable:
+    except PoolUnavailable as exc:
+        _note_fallback("reroot", exc)
         return _reroot_impl(labels, d, size)
 
 
@@ -87,7 +97,8 @@ def split_labels_parallel(
     )
     try:
         return pool.run_split(wire_spec, labels)
-    except PoolUnavailable:
+    except PoolUnavailable as exc:
+        _note_fallback("split", exc)
         return _split_impl(labels, spec)
 
 
@@ -106,7 +117,8 @@ def join_m1_labels_parallel(labels: np.ndarray, spec: JoinSpec) -> np.ndarray:
     )
     try:
         return pool.run_elementwise("join_m1", wire_spec, labels)
-    except PoolUnavailable:
+    except PoolUnavailable as exc:
+        _note_fallback("join_m1", exc)
         return _join_m1_impl(np.asarray(labels, dtype=np.int64), spec)
 
 
@@ -127,5 +139,6 @@ def join_m2_labels_parallel(labels: np.ndarray, spec: JoinSpec) -> np.ndarray:
     )
     try:
         return pool.run_elementwise("join_m2", wire_spec, labels)
-    except PoolUnavailable:
+    except PoolUnavailable as exc:
+        _note_fallback("join_m2", exc)
         return _join_m2_impl(np.asarray(labels, dtype=np.int64), spec)

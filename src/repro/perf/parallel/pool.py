@@ -22,12 +22,40 @@ instead of corrupting a run.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.perf.parallel.shm import SharedSlab
 from repro.perf.parallel.worker import worker_main
+
+#: The process-wide pool telemetry sink (a
+#: :class:`~repro.sim.metrics.TraceSink`, in practice a
+#: :class:`repro.obs.sink.BusSink`).  ``None`` — the default — keeps the
+#: dispatch path cost at one module-global read per call; pool events
+#: (``pool_start``/``pool_dispatch``/``pool_fallback``/``pool_stop``)
+#: flow to the telemetry bus only and never into a trace file or a
+#: ledger digest.
+_telemetry_sink: Optional[Any] = None
+
+
+def set_telemetry_sink(sink: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with ``None``) the pool telemetry sink.
+
+    Returns the previous sink so callers can restore it — the obs layer
+    scopes installation to one watched run.
+    """
+    # simlint: disable=SIM002 harness-level observability hook, not simulated machine state; ledgers are unaffected
+    global _telemetry_sink
+    previous = _telemetry_sink
+    _telemetry_sink = sink
+    return previous
+
+
+def telemetry_sink() -> Optional[Any]:
+    """The currently installed pool telemetry sink (``None`` = detached)."""
+    return _telemetry_sink
 
 
 class PoolUnavailable(RuntimeError):
@@ -47,6 +75,10 @@ class KernelPool:
         self._procs: List[mp.process.BaseProcess] = []
         self._conns: List = []
         self.dead = False
+        #: Dispatches served over the pool's lifetime (telemetry only).
+        self.dispatches = 0
+        #: The sink ``pool_start`` was announced to (telemetry only).
+        self._announced_sink: Optional[Any] = None
         methods = mp.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else mp.get_start_method()
@@ -108,20 +140,62 @@ class KernelPool:
             self.dead = True
             raise PoolUnavailable("worker pipe broke mid-dispatch") from exc
 
-    def _barrier(self, sent: List) -> None:
-        """Collect one reply per dispatched worker; raise after all answered."""
+    def _barrier(self, sent: List, waits: Optional[List[int]] = None) -> None:
+        """Collect one reply per dispatched worker; raise after all answered.
+
+        ``waits`` (telemetry only) receives one per-worker barrier-wait
+        duration in nanoseconds, in dispatch order.
+        """
         errors: List[str] = []
         for conn in sent:
+            if waits is not None:
+                # simlint: disable=SIM003 pool telemetry timing; bus-only observability, never feeds round accounting or digests
+                t0 = time.perf_counter_ns()
             try:
                 reply = conn.recv()
             except (EOFError, OSError) as exc:
                 self.dead = True
                 raise PoolUnavailable("worker died mid-task") from exc
+            if waits is not None:
+                # simlint: disable=SIM003 pool telemetry timing; bus-only observability, never feeds round accounting or digests
+                waits.append(time.perf_counter_ns() - t0)
             if reply[0] == "err":
                 errors.append(reply[1])
         if errors:
             self.dead = True
             raise PoolUnavailable("kernel failed in worker:\n" + "\n".join(errors))
+
+    # ------------------------------------------------------------------
+    # telemetry (bus-only; a detached sink costs one global read per call)
+    # ------------------------------------------------------------------
+    def slab_bytes(self) -> int:
+        """Shared-memory bytes currently mapped across every slab."""
+        return sum(slab.rows * 8 for slab in self._slabs.values())
+
+    def _note_dispatch(
+        self, sink: Any, kind: str, rows: int,
+        waits: List[int], started_ns: int,
+    ) -> None:
+        """Emit ``pool_dispatch`` (and a one-time ``pool_start``)."""
+        self.dispatches += 1
+        if self._announced_sink is not sink:
+            self._announced_sink = sink
+            sink.emit(
+                "pool_start",
+                workers=self.workers,
+                start_method=self.start_method,
+            )
+        # simlint: disable=SIM003 pool telemetry timing; bus-only observability, never feeds round accounting or digests
+        work_ns = time.perf_counter_ns() - started_ns
+        sink.emit(
+            "pool_dispatch",
+            kind=kind,
+            rows=int(rows),
+            workers=len(waits),
+            work_ns=work_ns,
+            wait_ns=waits,
+            slab_bytes=self.slab_bytes(),
+        )
 
     def _load_input(self, role: str, data: np.ndarray) -> None:
         slab = self._slab(role)
@@ -139,6 +213,10 @@ class KernelPool:
     ) -> np.ndarray:
         if self.dead:
             raise PoolUnavailable("pool is dead")
+        sink = _telemetry_sink
+        # simlint: disable=SIM003 pool telemetry timing; bus-only observability, never feeds round accounting or digests
+        t0 = time.perf_counter_ns() if sink is not None else 0
+        waits: Optional[List[int]] = [] if sink is not None else None
         labels = np.ascontiguousarray(labels, dtype=np.int64)
         n = labels.size
         self._load_input("in0", labels)
@@ -152,14 +230,21 @@ class KernelPool:
                 continue
             self._send(conn, ("task", kind, spec, blocks, lo, hi))
             sent.append(conn)
-        self._barrier(sent)
-        return self._slabs["out0"].view(n).copy()
+        self._barrier(sent, waits)
+        out = self._slabs["out0"].view(n).copy()
+        if sink is not None and waits is not None:
+            self._note_dispatch(sink, kind, n, waits, t0)
+        return out
 
     def run_split(
         self, spec: Tuple[int, ...], labels: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         if self.dead:
             raise PoolUnavailable("pool is dead")
+        sink = _telemetry_sink
+        # simlint: disable=SIM003 pool telemetry timing; bus-only observability, never feeds round accounting or digests
+        t0 = time.perf_counter_ns() if sink is not None else 0
+        waits: Optional[List[int]] = [] if sink is not None else None
         labels = np.ascontiguousarray(labels, dtype=np.int64)
         n = labels.size
         self._load_input("in0", labels)
@@ -174,14 +259,21 @@ class KernelPool:
                 continue
             self._send(conn, ("task", "split", spec, blocks, lo, hi))
             sent.append(conn)
-        self._barrier(sent)
-        return self._slabs["out0"].view(n).copy(), self._slabs["out1"].view(n).copy()
+        self._barrier(sent, waits)
+        out = self._slabs["out0"].view(n).copy(), self._slabs["out1"].view(n).copy()
+        if sink is not None and waits is not None:
+            self._note_dispatch(sink, "split", n, waits, t0)
+        return out
 
     def plane_loads(
         self, src: np.ndarray, dst: np.ndarray, words: np.ndarray, k: int
     ) -> np.ndarray:
         if self.dead:
             raise PoolUnavailable("pool is dead")
+        sink = _telemetry_sink
+        # simlint: disable=SIM003 pool telemetry timing; bus-only observability, never feeds round accounting or digests
+        t0 = time.perf_counter_ns() if sink is not None else 0
+        waits: Optional[List[int]] = [] if sink is not None else None
         src = np.ascontiguousarray(src, dtype=np.int64)
         dst = np.ascontiguousarray(dst, dtype=np.int64)
         words = np.ascontiguousarray(words, dtype=np.int64)
@@ -202,15 +294,24 @@ class KernelPool:
                 continue
             self._send(conn, ("task", "plane_loads", (k, w), blocks, lo, hi))
             sent.append(conn)
-        self._barrier(sent)
+        self._barrier(sent, waits)
         per_worker = self._slabs["out0"].view(w_total * k * k).reshape(w_total, k, k)
         # Fixed worker order; int64 addition is exact, so the order is a
         # convention, not a correctness requirement.
-        return per_worker.sum(axis=0, dtype=np.int64).copy()
+        out = per_worker.sum(axis=0, dtype=np.int64).copy()
+        if sink is not None and waits is not None:
+            self._note_dispatch(sink, "plane_loads", n, waits, t0)
+        return out
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop workers and release every shared-memory block (idempotent)."""
+        sink = self._announced_sink
+        if sink is not None:
+            self._announced_sink = None
+            sink.emit(
+                "pool_stop", workers=self.workers, dispatches=self.dispatches
+            )
         for conn in self._conns:
             try:
                 conn.send(("stop",))

@@ -57,6 +57,21 @@ Event types (``repro-trace/1``):
     A rollback-and-replay recovery: ``machines`` (the dead set) on
     start; ``machines``, ``rounds`` (the recovery's full charged cost)
     and ``replayed`` (logged batches re-executed) on end.
+``pool_start`` / ``pool_stop``
+    Lifecycle of the :class:`~repro.perf.parallel.pool.KernelPool`
+    worker pool: ``workers`` and ``start_method`` when the pool comes
+    up; ``workers`` and the total ``dispatches`` served when it is
+    closed.
+``pool_dispatch``
+    One fan-out to the worker pool: ``kind`` (``"elementwise"``,
+    ``"split"`` or ``"plane_loads"``), ``rows`` and ``workers``, plus
+    optional wall-clock observability fields — ``work_ns`` (whole
+    dispatch), ``wait_ns`` (per-worker barrier waits) and
+    ``slab_bytes`` (shared-memory bytes currently mapped).  These
+    events flow to the telemetry bus only, never into charge digests.
+``pool_fallback``
+    The pool was unavailable (or died) and a kernel ran inline:
+    ``kind`` plus the ``reason`` string.
 ``trace_end``
     Totals: ``events``, ``charges``, ``rounds``, ``messages``,
     ``words``.
@@ -66,6 +81,12 @@ equivalence contract: two traces are ledger-equivalent iff their
 charge-bearing events agree on ``(rounds, messages, words)`` at every
 index — the exact content hashed by
 :meth:`repro.sim.metrics.Ledger.digest`.
+
+Every event may additionally carry the ambient fields in
+:data:`AMBIENT_FIELDS` — today just ``wall_ns``, the opt-in wall-clock
+stamp (``REPRO_TRACE_WALL=1``).  Ambient fields are stamped by the
+emitter, stripped by :func:`strip_ambient` before any digesting or
+diffing, and accepted by :func:`validate_event` even in strict mode.
 """
 
 from __future__ import annotations
@@ -75,6 +96,11 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 #: Schema tag stamped into every ``trace_start`` event.
 TRACE_SCHEMA = "repro-trace/1"
+
+#: Fields any event may carry regardless of its spec.  They are stamped
+#: by the emitter (like ``type``/``seq``), opt-in, and stripped before
+#: digesting — wall-clock values never participate in equivalence.
+AMBIENT_FIELDS: Tuple[str, ...] = ("wall_ns",)
 
 
 @dataclass(frozen=True)
@@ -159,6 +185,18 @@ EVENT_SPECS: Tuple[EventSpec, ...] = (
         "recovery_end", required=("machines", "rounds", "replayed"),
     ),
     EventSpec(
+        "pool_start", required=("workers", "start_method"),
+    ),
+    EventSpec(
+        "pool_stop", required=("workers", "dispatches"),
+    ),
+    EventSpec(
+        "pool_dispatch",
+        required=("kind", "rows", "workers"),
+        optional=("work_ns", "wait_ns", "slab_bytes"),
+    ),
+    EventSpec("pool_fallback", required=("kind", "reason")),
+    EventSpec(
         "trace_end",
         required=("events", "charges", "rounds", "messages", "words"),
     ),
@@ -228,7 +266,7 @@ def validate_event(event: Dict[str, Any], strict: bool = False) -> None:
             f"event {etype!r} (seq {event['seq']}) missing fields: {missing}"
         )
     if strict:
-        allowed = set(spec.allowed) | {"type", "seq"}
+        allowed = set(spec.allowed) | {"type", "seq"} | set(AMBIENT_FIELDS)
         unknown = sorted(f for f in event if f not in allowed)
         if unknown:
             raise TraceFormatError(
@@ -277,3 +315,14 @@ def validate_events(events: Sequence[Dict[str, Any]]) -> None:
 def charge_events(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """The charge-bearing subsequence, in transcript order."""
     return [e for e in events if is_charge_bearing(e)]
+
+
+def strip_ambient(event: Dict[str, Any]) -> Dict[str, Any]:
+    """``event`` without its ambient fields (a copy if any were present).
+
+    Digest and diff paths call this so opt-in wall-clock stamps can
+    never perturb equivalence checks.
+    """
+    if not any(f in event for f in AMBIENT_FIELDS):
+        return event
+    return {k: v for k, v in event.items() if k not in AMBIENT_FIELDS}

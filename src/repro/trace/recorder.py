@@ -18,7 +18,12 @@ Traces are deterministic: events carry no wall-clock timestamps (the
 ordering key is ``seq``), so two runs of the same seeded scenario write
 byte-identical traces and ``repro trace-diff`` on them reports zero
 divergence.  Wall-time, when wanted, rides in the ``run_end`` event via
-an attached :class:`~repro.sim.metrics.PhaseProfiler` summary.
+an attached :class:`~repro.sim.metrics.PhaseProfiler` summary — or, for
+per-event timing, opt in with ``REPRO_TRACE_WALL=1`` (or
+``wall_clock=True``): every event then carries a ``wall_ns`` ambient
+field.  Ambient fields are stripped by the digest/diff paths
+(:func:`repro.trace.events.strip_ambient`), so opting in never changes
+ledger digests or trace equivalence — only the literal file bytes.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import time
 from contextlib import contextmanager
 from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Union
 
@@ -33,11 +39,19 @@ import repro
 from repro.sim.metrics import Ledger
 from repro.trace.events import TRACE_SCHEMA
 
+
+def _wall_clock_from_env() -> bool:
+    return os.environ.get("REPRO_TRACE_WALL", "") not in ("", "0")
+
 #: Directories whose frames are skipped when attributing a charge to a
-#: call site: the simulator core and this package.  The first frame
-#: outside them is the protocol code that paid for the communication.
+#: call site: the simulator core, this package, and the observability
+#: fan-out (a TeeSink forwarding frame is plumbing, not protocol code —
+#: skipping it keeps teed trace files byte-identical to solo ones).
+#: The first frame outside them is the code that paid for the
+#: communication.
 _SKIP_DIRS = (
     os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "sim"),
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "obs"),
     os.path.dirname(os.path.abspath(__file__)),
 )
 _PKG_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -74,6 +88,7 @@ class TraceRecorder:
         self,
         sink: Union[str, "os.PathLike[str]", IO[str]],
         meta: Optional[Dict[str, Any]] = None,
+        wall_clock: Optional[bool] = None,
     ) -> None:
         if hasattr(sink, "write"):
             self._fh: IO[str] = sink  # type: ignore[assignment]
@@ -81,6 +96,11 @@ class TraceRecorder:
         else:
             self._fh = open(os.fspath(sink), "w", encoding="utf-8")
             self._owns_fh = True
+        #: Opt-in ``wall_ns`` stamping (ambient field; stripped before
+        #: any digest/diff, so it can never affect equivalence).
+        self.wall_clock = (
+            _wall_clock_from_env() if wall_clock is None else wall_clock
+        )
         self.seq = 0
         self.charges = 0
         self.rounds = 0
@@ -101,6 +121,9 @@ class TraceRecorder:
             raise ValueError("trace recorder already closed")
         event: Dict[str, Any] = {"type": etype, "seq": self.seq}
         event.update(fields)
+        if self.wall_clock:
+            # simlint: disable=SIM003 opt-in observability stamp; ambient field stripped before digest/diff, never feeds round accounting
+            event["wall_ns"] = time.time_ns()
         self.seq += 1
         self._fh.write(json.dumps(event, separators=(",", ":")))
         self._fh.write("\n")

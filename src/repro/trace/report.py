@@ -371,85 +371,89 @@ def to_json(summary: TraceSummary) -> Dict[str, Any]:
     }
 
 
-def _prom_escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+def to_metric_families(summary: TraceSummary) -> List[Any]:
+    """The summary as :class:`repro.obs.prom.MetricFamily` rows.
+
+    The same formatter backs the live ``/metrics`` endpoint
+    (:class:`repro.obs.server.ObsServer`), so the two exposition
+    surfaces share metric names, ``# HELP``/``# TYPE`` headers, label
+    escaping and value formatting by construction.  Monotone totals are
+    counters; skew and budget headroom are gauges.
+    """
+    from repro.obs.prom import MetricFamily
+
+    fams: List[Any] = []
+
+    def counter(name: str, help_text: str) -> MetricFamily:
+        fam = MetricFamily(name, "counter", help_text)
+        fams.append(fam)
+        return fam
+
+    def gauge(name: str, help_text: str) -> MetricFamily:
+        fam = MetricFamily(name, "gauge", help_text)
+        fams.append(fam)
+        return fam
+
+    counter("repro_rounds_total",
+            "Synchronous rounds charged on the ledger").add(summary.rounds)
+    counter("repro_messages_total", "Messages delivered").add(summary.messages)
+    counter("repro_words_total", "Words moved").add(summary.words)
+    fam = counter("repro_supersteps_total",
+                  "Communication supersteps by engine")
+    for name, count in sorted(summary.engines.items()):
+        fam.add(count, engine=name)
+    fam = counter("repro_phase_rounds_total",
+                  "Rounds attributed to each ledger phase")
+    for name, row in sorted(summary.phases.items()):
+        fam.add(row.rounds, phase=name)
+    fam = counter("repro_phase_words_total",
+                  "Words attributed to each ledger phase")
+    for name, row in sorted(summary.phases.items()):
+        fam.add(row.words, phase=name)
+    fam = counter("repro_machine_send_words_total",
+                  "Cumulative words sent per machine")
+    for i, w in enumerate(summary.send_words):
+        fam.add(w, machine=i)
+    fam = counter("repro_machine_recv_words_total",
+                  "Cumulative words received per machine")
+    for i, w in enumerate(summary.recv_words):
+        fam.add(w, machine=i)
+    gauge("repro_machine_send_skew",
+          "Max/mean skew of cumulative per-machine send words"
+          ).add(round(summary.send_skew, 4))
+    gauge("repro_machine_recv_skew",
+          "Max/mean skew of cumulative per-machine recv words"
+          ).add(round(summary.recv_skew, 4))
+    fam = counter("repro_message_size_count",
+                  "Messages by declared word size")
+    for w, c in sorted(summary.size_hist.items()):
+        fam.add(c, words=w)
+    counter("repro_batch_budget_violations_total",
+            "Batches whose measured rounds exceeded the theorem envelope"
+            ).add(summary.budget_violations)
+    if summary.batches:
+        headrooms = [b.budget_rounds - b.rounds for b in summary.batches]
+        gauge("repro_budget_headroom_rounds",
+              "Theorem-budget headroom of the latest batch "
+              "(envelope minus measured rounds; negative = over budget)"
+              ).add(headrooms[-1])
+        gauge("repro_budget_headroom_rounds_min",
+              "Worst theorem-budget headroom seen this run"
+              ).add(min(headrooms))
+    counter("repro_strict_violations_total",
+            "Strict-mode violations recorded").add(len(summary.violations))
+    fam = counter("repro_faults_total",
+                  "Injected transport faults by kind")
+    for kind, count in sorted(summary.faults.items()):
+        fam.add(count, kind=kind)
+    counter("repro_recovery_rounds_total",
+            "Rounds spent in crash-recovery rollback/replay"
+            ).add(summary.recovery_rounds)
+    return fams
 
 
 def to_prometheus(summary: TraceSummary) -> str:
-    """Prometheus text exposition (counters only; one scrape per trace)."""
-    out: List[str] = []
+    """Prometheus text exposition of a trace report (one scrape per trace)."""
+    from repro.obs.prom import render_families
 
-    def metric(name: str, help_text: str, samples: List[str]) -> None:
-        out.append(f"# HELP {name} {help_text}")
-        out.append(f"# TYPE {name} counter")
-        out.extend(samples)
-
-    metric("repro_rounds_total", "Synchronous rounds charged on the ledger",
-           [f"repro_rounds_total {summary.rounds}"])
-    metric("repro_messages_total", "Messages delivered",
-           [f"repro_messages_total {summary.messages}"])
-    metric("repro_words_total", "Words moved",
-           [f"repro_words_total {summary.words}"])
-    metric("repro_supersteps_total", "Communication supersteps by engine",
-           [
-               f'repro_supersteps_total{{engine="{_prom_escape(name)}"}} {count}'
-               for name, count in sorted(summary.engines.items())
-           ] or ["repro_supersteps_total 0"])
-    metric(
-        "repro_phase_rounds_total", "Rounds attributed to each ledger phase",
-        [
-            f'repro_phase_rounds_total{{phase="{_prom_escape(name)}"}} '
-            f"{row.rounds}"
-            for name, row in sorted(summary.phases.items())
-        ],
-    )
-    metric(
-        "repro_phase_words_total", "Words attributed to each ledger phase",
-        [
-            f'repro_phase_words_total{{phase="{_prom_escape(name)}"}} {row.words}'
-            for name, row in sorted(summary.phases.items())
-        ],
-    )
-    metric(
-        "repro_machine_send_words_total", "Cumulative words sent per machine",
-        [
-            f'repro_machine_send_words_total{{machine="{i}"}} {w}'
-            for i, w in enumerate(summary.send_words)
-        ],
-    )
-    metric(
-        "repro_machine_recv_words_total", "Cumulative words received per machine",
-        [
-            f'repro_machine_recv_words_total{{machine="{i}"}} {w}'
-            for i, w in enumerate(summary.recv_words)
-        ],
-    )
-    metric(
-        "repro_message_size_count", "Messages by declared word size",
-        [
-            f'repro_message_size_count{{words="{w}"}} {c}'
-            for w, c in sorted(summary.size_hist.items())
-        ],
-    )
-    metric(
-        "repro_batch_budget_violations_total",
-        "Batches whose measured rounds exceeded the theorem envelope",
-        [f"repro_batch_budget_violations_total {summary.budget_violations}"],
-    )
-    metric(
-        "repro_strict_violations_total", "Strict-mode violations recorded",
-        [f"repro_strict_violations_total {len(summary.violations)}"],
-    )
-    metric(
-        "repro_faults_total", "Injected transport faults by kind",
-        [
-            f'repro_faults_total{{kind="{_prom_escape(kind)}"}} {count}'
-            for kind, count in sorted(summary.faults.items())
-        ] or ["repro_faults_total 0"],
-    )
-    metric(
-        "repro_recovery_rounds_total",
-        "Rounds spent in crash-recovery rollback/replay",
-        [f"repro_recovery_rounds_total {summary.recovery_rounds}"],
-    )
-    return "\n".join(out) + "\n"
+    return render_families(to_metric_families(summary))

@@ -81,16 +81,19 @@ def get_scenario(name: str) -> Scenario:
 
 def run_traced(
     scenario: Scenario,
-    sink: Union[str, IO[str]],
+    sink: Optional[Union[str, IO[str]]],
     fast: Optional[bool] = None,
     engine: str = "sample_gather",
     init: Optional[str] = None,
     profile: bool = False,
     perturb_batch: Optional[int] = None,
     backend: Optional[str] = None,
+    telemetry: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run one scenario with a recorder attached; returns a run summary.
 
+    ``sink`` is the trace file (path or text stream); pass ``None`` to
+    run without a file recorder (live telemetry only).
     ``fast`` pins the columnar path on/off (None = process default).
     ``backend`` pins a full execution backend by name; precedence is
     ``backend`` argument > ``fast`` argument > ``scenario.backend`` >
@@ -101,6 +104,9 @@ def run_traced(
     before that batch index — a seeded fault for exercising
     ``repro trace-diff`` (the acceptance path for divergence
     diagnostics); it is never set in normal operation.
+    ``telemetry`` is an extra :class:`~repro.sim.metrics.TraceSink`
+    (typically a :class:`repro.obs.BusSink`) teed alongside the file
+    recorder; teeing never changes the file bytes or the ledger digest.
     """
     import numpy as np
 
@@ -119,24 +125,32 @@ def run_traced(
         churn_stream(graph.copy(), scenario.batch, scenario.n_batches, rng=rng)
     )
 
-    rec = TraceRecorder(
-        sink,
-        meta={
-            "scenario": scenario.name,
-            "n": scenario.n,
-            "m": scenario.m,
-            "k": scenario.k,
-            "batch": scenario.batch,
-            "n_batches": scenario.n_batches,
-            "seed": scenario.seed,
-            "init": init,
-        },
-    )
+    rec: Optional[TraceRecorder] = None
+    if sink is not None:
+        rec = TraceRecorder(
+            sink,
+            meta={
+                "scenario": scenario.name,
+                "n": scenario.n,
+                "m": scenario.m,
+                "k": scenario.k,
+                "batch": scenario.batch,
+                "n_batches": scenario.n_batches,
+                "seed": scenario.seed,
+                "init": init,
+            },
+        )
+    if rec is not None and telemetry is not None:
+        from repro.obs.sink import TeeSink
+
+        trace_sink: Optional[Any] = TeeSink(rec, telemetry)
+    else:
+        trace_sink = rec if rec is not None else telemetry
     # The recorder rides through build so a measured (distributed) init
     # is part of the trace — charge indices are contiguous from 0.
     dm = DynamicMST.build(
         graph, scenario.k, rng=rng, init=init, engine=engine, fast=fast,
-        trace=rec, backend=backend,
+        trace=trace_sink, backend=backend,
     )
     if profile:
         dm.net.ledger.profiler = PhaseProfiler()
@@ -153,8 +167,10 @@ def run_traced(
             )
         dm.check()
     finally:
-        dm.detach_trace()
-        rec.close()
+        if trace_sink is not None:
+            dm.detach_trace()
+        if rec is not None:
+            rec.close()
     return {
         "scenario": scenario.name,
         "rounds": dm.net.ledger.rounds,
@@ -163,5 +179,5 @@ def run_traced(
         "digest": dm.net.ledger.digest(),
         "msf_weight": round(dm.total_weight(), 9),
         "batches": batch_reports,
-        "events": rec.seq,
+        "events": rec.seq if rec is not None else 0,
     }

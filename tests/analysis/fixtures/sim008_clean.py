@@ -12,3 +12,14 @@ def report(recorder, name, extra):
     recorder.emit(name, payload=1)
     # Star-kwargs may carry the required fields; absence is unprovable.
     recorder.emit("run_end", rounds=1, messages=2, words=3, **extra)
+
+
+def pool_telemetry(sink, waits):
+    # The PR-8 pool events: conformant emits with required + optionals.
+    sink.emit("pool_start", workers=2, start_method="fork")
+    sink.emit(
+        "pool_dispatch", kind="reroot", rows=64, workers=2,
+        work_ns=1000, wait_ns=waits, slab_bytes=512,
+    )
+    sink.emit("pool_fallback", kind="split", reason="worker died")
+    sink.emit("pool_stop", workers=2, dispatches=3)

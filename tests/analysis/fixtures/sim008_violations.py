@@ -8,3 +8,10 @@ def report(recorder, profile):
     recorder.emit("batch_start", size=1, mode="batch", vibe="chaotic")
     # phase_end requires the charge triple; only name/depth given.
     recorder.emit("phase_end", name="p", depth=1)
+
+
+def pool_telemetry(recorder):
+    # pool_dispatch requires kind/rows/workers; rows missing.
+    recorder.emit("pool_dispatch", kind="reroot", workers=2)
+    # pool_stop does not declare a latency field.
+    recorder.emit("pool_stop", workers=2, dispatches=1, latency_ns=5)

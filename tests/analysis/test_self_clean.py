@@ -46,6 +46,8 @@ def test_suppressions_in_src_are_all_used():
     # 7 from the seed + 2×SIM002 (repro.perf.config fast-path toggle) +
     # 3×SIM002 (repro.perf.config backend toggle) + 1×SIM002
     # (repro.sim.executor backend registry cache) + 2×SIM003
-    # (repro.sim.metrics profiler clock reads).
+    # (repro.sim.metrics profiler clock reads) + 2×SIM003 (opt-in
+    # wall_ns stamps: trace recorder + telemetry BusSink) + 1×SIM002
+    # (pool telemetry sink slot) + 6×SIM003 (pool dispatch timing).
     report = _report()
-    assert report.suppressions_used == 15, report.format_text()
+    assert report.suppressions_used == 23, report.format_text()

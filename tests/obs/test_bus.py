@@ -1,0 +1,90 @@
+"""TelemetryBus ring semantics: ordering, bounds, drop counting."""
+
+import pytest
+
+from repro.obs import DEFAULT_CAPACITY, TelemetryBus
+
+
+def test_publish_then_poll_preserves_order():
+    bus = TelemetryBus(capacity=16)
+    sub = bus.subscribe("t")
+    for i in range(10):
+        bus.publish({"type": "x", "seq": i})
+    events = sub.poll()
+    assert [e["seq"] for e in events] == list(range(10))
+    assert sub.dropped == 0
+    assert sub.poll() == []  # drained
+
+
+def test_subscriber_starts_at_current_cursor():
+    bus = TelemetryBus(capacity=8)
+    bus.publish({"seq": 0})
+    sub = bus.subscribe()
+    bus.publish({"seq": 1})
+    assert [e["seq"] for e in sub.poll()] == [1]
+
+
+def test_slow_subscriber_drops_and_counts():
+    bus = TelemetryBus(capacity=4)
+    sub = bus.subscribe("slow")
+    for i in range(10):
+        bus.publish({"seq": i})
+    events = sub.poll()
+    # Only the newest `capacity` events survive; the rest are counted.
+    assert [e["seq"] for e in events] == [6, 7, 8, 9]
+    assert sub.dropped == 6
+    assert bus.dropped_total() == 6
+    # Catching up resets nothing retroactively but loses nothing new.
+    bus.publish({"seq": 10})
+    assert [e["seq"] for e in sub.poll()] == [10]
+    assert sub.dropped == 6
+
+
+def test_producer_never_blocks_with_no_subscribers():
+    bus = TelemetryBus(capacity=2)
+    for i in range(1000):
+        bus.publish({"seq": i})
+    assert bus.published == 1000
+
+
+def test_max_events_caps_one_drain():
+    bus = TelemetryBus(capacity=32)
+    sub = bus.subscribe()
+    for i in range(10):
+        bus.publish({"seq": i})
+    first = sub.poll(max_events=3)
+    rest = sub.poll()
+    assert [e["seq"] for e in first] == [0, 1, 2]
+    assert [e["seq"] for e in rest] == list(range(3, 10))
+
+
+def test_pending_counts_unread_events():
+    bus = TelemetryBus(capacity=8)
+    sub = bus.subscribe()
+    assert sub.pending() == 0
+    for i in range(5):
+        bus.publish({"seq": i})
+    assert sub.pending() == 5
+    sub.poll()
+    assert sub.pending() == 0
+
+
+def test_independent_subscribers():
+    bus = TelemetryBus(capacity=16)
+    a = bus.subscribe("a")
+    b = bus.subscribe("b")
+    bus.publish({"seq": 0})
+    assert [e["seq"] for e in a.poll()] == [0]
+    bus.publish({"seq": 1})
+    assert [e["seq"] for e in a.poll()] == [1]
+    assert [e["seq"] for e in b.poll()] == [0, 1]
+    assert bus.subscribers == 2
+    a.close()
+    assert bus.subscribers == 1
+    assert a.poll() == []  # closed subscriptions drain to nothing
+
+
+def test_capacity_validation_and_default():
+    with pytest.raises(ValueError):
+        TelemetryBus(capacity=0)
+    assert TelemetryBus().capacity == DEFAULT_CAPACITY

@@ -1,0 +1,121 @@
+"""Worker-pool instrumentation: pool_* events on the telemetry sink."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.euler.labels import SplitSpec
+from repro.perf.parallel import KernelPool
+from repro.perf.parallel.pool import set_telemetry_sink, telemetry_sink
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="pool tests pin the fork start method",
+)
+
+
+class RecordingSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, etype, **fields):
+        self.events.append({"type": etype, **fields})
+
+    def of(self, etype):
+        return [e for e in self.events if e["type"] == etype]
+
+
+@pytest.fixture
+def sink():
+    s = RecordingSink()
+    prev = set_telemetry_sink(s)
+    yield s
+    set_telemetry_sink(prev)
+
+
+def _labels(n, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, size, size=n).astype(np.int64)
+
+
+def test_set_telemetry_sink_returns_previous():
+    a, b = RecordingSink(), RecordingSink()
+    assert set_telemetry_sink(a) is None
+    assert set_telemetry_sink(b) is a
+    assert telemetry_sink() is b
+    set_telemetry_sink(None)
+
+
+def test_dispatch_emits_start_then_dispatch_then_stop(sink):
+    pool = KernelPool(workers=2, start_method="fork")
+    try:
+        labels = _labels(64, 200)
+        pool.run_elementwise("reroot", (3, 200), labels)
+        pool.run_split(
+            (10, 110, 200, 1, 2),
+            labels[(labels != 10) & (labels != 110)],
+        )
+    finally:
+        pool.close()
+    starts = sink.of("pool_start")
+    assert len(starts) == 1  # announced once per sink, not per dispatch
+    assert starts[0]["workers"] == 2
+    assert starts[0]["start_method"] == "fork"
+    dispatches = sink.of("pool_dispatch")
+    assert [d["kind"] for d in dispatches] == ["reroot", "split"]
+    for d in dispatches:
+        assert d["rows"] > 0
+        assert d["workers"] == 2
+        assert d["work_ns"] >= 0
+        assert len(d["wait_ns"]) == 2
+        assert d["slab_bytes"] > 0
+    stops = sink.of("pool_stop")
+    assert len(stops) == 1
+    assert stops[0]["dispatches"] == 2
+
+
+def test_events_validate_against_the_schema(sink):
+    from repro.trace.events import validate_event
+
+    pool = KernelPool(workers=2, start_method="fork")
+    try:
+        pool.run_elementwise("reroot", (1, 100), _labels(32, 100))
+    finally:
+        pool.close()
+    assert sink.events
+    for i, event in enumerate(sink.events):
+        validate_event({"seq": i, **event}, strict=True)
+
+
+def test_fallback_emits_event(sink, monkeypatch):
+    from repro.perf.parallel import split_labels_parallel
+    from repro.perf.parallel import pool as pool_mod
+
+    class DeadPool:
+        def run_split(self, spec, labels):
+            raise pool_mod.PoolUnavailable("worker died")
+
+    import repro.perf.parallel as par
+
+    monkeypatch.setattr(par, "_pool", lambda: DeadPool())
+    spec = SplitSpec(e_min=10, e_max=110, size=200, old_tour=1, inside_tour=2)
+    labels = _labels(32, 200)
+    labels = labels[(labels != 10) & (labels != 110)]
+    out = split_labels_parallel(labels, spec)
+    assert out is not None  # inline fallback still computed the answer
+    falls = sink.of("pool_fallback")
+    assert len(falls) == 1
+    assert falls[0]["kind"] == "split"
+    assert "worker died" in falls[0]["reason"]
+
+
+def test_no_sink_means_no_timing(sink):
+    # With the sink removed mid-test the dispatch path must not emit.
+    set_telemetry_sink(None)
+    pool = KernelPool(workers=2, start_method="fork")
+    try:
+        pool.run_elementwise("reroot", (1, 100), _labels(32, 100))
+    finally:
+        pool.close()
+    assert sink.events == []

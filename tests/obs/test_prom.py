@@ -1,0 +1,76 @@
+"""The shared Prometheus formatter: escaping, headers, histograms."""
+
+import pytest
+
+from repro.obs.prom import (
+    MetricFamily,
+    Sample,
+    escape_label_value,
+    format_value,
+    histogram_family,
+    render_families,
+)
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+    assert escape_label_value("plain") == "plain"
+
+
+def test_format_value():
+    assert format_value(3) == "3"
+    assert format_value(3.0) == "3"
+    assert format_value(3.5) == "3.5"
+    assert format_value(True) == "1"
+    assert format_value(False) == "0"
+
+
+def test_sample_render_with_and_without_labels():
+    assert Sample.of(7).render("m") == "m 7"
+    assert Sample.of(7, machine=0).render("m") == 'm{machine="0"} 7'
+    line = Sample.of(1, phase='del."odd"').render("m")
+    assert line == 'm{phase="del.\\"odd\\""} 1'
+
+
+def test_family_renders_help_and_type():
+    fam = MetricFamily("x_total", "counter", "Help text here").add(5)
+    assert fam.render() == [
+        "# HELP x_total Help text here",
+        "# TYPE x_total counter",
+        "x_total 5",
+    ]
+
+
+def test_empty_family_scrapes_as_zero():
+    fam = MetricFamily("x_total", "counter", "h")
+    assert fam.render()[-1] == "x_total 0"
+
+
+def test_invalid_metric_type_rejected():
+    with pytest.raises(ValueError):
+        MetricFamily("x", "summary", "h")
+
+
+def test_histogram_family_cumulative_buckets():
+    fam = histogram_family(
+        "lat_seconds", "h",
+        bucket_counts={0.1: 2, 0.5: 1, 1.0: 0},
+        total_sum=0.9, total_count=4,  # one observation beyond the top bound
+    )
+    body = render_families([fam])
+    lines = body.splitlines()
+    assert "# TYPE lat_seconds histogram" in lines
+    assert 'lat_seconds_bucket{le="0.1"} 2' in lines
+    assert 'lat_seconds_bucket{le="0.5"} 3' in lines
+    assert 'lat_seconds_bucket{le="1"} 3' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 4' in lines
+    assert "lat_seconds_sum 0.9" in lines
+    assert "lat_seconds_count 4" in lines
+
+
+def test_render_families_ends_with_newline():
+    body = render_families([MetricFamily("a", "gauge", "h").add(1)])
+    assert body.endswith("\n")
+    assert "# TYPE a gauge" in body

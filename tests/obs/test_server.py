@@ -1,0 +1,98 @@
+"""ObsServer endpoints over real HTTP (loopback, ephemeral port)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    BusSink,
+    MetricsRegistry,
+    ObsServer,
+    PROM_CONTENT_TYPE,
+    TelemetryBus,
+)
+
+
+@pytest.fixture
+def served():
+    bus = TelemetryBus(capacity=256)
+    registry = MetricsRegistry(bus)
+    with ObsServer(registry) as server:
+        yield bus, registry, server
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers, resp.read()
+
+
+def test_healthz(served):
+    _bus, _reg, server = served
+    status, _headers, body = _get(server.url + "/healthz")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["status"] == "ok"
+    assert payload["dropped"] == 0
+
+
+def test_metrics_scrape_content_type_and_body(served):
+    bus, _reg, server = served
+    sink = BusSink(bus)
+    sink.on_charge(5, 2, 7, 0, ["add"])
+    sink.close()
+    status, headers, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"] == PROM_CONTENT_TYPE
+    text = body.decode()
+    assert "# TYPE repro_rounds_total counter" in text
+    assert "repro_rounds_total 5" in text
+
+
+def test_snapshot_reflects_published_events(served):
+    bus, _reg, server = served
+    sink = BusSink(bus)
+    sink.on_charge(5, 2, 7, 0, [])
+    sink.close()
+    _status, _headers, body = _get(server.url + "/snapshot")
+    snap = json.loads(body)
+    assert snap["schema"] == "repro-obs-snapshot/1"
+    assert snap["totals"]["rounds"] == 5
+
+
+def test_dashboard_html(served):
+    _bus, _reg, server = served
+    status, headers, body = _get(server.url + "/")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/html")
+    text = body.decode()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "/snapshot" in text  # polls the JSON endpoint
+
+
+def test_unknown_route_is_404(served):
+    _bus, _reg, server = served
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _get(server.url + "/nope")
+    assert exc.value.code == 404
+
+
+def test_scrape_is_monotone_across_publishes(served):
+    bus, _reg, server = served
+
+    def rounds_total():
+        _s, _h, body = _get(server.url + "/metrics")
+        for line in body.decode().splitlines():
+            if line.startswith("repro_rounds_total "):
+                return int(line.split()[-1])
+        raise AssertionError("repro_rounds_total missing")
+
+    sink = BusSink(bus)
+    sink.on_charge(3, 0, 0, 0, [])
+    first = rounds_total()
+    sink.on_charge(4, 0, 0, 1, [])
+    sink.close()
+    second = rounds_total()
+    assert first == 3
+    assert second == 7 >= first

@@ -151,3 +151,94 @@ def test_distributed_init_trace_validates_and_carries_init(tmp_path):
     assert "init" in summary.phases
     assert summary.phases["init"].rounds > 0
     assert len(summary.batches) == tiny.n_batches
+
+
+# ----------------------------------------------------------------------
+# edge cases: empty traces, degenerate shapes, exposition escaping
+# ----------------------------------------------------------------------
+def _header():
+    from repro.trace.events import TRACE_SCHEMA
+
+    return {"type": "trace_start", "seq": 0, "schema": TRACE_SCHEMA,
+            "meta": {}}
+
+
+def test_empty_trace_summarizes_to_zeroes():
+    events = [
+        _header(),
+        {"type": "trace_end", "seq": 1, "events": 1, "charges": 0,
+         "rounds": 0, "messages": 0, "words": 0},
+    ]
+    summary = summarize(events)
+    assert summary.rounds == summary.messages == summary.words == 0
+    assert summary.phases == {}
+    assert summary.batches == []
+    assert summary.send_skew == 1.0  # no load is perfectly balanced
+    text = render_text(summary)
+    assert "totals: rounds=0" in text
+    prom = to_prometheus(summary)
+    assert "repro_rounds_total 0" in prom
+    # No batches → no headroom gauges (nothing to report headroom on).
+    assert "repro_budget_headroom_rounds" not in prom
+    assert to_json(summary)["totals"]["rounds"] == 0
+
+
+def test_single_phase_trace():
+    events = [
+        _header(),
+        {"type": "charge", "seq": 1, "index": 0, "rounds": 3,
+         "messages": 2, "words": 4, "phases": ["only.phase"]},
+    ]
+    summary = summarize(events, validate=False)
+    assert list(summary.phases) == ["only.phase"]
+    row = summary.phases["only.phase"]
+    assert (row.rounds, row.messages, row.words, row.calls) == (3, 2, 4, 1)
+    assert "only.phase" in render_text(summary)
+    assert 'repro_phase_rounds_total{phase="only.phase"} 3' in to_prometheus(
+        summary
+    )
+
+
+def test_prometheus_escapes_label_values():
+    hostile = 'del."odd\\phase"\nnewline'
+    events = [
+        _header(),
+        {"type": "charge", "seq": 1, "index": 0, "rounds": 1,
+         "messages": 0, "words": 0, "phases": [hostile]},
+    ]
+    prom = to_prometheus(summarize(events, validate=False))
+    expected = 'del.\\"odd\\\\phase\\"\\nnewline'
+    assert f'repro_phase_rounds_total{{phase="{expected}"}} 1' in prom
+    # The raw (unescaped) value must not appear on any sample line.
+    assert hostile not in prom
+
+
+def test_chaos_section_with_zero_faults():
+    # A crash/recovery trace where the injector never fired: the chaos
+    # section must render (crashes happened) without a fault mix.
+    events = [
+        _header(),
+        {"type": "machine_crash", "seq": 1, "machine": 1, "batch": 0},
+        {"type": "checkpoint", "seq": 2, "batch": 0},
+        {"type": "recovery_end", "seq": 3, "rounds": 5, "replayed": 1},
+    ]
+    summary = summarize(events, validate=False)
+    assert summary.faults == {}
+    assert summary.crashes == 1
+    text = render_text(summary)
+    assert "faults: none" in text
+    assert "crashes=1" in text
+    prom = to_prometheus(summary)
+    assert "repro_faults_total 0" in prom  # empty family scrapes as zero
+    assert "repro_recovery_rounds_total 5" in prom
+
+
+def test_gauges_are_typed_as_gauges(traced):
+    _result, events = traced
+    prom = to_prometheus(summarize(events))
+    assert "# TYPE repro_machine_send_skew gauge" in prom
+    assert "# TYPE repro_machine_recv_skew gauge" in prom
+    assert "# TYPE repro_budget_headroom_rounds gauge" in prom
+    assert "# TYPE repro_budget_headroom_rounds_min gauge" in prom
+    # Counters stay counters.
+    assert "# TYPE repro_rounds_total counter" in prom

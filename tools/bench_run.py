@@ -58,6 +58,17 @@ BACKEND_COLUMNS = {
 }
 
 
+#: Live-telemetry session installed by ``--serve-metrics`` (see main()):
+#: every trajectory then runs with a BusSink teed in, so the dashboard
+#: streams the benchmark as it executes (and timed throughput includes
+#: the bus overhead — which is the quantity the flag exists to observe).
+_OBS_SESSION: Optional[Any] = None
+
+
+def _obs_sink() -> Optional[Any]:
+    return _OBS_SESSION.sink() if _OBS_SESSION is not None else None
+
+
 def _run_engine(graph, stream, k: int, seed: int, backend: str,
                 profile: bool, trace_path: Optional[str] = None,
                 init: str = "free") -> Dict[str, Any]:
@@ -71,11 +82,20 @@ def _run_engine(graph, stream, k: int, seed: int, backend: str,
         from repro.trace import TraceRecorder
 
         recorder = TraceRecorder(trace_path, meta={"harness": "bench_run"})
+    telemetry = _obs_sink()
+    trace: Optional[Any] = recorder
+    if telemetry is not None:
+        if recorder is not None:
+            from repro.obs import TeeSink
+
+            trace = TeeSink(recorder, telemetry)
+        else:
+            trace = telemetry
     t_init = time.perf_counter()
     # The recorder rides through build so a measured (distributed) init
     # is captured too; timed throughput then includes recording overhead.
     dm = DynamicMST.build(graph, k, rng=rng, init=init, backend=backend,
-                          trace=recorder)
+                          trace=trace)
     init_wall_s = time.perf_counter() - t_init
     if profile:
         dm.net.ledger.profiler = PhaseProfiler()
@@ -84,9 +104,12 @@ def _run_engine(graph, stream, k: int, seed: int, backend: str,
         dm.apply_batch(batch)
     wall_s = time.perf_counter() - t0
     dm.check()
-    if recorder is not None:
+    if trace is not None:
         dm.detach_trace()
+    if recorder is not None:
         recorder.close()
+    if telemetry is not None:
+        telemetry.close()
     ledger = dm.net.ledger
     out: Dict[str, Any] = {
         "backend": backend,
@@ -448,6 +471,26 @@ def bench_alloc(count: int) -> Dict[str, Any]:
 
 # ----------------------------------------------------------------------
 
+def _default_out_path(date: str, suffix: str) -> str:
+    """``BENCH_<date><suffix>.json``, auto-suffixed if it already exists.
+
+    Two runs on the same day used to silently clobber each other's
+    trajectory file; now the second run warns and writes ``..._2.json``
+    (an explicit ``--out`` still overwrites deliberately).
+    """
+    base = f"BENCH_{date}{suffix}"
+    path = f"{base}.json"
+    if not os.path.exists(path):
+        return path
+    i = 2
+    while os.path.exists(f"{base}_{i}.json"):
+        i += 1
+    fresh = f"{base}_{i}.json"
+    print(f"warning: {path} already exists; writing {fresh} instead "
+          f"(pass --out to overwrite deliberately)", file=sys.stderr)
+    return fresh
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -471,7 +514,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "recovery-round overhead; the fault run must end on "
                          "the reference forest")
     ap.add_argument("--out", default=None,
-                    help="output JSON path (default BENCH_<date>.json)")
+                    help="output JSON path (default BENCH_<date>.json, "
+                         "auto-suffixed _2, _3... if it already exists; an "
+                         "explicit --out overwrites)")
+    ap.add_argument("--serve-metrics", type=int, default=None, const=0,
+                    nargs="?", metavar="PORT",
+                    help="serve live /metrics and the dashboard while the "
+                         "benchmark runs; every trajectory streams to the "
+                         "bus (default port: auto)")
     ap.add_argument("--backends", default="inproc-columnar,parallel",
                     help="comma-separated backends to measure against the "
                          "reference baseline (the reference always runs); "
@@ -513,6 +563,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         canonical = get_backend(token).name  # validates the name/alias
         if canonical != "reference" and canonical not in backends:
             backends.append(canonical)
+
+    global _OBS_SESSION  # simlint: disable=SIM002 process-level metrics server handle, not simulated machine state; ledgers are unaffected
+    if args.serve_metrics is not None:
+        from repro.obs import ObsSession
+
+        # Daemon threads; dies with the process if a trajectory asserts.
+        _OBS_SESSION = ObsSession(port=args.serve_metrics).start()
+        print(f"serving metrics at {_OBS_SESSION.url}/metrics "
+              f"(dashboard {_OBS_SESSION.url}/)", file=sys.stderr)
 
     if args.init == "distributed":
         scenarios = INIT_SMOKE_SCENARIOS if args.smoke else INIT_SCENARIOS
@@ -565,11 +624,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
 
     suffix = "_init" if args.init == "distributed" else ""
-    out_path = args.out or f"BENCH_{payload['date']}{suffix}.json"
+    out_path = args.out or _default_out_path(payload["date"], suffix)
     with open(out_path, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
     print(f"wrote {out_path}")
+
+    if _OBS_SESSION is not None:
+        _OBS_SESSION.close()
+        _OBS_SESSION = None
 
     failed = False
     largest = max(scenario_results, key=lambda r: r["n"] * r["k"])
