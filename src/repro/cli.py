@@ -8,6 +8,7 @@
     python -m repro trace-diff a.jsonl b.jsonl
     python -m repro chaos smoke-medium --drop 0.02 --crashes 1:3
     python -m repro watch smoke-medium
+    python -m repro stream sliding-window --policy adaptive
 """
 
 from __future__ import annotations
@@ -294,6 +295,46 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core import DynamicMST
+    from repro.stream import make_shape, shape_names
+
+    if args.shape not in shape_names():
+        print(f"unknown stream shape {args.shape!r}; known: "
+              f"{', '.join(shape_names())}", file=sys.stderr)
+        return 2
+    stream = make_shape(args.shape, seed=args.seed, ticks=args.ticks,
+                        rate=args.rate)
+    print(f"shape {args.shape}: {len(stream)} arrivals over "
+          f"{stream.horizon + 1} ticks, k={args.k} "
+          f"(capacity Θ(k)={args.k}), policy={args.policy}, "
+          f"coalescing {'off' if args.no_coalesce else 'on'}")
+    with _serving_metrics(args) as telemetry:
+        dm = DynamicMST.build(stream.initial, args.k, rng=args.seed,
+                              init=args.init)
+        if telemetry is not None:
+            dm.attach_trace(telemetry)
+        rep = dm.ingest(stream, policy=args.policy,
+                        coalesce=not args.no_coalesce)
+        if telemetry is not None:
+            dm.detach_trace()
+    dm.check()
+    reasons = "  ".join(f"{k}={v}" for k, v in sorted(rep.cut_reasons.items()))
+    print(f"admitted {rep.admitted}  shipped {rep.shipped}  "
+          f"absorbed {rep.absorbed} "
+          f"({rep.absorbed / max(rep.admitted, 1):.0%} coalesced away)")
+    print(f"cuts {rep.cuts} ({reasons or 'none'})  batches {rep.batches}  "
+          f"rounds {rep.rounds}  elapsed {rep.elapsed_ticks} ticks")
+    print(f"staleness p50 {rep.p50_ticks:.0f} ticks  p99 {rep.p99_ticks:.0f} "
+          f"ticks  peak queue {rep.peak_queue_depth}")
+    print(f"throughput {rep.updates_per_s:.1f} updates/s  "
+          f"{rep.rounds_per_update:.2f} rounds/update")
+    print(f"MSF weight {rep.msf_weight:.4f}  forest digest "
+          f"{rep.forest_digest[:16]}")
+    print("consistency check passed")
+    return 0
+
+
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
     from repro.graphs import random_weighted_graph
     from repro.lowerbound import run_lower_bound_experiment
@@ -462,6 +503,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rounds allowed per ceil(batch/capacity) unit "
                             "(default: repro.trace.budgets.DEFAULT_ENVELOPE)")
     watch.set_defaults(fn=_cmd_watch)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a named arrival stream through the admission "
+             "coalescer + batch scheduler (repro.stream)",
+    )
+    stream.add_argument("shape",
+                        help="stream shape (see repro.stream.shapes.SHAPES): "
+                             "uniform, sliding-window, flash-crowd, adversarial")
+    stream.add_argument("--policy", default="adaptive",
+                        choices=["fixed", "deadline", "adaptive"],
+                        help="batch-cut policy (default adaptive)")
+    stream.add_argument("--no-coalesce", action="store_true",
+                        help="ship every admitted update (the uncoalesced "
+                             "baseline)")
+    stream.add_argument("--k", type=int, default=8)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--ticks", type=int, default=24,
+                        help="arrival horizon in ticks")
+    stream.add_argument("--rate", type=int, default=8,
+                        help="arrivals per tick")
+    stream.add_argument("--init", choices=["distributed", "free"],
+                        default="free")
+    stream.add_argument("--serve-metrics", type=int, default=None, const=0,
+                        nargs="?", metavar="PORT",
+                        help="serve live /metrics and the dashboard while "
+                             "the stream runs (default port: auto)")
+    stream.set_defaults(fn=_cmd_stream)
 
     lb = sub.add_parser("lowerbound", help="run the Theorem 7.1 adversary")
     lb.add_argument("--n", type=int, default=150)

@@ -340,6 +340,41 @@ class DynamicMST:
         return self.apply_one_at_a_time([Update.add(u, v, w)])
 
     # ------------------------------------------------------------------
+    # streaming ingestion (repro.stream)
+    # ------------------------------------------------------------------
+    @property
+    def batch_capacity(self) -> int:
+        """The model's natural batch size: Θ(k) per Theorem 6.1.
+
+        The streaming scheduler chunks its cuts at this size; the MPC
+        subclass overrides it with the per-machine space S (§8).
+        """
+        return self.k
+
+    def ingest(
+        self,
+        arrivals,
+        policy: str = "adaptive",
+        coalesce: bool = True,
+        max_batch: Optional[int] = None,
+        **policy_kwargs,
+    ):
+        """Replay an :class:`~repro.graphs.streams.ArrivalStream` through
+        the admission buffer + batch scheduler (see :mod:`repro.stream`).
+
+        Returns a :class:`~repro.stream.ingest.StreamReport`.  Scheduling
+        is host-side and charges zero rounds; only the resulting
+        :meth:`apply_batch` calls touch the ledger.
+        """
+        from repro.stream.ingest import StreamIngestor
+
+        ingestor = StreamIngestor(
+            self, policy=policy, coalesce=coalesce, max_batch=max_batch,
+            **policy_kwargs,
+        )
+        return ingestor.run(arrivals)
+
+    # ------------------------------------------------------------------
     # vertex churn (beyond the paper, which fixes the vertex set)
     # ------------------------------------------------------------------
     def add_vertex(self, x: int) -> None:

@@ -11,6 +11,7 @@ from repro.graphs.graph import Edge, WeightedGraph, edge_key, normalize
 from repro.graphs.dsu import DisjointSet
 from repro.graphs.mst import (
     boruvka_msf,
+    forest_digest,
     kruskal_msf,
     local_msf,
     msf_weight,
@@ -36,13 +37,21 @@ from repro.graphs.generators import (
     star_graph,
 )
 from repro.graphs.streams import (
+    ArrivalStream,
+    TimedUpdate,
     Update,
     UpdateStream,
+    adversarial_arrival_stream,
     adversarial_clique_stream,
     churn_stream,
+    flash_crowd_arrival_stream,
+    flash_crowd_stream,
     growing_stream,
     shrinking_stream,
+    sliding_window_arrival_stream,
     sliding_window_stream,
+    timed_arrivals,
+    uniform_arrival_stream,
 )
 
 __all__ = [
@@ -71,11 +80,20 @@ __all__ = [
     "cycle_graph",
     "complete_graph",
     "caterpillar_graph",
+    "forest_digest",
     "Update",
     "UpdateStream",
+    "TimedUpdate",
+    "ArrivalStream",
     "churn_stream",
     "sliding_window_stream",
     "growing_stream",
     "shrinking_stream",
     "adversarial_clique_stream",
+    "flash_crowd_stream",
+    "timed_arrivals",
+    "uniform_arrival_stream",
+    "sliding_window_arrival_stream",
+    "flash_crowd_arrival_stream",
+    "adversarial_arrival_stream",
 ]

@@ -96,3 +96,19 @@ def msf_weight(edges: Iterable[Edge]) -> float:
 def msf_key_multiset(edges: Iterable[Edge]) -> List[Tuple[float, int, int]]:
     """Sorted key list — a canonical fingerprint for comparing forests."""
     return sorted(e.key() for e in edges)
+
+
+def forest_digest(edges: Iterable[Edge]) -> str:
+    """A canonical sha256 of a forest's sorted edge keys.
+
+    Two runs that end on the same forest — whatever their batching,
+    coalescing, or execution backend — produce the same digest; the
+    streaming parity harness compares these, the way the ledger layer
+    compares :meth:`~repro.sim.metrics.Ledger.digest`.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for w, u, v in msf_key_multiset(edges):
+        h.update(f"{u},{v},{w!r};".encode())
+    return h.hexdigest()

@@ -5,12 +5,20 @@ A stream is a sequence of *batches*; each batch is a list of
 shadow copy of the evolving graph so that every batch is *consistent*: an
 inserted edge is absent beforehand, a deleted edge is present, and no edge
 appears twice within one batch.
+
+The streaming front-end (:mod:`repro.stream`) consumes the finer-grained
+*arrival-timestamped* form instead: an :class:`ArrivalStream` is a
+sequence of :class:`TimedUpdate` records — one update per arrival, tagged
+with the integer tick it arrives at — over an initial graph.  Arrival
+streams are consistent *in emission order* (each update is valid against
+the graph with every earlier update applied); how they are batched is the
+scheduler's decision, not the generator's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -233,3 +241,259 @@ def adversarial_clique_stream(
             add_batch.append(Update.add(w, v, float(weight_scale * rng.random())))
     del_batch = [Update.delete(upd.u, upd.v) for upd in add_batch]
     return UpdateStream(initial, [add_batch, del_batch])
+
+
+# ----------------------------------------------------------------------
+# arrival-timestamped streams (the repro.stream ingestion substrate)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TimedUpdate:
+    """One update tagged with its integer arrival tick."""
+
+    tick: int
+    update: Update
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError("arrival ticks start at 0")
+
+
+class ArrivalStream:
+    """An initial graph plus a tick-ordered sequence of single arrivals.
+
+    Consistency is *per emission*: every update is valid against the
+    graph with all earlier arrivals applied.  Two arrivals may touch the
+    same edge pair (that is the point — the admission coalescer in
+    :mod:`repro.stream` normalises such churn before it costs rounds),
+    so a contiguous slice of an arrival stream is **not** necessarily a
+    valid :meth:`~repro.core.api.DynamicMST.apply_batch` batch.
+    """
+
+    def __init__(
+        self,
+        initial: WeightedGraph,
+        arrivals: Sequence[TimedUpdate],
+        name: str = "",
+    ) -> None:
+        last = -1
+        for tu in arrivals:
+            if tu.tick < last:
+                raise ValueError("arrival ticks must be non-decreasing")
+            last = tu.tick
+        self.initial = initial
+        self.arrivals: List[TimedUpdate] = list(arrivals)
+        self.name = name
+
+    def __iter__(self) -> Iterator[TimedUpdate]:
+        return iter(self.arrivals)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def horizon(self) -> int:
+        """The last arrival tick (-1 for an empty stream)."""
+        return self.arrivals[-1].tick if self.arrivals else -1
+
+    def updates(self) -> List[Update]:
+        return [tu.update for tu in self.arrivals]
+
+    def final_graph(self) -> WeightedGraph:
+        """The graph after every arrival is applied in emission order."""
+        g = self.initial.copy()
+        for tu in self.arrivals:
+            apply_updates(g, [tu.update])
+        return g
+
+    def as_batches(self) -> UpdateStream:
+        """Group arrivals by tick into a (possibly inconsistent-per-batch)
+        :class:`UpdateStream` — for replay through the coalescing front
+        end only; per-tick groups may repeat an edge pair."""
+        by_tick: Dict[int, List[Update]] = {}
+        for tu in self.arrivals:
+            by_tick.setdefault(tu.tick, []).append(tu.update)
+        return UpdateStream(self.initial, [by_tick[t] for t in sorted(by_tick)])
+
+
+def timed_arrivals(
+    stream: UpdateStream, rate: float, start: int = 0, name: str = ""
+) -> ArrivalStream:
+    """Flatten a batch stream into arrivals at ``rate`` updates per tick.
+
+    The i-th update (in replay order) arrives at ``start + floor(i /
+    rate)`` — a deterministic re-timing, so the arrival stream inherits
+    the batch stream's seeded determinism.  Emission order is preserved,
+    hence per-emission consistency is too.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    out: List[TimedUpdate] = []
+    i = 0
+    for batch in stream:
+        for upd in batch:
+            out.append(TimedUpdate(start + int(i / rate), upd))
+            i += 1
+    return ArrivalStream(stream.initial, out, name=name)
+
+
+def uniform_arrival_stream(
+    initial: WeightedGraph,
+    rate: float,
+    n_ticks: int,
+    p_add: float = 0.5,
+    rng: RngLike = None,
+    name: str = "uniform",
+) -> ArrivalStream:
+    """Steady mixed churn: ``rate`` single-update arrivals per tick."""
+    n_updates = max(int(rate * n_ticks), 1)
+    batches = churn_stream(initial, 1, n_updates, p_add=p_add, rng=rng)
+    return timed_arrivals(batches, rate, name=name)
+
+
+def sliding_window_arrival_stream(
+    n: int,
+    window: int,
+    rate: int,
+    n_ticks: int,
+    rng: RngLike = None,
+    name: str = "sliding-window",
+) -> ArrivalStream:
+    """Data-stream churn: ``rate`` fresh edges arrive each tick and expire
+    (their deletions arrive) exactly ``window`` ticks later.
+
+    When the cluster falls behind the stream, an edge's expiry reaches
+    the admission buffer while its insertion is still queued — the
+    coalescer annihilates the pair and neither update costs a round.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    rng = as_rng(rng)
+    initial = WeightedGraph(range(n))
+    shadow = initial.copy()
+    live: Dict[int, List[Tuple[int, int]]] = {}
+    arrivals: List[TimedUpdate] = []
+    for tick in range(n_ticks):
+        # Expiries first: deletions of the batch inserted window ticks ago.
+        for (u, v) in live.pop(tick - window, []):
+            arrivals.append(TimedUpdate(tick, Update.delete(u, v)))
+            shadow.remove_edge(u, v)
+        inserted: List[Tuple[int, int]] = []
+        pairs: set = set()
+        for _ in range(rate):
+            pair = _sample_absent_edge(shadow, n, rng, pairs)
+            if pair is None:
+                continue
+            arrivals.append(TimedUpdate(tick, Update.add(*pair, float(rng.random()))))
+            shadow.add_edge(*pair, arrivals[-1].update.weight)
+            pairs.add(pair)
+            inserted.append(pair)
+        live[tick] = inserted
+    return ArrivalStream(initial, arrivals, name=name)
+
+
+def flash_crowd_arrival_stream(
+    initial: WeightedGraph,
+    base_rate: float,
+    n_ticks: int,
+    burst_every: int = 8,
+    burst_size: int = 64,
+    hotspot: int = 8,
+    rng: RngLike = None,
+    name: str = "flash-crowd",
+) -> ArrivalStream:
+    """Bursty flash-crowd churn: a quiet baseline with periodic stampedes.
+
+    Most ticks carry ``base_rate`` uniform churn arrivals; every
+    ``burst_every`` ticks a crowd of ``burst_size`` updates lands in a
+    single tick, all aimed at edge pairs among ``hotspot`` vertices.
+    Within a burst the same pair flip-flops between inserted and deleted
+    — duplicate-heavy traffic the coalescer collapses to its net effect.
+    """
+    if burst_every <= 0 or burst_size <= 0:
+        raise ValueError("burst parameters must be positive")
+    rng = as_rng(rng)
+    n = initial.n
+    verts = sorted(initial.vertices())
+    hot = verts[: max(min(hotspot, n), 2)]
+    shadow = initial.copy()
+    arrivals: List[TimedUpdate] = []
+
+    def emit(tick: int, upd: Update) -> None:
+        arrivals.append(TimedUpdate(tick, upd))
+        apply_updates(shadow, [upd])
+
+    base_credit = 0.0
+    for tick in range(n_ticks):
+        base_credit += base_rate
+        while base_credit >= 1.0:
+            base_credit -= 1.0
+            do_add = rng.random() < 0.5 or shadow.m == 0
+            if do_add:
+                pair = _sample_absent_edge(shadow, n, rng, set())
+                if pair is not None:
+                    emit(tick, Update.add(*pair, float(rng.random())))
+            else:
+                e = _sample_present_edge(shadow, rng, set(), keep_connected=False)
+                if e is not None:
+                    emit(tick, Update.delete(e.u, e.v))
+        if tick % burst_every == burst_every - 1:
+            for _ in range(burst_size):
+                a = hot[int(rng.integers(0, len(hot)))]
+                b = hot[int(rng.integers(0, len(hot)))]
+                if a == b:
+                    continue
+                u, v = normalize(a, b)
+                if shadow.has_edge(u, v):
+                    emit(tick, Update.delete(u, v))
+                else:
+                    emit(tick, Update.add(u, v, float(rng.random())))
+    return ArrivalStream(initial, arrivals, name=name)
+
+
+def adversarial_arrival_stream(
+    initial: WeightedGraph,
+    clique_vertices: Sequence[int],
+    rate: float,
+    waves: int = 3,
+    rng: RngLike = None,
+    name: str = "adversarial",
+) -> ArrivalStream:
+    """Repeated Theorem 7.1 waves: a G_b-style clique instance arrives at
+    ``rate`` updates per tick, then is torn down again — each wave's
+    deletions chase its own insertions through the admission buffer."""
+    rng = as_rng(rng)
+    arrivals: List[TimedUpdate] = []
+    tick = 0
+    i = 0
+    for _ in range(max(waves, 1)):
+        wave = adversarial_clique_stream(initial, clique_vertices, rng=rng)
+        start = tick
+        for batch in wave:
+            for upd in batch:
+                arrivals.append(TimedUpdate(start + int(i / rate), upd))
+                i += 1
+        tick = arrivals[-1].tick + 1 if arrivals else tick
+        i = 0
+        # Each wave nets out to the initial graph, so the next wave's
+        # instance is consistent against it by construction.
+    return ArrivalStream(initial, arrivals, name=name)
+
+
+def flash_crowd_stream(
+    initial: WeightedGraph,
+    base_rate: float,
+    n_ticks: int,
+    burst_every: int = 8,
+    burst_size: int = 64,
+    hotspot: int = 8,
+    rng: RngLike = None,
+) -> UpdateStream:
+    """Batch-shaped view of :func:`flash_crowd_arrival_stream` (per-tick
+    groups) — bursty batch sizes for the batch-dynamic harnesses.  Burst
+    groups may repeat an edge pair, so replay this through the
+    :mod:`repro.stream` front end, not ``apply_batch`` directly."""
+    return flash_crowd_arrival_stream(
+        initial, base_rate, n_ticks, burst_every=burst_every,
+        burst_size=burst_size, hotspot=hotspot, rng=rng,
+    ).as_batches()

@@ -76,6 +76,11 @@ class MPCDynamicMST(DynamicMST):
         dm.init_rounds = net.ledger.since(before).rounds
         return dm
 
+    @property
+    def batch_capacity(self) -> int:
+        """Θ(S): an MPC batch may carry up to the per-machine space (§8)."""
+        return self.space
+
     def apply_batch(self, batch):  # type: ignore[override]
         if len(batch) > self.space:
             raise InconsistentUpdate(

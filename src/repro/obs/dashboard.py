@@ -69,6 +69,16 @@ DASHBOARD_HTML = """<!DOCTYPE html>
     <div class="hint"><span id="crashes">0</span> crashes ·
       <span id="recoveries">0</span> recoveries ·
       <span id="strict">0</span> strict violations</div></div>
+  <div class="card"><div class="label">stream queue</div>
+    <div class="value" id="streamqueue">—</div>
+    <div class="hint"><span id="streampolicy">no policy</span> ·
+      target <span id="streamtarget">—</span> ·
+      oldest <span id="streamage">0</span> ticks</div></div>
+  <div class="card"><div class="label">stream coalescing</div>
+    <div class="value" id="streamshipped">—</div>
+    <div class="hint"><span id="streamadmitted">0</span> admitted ·
+      <span id="streamabsorbed">0</span> absorbed ·
+      p99 <span id="streamp99">—</span> ticks</div></div>
   <div class="card"><div class="label">telemetry bus</div>
     <div class="value" id="busevents">0</div>
     <div class="hint"><span id="busdropped">0</span> dropped</div></div>
@@ -132,6 +142,15 @@ async function tick() {
   el("crashes").textContent = fmt(snap.chaos.crashes);
   el("recoveries").textContent = fmt(snap.chaos.recoveries);
   el("strict").textContent = fmt(snap.chaos.strict_violations);
+  const stream = snap.stream || {};
+  el("streamqueue").textContent = fmt(stream.queue_depth);
+  el("streampolicy").textContent = stream.policy || "no policy";
+  el("streamtarget").textContent = fmt(stream.target);
+  el("streamage").textContent = fmt(stream.oldest_age_ticks);
+  el("streamshipped").textContent = fmt(stream.shipped);
+  el("streamadmitted").textContent = fmt(stream.admitted);
+  el("streamabsorbed").textContent = fmt(stream.absorbed);
+  el("streamp99").textContent = fmt(stream.p99_ticks);
   el("busevents").textContent = fmt(snap.bus.events);
   el("busdropped").textContent = fmt(snap.bus.dropped);
   const bars = el("machinebars");

@@ -143,6 +143,20 @@ class MetricsRegistry:
         self.recoveries = 0
         self.recovery_rounds = 0
         self.replayed_batches = 0
+        # streaming scheduler (repro.stream)
+        self.stream_admitted = 0
+        self.stream_shipped = 0
+        self.stream_absorbed = 0
+        self.stream_cuts: Dict[Tuple[str, str], int] = {}
+        self.stream_adapts = 0
+        self.stream_queue_depth = 0
+        self.stream_oldest_age = 0
+        self.stream_target: Optional[int] = None
+        self.stream_policy: Optional[str] = None
+        self.stream_tick = 0
+        self.stream_runs = 0
+        self.stream_p50_ticks: Optional[float] = None
+        self.stream_p99_ticks: Optional[float] = None
         # worker pool
         self.pool_workers = 0
         self.pool_start_method: Optional[str] = None
@@ -281,6 +295,48 @@ class MetricsRegistry:
         self.recoveries += 1
         self.recovery_rounds += int(event["rounds"])
         self.replayed_batches += int(event["replayed"])
+
+    def _on_sched_cut(self, event: Dict[str, Any]) -> None:
+        policy = str(event["policy"])
+        reason = str(event["reason"])
+        self.stream_policy = policy
+        self.stream_cuts[(policy, reason)] = (
+            self.stream_cuts.get((policy, reason), 0) + 1
+        )
+        # "raw" counts arrivals the cut covers, "shipped" what survived
+        # coalescing; the difference is churn absorbed before it cost a
+        # round.  (Totals are also stamped on stream_end; folding the
+        # deltas here keeps the gauges live mid-run.)
+        self.stream_shipped += int(event["shipped"])
+        self.stream_queue_depth = int(event["queue_depth"])
+        age = event.get("oldest_age")
+        if isinstance(age, int):
+            self.stream_oldest_age = age
+        target = event.get("target")
+        if isinstance(target, int):
+            self.stream_target = target
+        tick = event.get("tick")
+        if isinstance(tick, int):
+            self.stream_tick = tick
+
+    def _on_sched_adapt(self, event: Dict[str, Any]) -> None:
+        self.stream_adapts += 1
+        target = event.get("target")
+        if isinstance(target, int):
+            self.stream_target = target
+
+    def _on_stream_end(self, event: Dict[str, Any]) -> None:
+        self.stream_runs += 1
+        self.stream_admitted += int(event["admitted"])
+        absorbed = event.get("absorbed")
+        if isinstance(absorbed, int):
+            self.stream_absorbed += absorbed
+        self.stream_queue_depth = 0
+        self.stream_oldest_age = 0
+        for key in ("p50_ticks", "p99_ticks"):
+            value = event.get(key)
+            if isinstance(value, (int, float)):
+                setattr(self, f"stream_{key}", float(value))
 
     def _on_pool_start(self, event: Dict[str, Any]) -> None:
         self.pool_workers = int(event["workers"])
@@ -431,6 +487,40 @@ class MetricsRegistry:
                 "Rounds spent in crash-recovery rollback/replay"
                 ).add(self.recovery_rounds)
 
+        counter("repro_stream_admitted_total",
+                "Raw arrivals admitted by the streaming front end"
+                ).add(self.stream_admitted)
+        counter("repro_stream_shipped_total",
+                "Updates shipped into the batch machinery after coalescing"
+                ).add(self.stream_shipped)
+        counter("repro_stream_absorbed_total",
+                "Arrivals coalesced away before costing any rounds"
+                ).add(self.stream_absorbed)
+        fam = counter("repro_stream_cuts_total",
+                      "Scheduler cuts by policy and reason")
+        for (policy, reason), count in sorted(self.stream_cuts.items()):
+            fam.add(count, policy=policy, reason=reason)
+        counter("repro_stream_adaptations_total",
+                "AIMD moves of the adaptive cut-size target"
+                ).add(self.stream_adapts)
+        gauge("repro_stream_queue_depth",
+              "Pending updates in the admission buffer after the last cut"
+              ).add(self.stream_queue_depth)
+        gauge("repro_stream_oldest_age_ticks",
+              "Age of the oldest queued update at the last cut"
+              ).add(self.stream_oldest_age)
+        if self.stream_target is not None:
+            gauge("repro_stream_cut_target",
+                  "The scheduler's current cut-size target"
+                  ).add(self.stream_target)
+        if self.stream_p99_ticks is not None:
+            gauge("repro_stream_staleness_p50_ticks",
+                  "Median update staleness of the last finished stream run"
+                  ).add(self.stream_p50_ticks or 0.0)
+            gauge("repro_stream_staleness_p99_ticks",
+                  "p99 update staleness of the last finished stream run"
+                  ).add(self.stream_p99_ticks)
+
         gauge("repro_pool_workers",
               "Live worker processes in the kernel pool").add(self.pool_workers)
         fam = counter("repro_pool_dispatches_total",
@@ -515,6 +605,24 @@ class MetricsRegistry:
                 "recovery_rounds": self.recovery_rounds,
                 "replayed_batches": self.replayed_batches,
                 "strict_violations": self.violations,
+            },
+            "stream": {
+                "policy": self.stream_policy,
+                "runs": self.stream_runs,
+                "admitted": self.stream_admitted,
+                "shipped": self.stream_shipped,
+                "absorbed": self.stream_absorbed,
+                "cuts": {
+                    f"{policy}/{reason}": count
+                    for (policy, reason), count in sorted(self.stream_cuts.items())
+                },
+                "adaptations": self.stream_adapts,
+                "queue_depth": self.stream_queue_depth,
+                "oldest_age_ticks": self.stream_oldest_age,
+                "target": self.stream_target,
+                "tick": self.stream_tick,
+                "p50_ticks": self.stream_p50_ticks,
+                "p99_ticks": self.stream_p99_ticks,
             },
             "pool": {
                 "workers": self.pool_workers,

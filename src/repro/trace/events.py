@@ -72,6 +72,28 @@ Event types (``repro-trace/1``):
 ``pool_fallback``
     The pool was unavailable (or died) and a kernel ran inline:
     ``kind`` plus the ``reason`` string.
+``sched_cut``
+    The streaming admission scheduler (:mod:`repro.stream`) cut the
+    buffer into a batch: the deciding ``policy`` and its ``reason``
+    (``"size"``, ``"deadline"``, ``"pressure"``, ``"flush"``), ``raw``
+    arrivals covered by the cut, ``shipped`` updates actually handed to
+    the batch machinery (≤ raw after coalescing), and the
+    ``queue_depth`` left behind; optionally the arrival ``tick``, the
+    ``oldest_age`` of what shipped, the policy's current ``target`` and
+    the number of ``batches`` the cut was chunked into.  Host-side:
+    scheduling charges zero rounds, so these events are never
+    charge-bearing.
+``sched_adapt``
+    An adaptive policy moved its batch-size ``target`` (AIMD step):
+    ``policy``, the new ``target``, optionally the ``previous`` value,
+    the ``signal`` that drove the move (``"backlog"``/``"drained"``)
+    and the ``tick``.
+``stream_end``
+    Streaming-run totals: raw updates ``admitted``, updates ``shipped``
+    into the batch machinery, scheduler ``cuts`` and the run's
+    ``elapsed_ticks``; optionally applied ``batches``, arrivals
+    ``absorbed`` by coalescing, and the ``p50_ticks``/``p99_ticks``
+    staleness quantiles.
 ``trace_end``
     Totals: ``events``, ``charges``, ``rounds``, ``messages``,
     ``words``.
@@ -196,6 +218,21 @@ EVENT_SPECS: Tuple[EventSpec, ...] = (
         optional=("work_ns", "wait_ns", "slab_bytes"),
     ),
     EventSpec("pool_fallback", required=("kind", "reason")),
+    EventSpec(
+        "sched_cut",
+        required=("policy", "reason", "raw", "shipped", "queue_depth"),
+        optional=("tick", "oldest_age", "target", "batches"),
+    ),
+    EventSpec(
+        "sched_adapt",
+        required=("policy", "target"),
+        optional=("previous", "signal", "tick"),
+    ),
+    EventSpec(
+        "stream_end",
+        required=("admitted", "shipped", "cuts", "elapsed_ticks"),
+        optional=("batches", "absorbed", "p50_ticks", "p99_ticks"),
+    ),
     EventSpec(
         "trace_end",
         required=("events", "charges", "rounds", "messages", "words"),

@@ -23,3 +23,21 @@ def pool_telemetry(sink, waits):
     )
     sink.emit("pool_fallback", kind="split", reason="worker died")
     sink.emit("pool_stop", workers=2, dispatches=3)
+
+
+def scheduler_telemetry(recorder, age):
+    # The PR-9 streaming scheduler events: required + declared optionals.
+    recorder.emit(
+        "sched_cut", policy="adaptive", reason="size",
+        raw=12, shipped=8, queue_depth=4,
+        tick=7, oldest_age=age, target=16, batches=2,
+    )
+    recorder.emit(
+        "sched_adapt", policy="adaptive", target=24,
+        previous=16, signal="backlog", tick=7,
+    )
+    recorder.emit(
+        "stream_end", admitted=20, shipped=14, cuts=3,
+        elapsed_ticks=11, batches=4, absorbed=6,
+        p50_ticks=1.0, p99_ticks=4.0,
+    )

@@ -15,3 +15,12 @@ def pool_telemetry(recorder):
     recorder.emit("pool_dispatch", kind="reroot", workers=2)
     # pool_stop does not declare a latency field.
     recorder.emit("pool_stop", workers=2, dispatches=1, latency_ns=5)
+
+
+def scheduler_telemetry(recorder):
+    # sched_cut requires policy/reason/raw/shipped/queue_depth; reason missing.
+    recorder.emit("sched_cut", policy="adaptive", raw=3, shipped=3,
+                  queue_depth=0)
+    # stream_end does not declare a wall_s field.
+    recorder.emit("stream_end", admitted=5, shipped=5, cuts=1,
+                  elapsed_ticks=4, wall_s=0.2)

@@ -49,3 +49,23 @@ def test_replay_stream(tmp_path, capsys):
     write_stream(s, path)
     assert main(["replay", path, "--k", "4"]) == 0
     assert "done; total" in capsys.readouterr().out
+
+
+def test_stream_runs(capsys):
+    assert main(["stream", "sliding-window", "--policy", "adaptive",
+                 "--k", "8", "--ticks", "12", "--rate", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "consistency check passed" in out
+    assert "admitted" in out and "shipped" in out
+
+
+def test_stream_no_coalesce_ships_everything(capsys):
+    assert main(["stream", "uniform", "--policy", "fixed", "--no-coalesce",
+                 "--ticks", "8", "--rate", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "absorbed  0" in out or "absorbed 0" in out
+
+
+def test_stream_rejects_unknown_shape(capsys):
+    assert main(["stream", "nope"]) == 2
+    assert "unknown stream shape" in capsys.readouterr().err

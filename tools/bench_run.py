@@ -470,6 +470,125 @@ def bench_alloc(count: int) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# streaming frontier: batch policy × stream shape (tools/bench_run --stream)
+# ----------------------------------------------------------------------
+
+#: (policy, coalesce) variants the stream sweep measures per shape.  The
+#: uncoalesced fixed-Θ(k) pair is the paper-faithful baseline every other
+#: point is compared against.
+STREAM_VARIANTS = [
+    ("fixed", False),
+    ("fixed", True),
+    ("deadline", False),
+    ("deadline", True),
+    ("adaptive", False),
+    ("adaptive", True),
+]
+
+
+def _run_stream_variant(stream, k: int, seed: int, policy: str,
+                        coalesce: bool, repeats: int) -> Dict[str, Any]:
+    """One (policy × coalescing) ingestion run on a fresh structure."""
+    from repro.core import DynamicMST
+
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(repeats, 1)):
+        dm = DynamicMST.build(stream.initial, k, rng=seed, init="free")
+        telemetry = _obs_sink()
+        if telemetry is not None:
+            dm.attach_trace(telemetry)
+        report = dm.ingest(stream, policy=policy, coalesce=coalesce)
+        if telemetry is not None:
+            dm.detach_trace()
+            telemetry.close()
+        dm.check()
+        run = report.as_dict()
+        if best is not None and run["forest_digest"] != best["forest_digest"]:
+            raise AssertionError("repeat changed the final forest digest")
+        if best is not None and run["rounds"] != best["rounds"]:
+            raise AssertionError("repeat changed the ledger's round count")
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    assert best is not None
+    return best
+
+
+def run_stream_sweep(shapes: Sequence[str], k: int, seed: int, ticks: int,
+                     rate: int, repeats: int) -> Dict[str, Any]:
+    """Sweep batch policy × stream shape; returns the frontier payload.
+
+    Every variant of a shape must end on the byte-identical forest
+    digest (and it must match the sequential oracle) — coalescing and
+    scheduling may move a run along the throughput/staleness frontier,
+    never off the correct forest.
+    """
+    from repro.graphs import forest_digest
+    from repro.graphs.mst import kruskal_msf
+    from repro.stream import make_shape
+
+    out: List[Dict[str, Any]] = []
+    for shape in shapes:
+        stream = make_shape(shape, seed=seed, ticks=ticks, rate=rate)
+        oracle = forest_digest(kruskal_msf(stream.final_graph()))
+        runs: List[Dict[str, Any]] = []
+        frontier: List[Dict[str, Any]] = []
+        for policy, coalesce in STREAM_VARIANTS:
+            run = _run_stream_variant(stream, k, seed, policy, coalesce,
+                                      repeats)
+            if run["forest_digest"] != oracle:
+                raise AssertionError(
+                    f"{shape}: {policy}/{'coalesced' if coalesce else 'raw'} "
+                    f"forest digest diverges from the sequential oracle"
+                )
+            runs.append(run)
+            frontier.append({
+                "shape": shape,
+                "policy": policy,
+                "coalesced": coalesce,
+                "updates_per_s": run["updates_per_s"],
+                "p50_ticks": run["p50_ticks"],
+                "p99_ticks": run["p99_ticks"],
+                "rounds_per_update": run["rounds_per_update"],
+                "shipped_fraction": round(
+                    run["shipped"] / max(run["admitted"], 1), 4
+                ),
+            })
+            tag = "coal" if coalesce else "raw "
+            print(f"  {shape:<15} {policy:<9}{tag} "
+                  f"{run['updates_per_s']:>9.1f} up/s  "
+                  f"ship {run['shipped']:>5}/{run['admitted']:<5} "
+                  f"p50 {run['p50_ticks']:>6.1f}  p99 {run['p99_ticks']:>7.1f}  "
+                  f"rnd/up {run['rounds_per_update']:>6.2f}")
+        by_variant = {(r["policy"], r["coalesced"]): r for r in runs}
+        baseline = by_variant[("fixed", False)]
+        contender = by_variant[("adaptive", True)]
+        speedup = round(
+            contender["updates_per_s"] / max(baseline["updates_per_s"], 1e-9), 3
+        )
+        print(f"  {shape:<15} adaptive+coalesced vs fixed-raw: {speedup:>5.2f}x "
+              f"(digest {oracle[:12]})")
+        out.append({
+            "shape": shape,
+            "k": k,
+            "seed": seed,
+            "ticks": ticks,
+            "rate": rate,
+            "admitted": baseline["admitted"],
+            "oracle_digest": oracle,
+            "digest_parity": True,
+            "speedup_adaptive_coalesced": speedup,
+            "runs": runs,
+            "frontier": frontier,
+        })
+    return {
+        "variants": [
+            {"policy": p, "coalesced": c} for p, c in STREAM_VARIANTS
+        ],
+        "shapes": out,
+    }
+
+
+# ----------------------------------------------------------------------
 
 def _default_out_path(date: str, suffix: str) -> str:
     """``BENCH_<date><suffix>.json``, auto-suffixed if it already exists.
@@ -532,6 +651,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--repeats", type=int, default=1,
                     help="run each trajectory this many times and keep the "
                          "fastest (damps timer noise for the floor checks)")
+    ap.add_argument("--stream", action="store_true",
+                    help="streaming-frontier mode: sweep batch policy x "
+                         "stream shape through repro.stream and write "
+                         "BENCH_<date>_stream.json instead of the backend "
+                         "trajectory (see docs/streaming.md)")
+    ap.add_argument("--stream-shapes", default="uniform,sliding-window,"
+                    "flash-crowd,adversarial",
+                    help="comma-separated stream shapes for --stream")
+    ap.add_argument("--stream-k", type=int, default=8,
+                    help="k-machine cluster size for --stream (capacity Θ(k))")
+    ap.add_argument("--stream-seed", type=int, default=0,
+                    help="seed for the --stream shape builders")
+    ap.add_argument("--stream-ticks", type=int, default=24,
+                    help="arrival horizon in ticks for --stream shapes")
+    ap.add_argument("--stream-rate", type=int, default=8,
+                    help="arrivals per tick for --stream shapes")
+    ap.add_argument("--min-stream-speedup", type=float, default=None,
+                    help="with --stream: fail unless adaptive+coalesced "
+                         "beats the fixed-Θ(k) uncoalesced baseline by this "
+                         "factor (updates/s) on the sliding-window shape")
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="fail unless the largest scenario is at least this "
                          "much faster with the columnar fast path")
@@ -548,8 +687,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.strict:
         os.environ["REPRO_STRICT"] = "1"
+    oversubscribed = False
     if args.workers is not None:
         os.environ["REPRO_WORKERS"] = str(args.workers)
+        cpus = os.cpu_count()
+        if cpus is not None and args.workers > cpus:
+            # Fork workers beyond the physical CPUs time-slice each other:
+            # the "parallel speedup" such a run reports is contention, not
+            # parallelism, so the trajectory file must say so.
+            oversubscribed = True
+            print(f"warning: --workers {args.workers} exceeds cpu_count "
+                  f"{cpus}; parallel timings will be oversubscribed and "
+                  f"under-report the backend", file=sys.stderr)
     if args.trace_dir is not None:
         os.makedirs(args.trace_dir, exist_ok=True)
 
@@ -572,6 +721,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         _OBS_SESSION = ObsSession(port=args.serve_metrics).start()
         print(f"serving metrics at {_OBS_SESSION.url}/metrics "
               f"(dashboard {_OBS_SESSION.url}/)", file=sys.stderr)
+
+    if args.stream:
+        shapes = [s.strip() for s in args.stream_shapes.split(",") if s.strip()]
+        print(f"bench_run: streaming frontier, k={args.stream_k}, "
+              f"seed={args.stream_seed}, ticks={args.stream_ticks}, "
+              f"rate={args.stream_rate}, strict="
+              f"{'on' if args.strict else 'off'}")
+        print("policy x shape sweep (uncoalesced fixed-Θ(k) is the baseline):")
+        sweep = run_stream_sweep(shapes, args.stream_k, args.stream_seed,
+                                 args.stream_ticks, args.stream_rate,
+                                 args.repeats)
+        payload = {
+            "schema": "repro-bench-stream/1",
+            "date": datetime.date.today().isoformat(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "strict": bool(args.strict),
+            "metadata": {
+                "cpu_count": os.cpu_count(),
+                "oversubscribed": oversubscribed,
+                "k": args.stream_k,
+                "seed": args.stream_seed,
+                "ticks": args.stream_ticks,
+                "rate": args.stream_rate,
+                "repeats": args.repeats,
+            },
+            "stream": sweep,
+        }
+        out_path = args.out or _default_out_path(payload["date"], "_stream")
+        with open(out_path, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out_path}")
+        if _OBS_SESSION is not None:
+            _OBS_SESSION.close()
+            _OBS_SESSION = None
+        if args.min_stream_speedup is not None:
+            gate = next((s for s in sweep["shapes"]
+                         if s["shape"] == "sliding-window"), None)
+            if gate is None:
+                print("FAIL: --min-stream-speedup needs the sliding-window "
+                      "shape in --stream-shapes", file=sys.stderr)
+                return 1
+            if gate["speedup_adaptive_coalesced"] < args.min_stream_speedup:
+                print(f"FAIL: sliding-window adaptive+coalesced speedup "
+                      f"{gate['speedup_adaptive_coalesced']}x < required "
+                      f"{args.min_stream_speedup}x", file=sys.stderr)
+                return 1
+        print("all forest digests identical; ok")
+        return 0
 
     if args.init == "distributed":
         scenarios = INIT_SMOKE_SCENARIOS if args.smoke else INIT_SCENARIOS
@@ -600,6 +799,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     metadata: Dict[str, Any] = {
         "cpu_count": os.cpu_count(),
+        "oversubscribed": oversubscribed,
         "backends": ["reference", *backends],
         "repeats": args.repeats,
         "parallel_min_rows": perf_config.PARALLEL_MIN_ROWS,
