@@ -335,6 +335,112 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServeConfig
+
+    return ServeConfig.from_env(
+        k=args.k, n=args.n, m=args.m, seed=args.seed,
+        init=args.init, backend=args.backend,
+        policy=args.policy, coalesce=not args.no_coalesce,
+        host=args.host, port=args.port,
+        rate_limit=args.rate_limit, rate_burst=args.rate_burst,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    config = _serve_config(args)
+
+    async def _serve(telemetry) -> int:
+        import signal
+
+        from repro.serve import MSTDaemon, verify_determinism
+
+        daemon = MSTDaemon(config, telemetry=telemetry)
+        port = await daemon.start_tcp()
+        print(f"repro.serve listening on {config.host}:{port}  "
+              f"(k={config.k} n={config.n} m={config.m} seed={config.seed} "
+              f"policy={config.policy} backend={config.resolved_backend()})",
+              flush=True)
+        print("protocol repro-serve/1: line-delimited JSON; "
+              "see docs/serving.md", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        await stop.wait()
+        await daemon.shutdown(drain=True)
+        stats = daemon.stats()
+        print(f"drained: admitted={stats['admitted']} "
+              f"rejected={stats['rejected']} cuts={stats['cuts']} "
+              f"sessions={stats['sessions_served']}")
+        gate = verify_determinism(daemon.reducer)
+        status = "ok" if gate["ok"] else "MISMATCH"
+        print(f"determinism gate: {status}  "
+              f"ledger {gate['live_ledger_digest'][:16]}")
+        return 0 if gate["ok"] else 1
+
+    with _serving_metrics(args) as telemetry:
+        try:
+            return asyncio.run(_serve(telemetry))
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    async def _run() -> int:
+        if args.connect:
+            from repro.serve.loadgen import run_tcp
+
+            host, _, port = args.connect.rpartition(":")
+            report = await run_tcp(
+                host or "127.0.0.1", int(port),
+                clients=args.clients, commands=args.commands, seed=args.seed,
+            )
+            daemon = None
+        else:
+            from repro.serve.loadgen import run_embedded
+
+            config = _serve_config(args)
+            report, daemon = await run_embedded(
+                config, clients=args.clients, commands=args.commands,
+                seed=args.seed, verify=args.verify,
+            )
+        out = report.as_dict()
+        if args.json:
+            print(json.dumps(out, indent=2, sort_keys=True))
+        else:
+            print(f"{report.clients} clients x {args.commands} commands: "
+                  f"{report.commands} sent, {report.ok} ok, "
+                  f"{report.error_total} errors, {report.events} events, "
+                  f"{report.commands_per_s:.0f} cmd/s")
+            if report.errors:
+                print(f"errors by code: {report.errors}")
+            if daemon is not None:
+                stats = daemon.stats()
+                print(f"daemon: admitted={stats['admitted']} "
+                      f"absorbed={stats['absorbed']} cuts={stats['cuts']} "
+                      f"rounds={stats['rounds']} "
+                      f"p99 staleness {stats['p99_ticks']:.0f} ticks")
+        if report.verify is not None:
+            status = "ok" if report.verify["ok"] else "MISMATCH"
+            print(f"determinism gate: {status}  live "
+                  f"{report.verify['live_ledger_digest'][:16]}  replay "
+                  f"{report.verify['replay_ledger_digest'][:16]}")
+            if not report.verify["ok"]:
+                return 1
+        return 0
+
+    return asyncio.run(_run())
+
+
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
     from repro.graphs import random_weighted_graph
     from repro.lowerbound import run_lower_bound_experiment
@@ -531,6 +637,57 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serve live /metrics and the dashboard while "
                              "the stream runs (default port: auto)")
     stream.set_defaults(fn=_cmd_stream)
+
+    def _serve_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--k", type=int, default=8)
+        sp.add_argument("--n", type=int, default=64)
+        sp.add_argument("--m", type=int, default=128)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--init", choices=["distributed", "free"],
+                        default="free")
+        sp.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend: reference, inproc-columnar, "
+                             "or parallel (default: REPRO_BACKEND)")
+        sp.add_argument("--policy", default="adaptive",
+                        choices=["fixed", "deadline", "adaptive"])
+        sp.add_argument("--no-coalesce", action="store_true",
+                        help="ship every admitted update uncoalesced")
+        sp.add_argument("--host", default="127.0.0.1")
+        sp.add_argument("--port", type=int, default=7787,
+                        help="TCP port (0 = pick a free one)")
+        sp.add_argument("--rate-limit", type=float, default=0.0,
+                        help="per-client mutations/s (0 = unlimited)")
+        sp.add_argument("--rate-burst", type=int, default=64)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on MST update daemon (repro.serve; "
+             "line-delimited JSON over TCP)",
+    )
+    _serve_args(serve)
+    serve.add_argument("--serve-metrics", type=int, default=None, const=0,
+                       nargs="?", metavar="PORT",
+                       help="serve live /metrics and the dashboard "
+                            "(default port: auto)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a daemon with concurrent simulated update streams",
+    )
+    _serve_args(loadgen)
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="aim at a live daemon instead of an embedded "
+                              "one")
+    loadgen.add_argument("--clients", type=int, default=100)
+    loadgen.add_argument("--commands", type=int, default=10,
+                         help="commands per client")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="embedded only: drain and run the "
+                              "determinism gate (exit 1 on mismatch)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+    loadgen.set_defaults(fn=_cmd_loadgen)
 
     lb = sub.add_parser("lowerbound", help="run the Theorem 7.1 adversary")
     lb.add_argument("--n", type=int, default=150)

@@ -79,6 +79,12 @@ DASHBOARD_HTML = """<!DOCTYPE html>
     <div class="hint"><span id="streamadmitted">0</span> admitted ·
       <span id="streamabsorbed">0</span> absorbed ·
       p99 <span id="streamp99">—</span> ticks</div></div>
+  <div class="card"><div class="label">serve daemon</div>
+    <div class="value" id="servesessions">—</div>
+    <div class="hint"><span id="servestate">down</span> ·
+      v<span id="serveversion">0</span> ·
+      <span id="servepublishes">0</span> publishes ·
+      <span id="serveerrors">0</span> errors</div></div>
   <div class="card"><div class="label">telemetry bus</div>
     <div class="value" id="busevents">0</div>
     <div class="hint"><span id="busdropped">0</span> dropped</div></div>
@@ -151,6 +157,14 @@ async function tick() {
   el("streamadmitted").textContent = fmt(stream.admitted);
   el("streamabsorbed").textContent = fmt(stream.absorbed);
   el("streamp99").textContent = fmt(stream.p99_ticks);
+  const serve = snap.serve || {};
+  el("servesessions").textContent = fmt(serve.sessions);
+  el("servestate").textContent = serve.running ? "up" : "down";
+  el("servestate").className = serve.running ? "ok" : "";
+  el("serveversion").textContent = fmt(serve.forest_version);
+  el("servepublishes").textContent = fmt(serve.publishes);
+  el("serveerrors").textContent =
+    fmt(Object.values(serve.errors || {}).reduce((a, b) => a + b, 0));
   el("busevents").textContent = fmt(snap.bus.events);
   el("busdropped").textContent = fmt(snap.bus.dropped);
   const bars = el("machinebars");

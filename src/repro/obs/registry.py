@@ -16,6 +16,9 @@ the live operational state the ROADMAP dashboard asks for:
 * chaos — fault/retry/crash/checkpoint/recovery counters;
 * the worker pool — per-worker dispatch/barrier-wait time, shm slab
   bytes, inline-fallback counts (the ``pool_*`` events);
+* the serve daemon — live sessions, command outcomes by op/status,
+  protocol error codes, forest-view publications and evictions (the
+  ``serve_*`` events from ``repro serve``);
 * the bus itself — events seen and events dropped on the floor because
   this consumer was too slow.
 
@@ -166,6 +169,22 @@ class MetricsRegistry:
         self.pool_worker_wait_ns: List[int] = []
         self.pool_slab_bytes = 0
         self.pool_fallbacks: Dict[str, int] = {}
+        # serve daemon (repro.serve)
+        self.serve_running = 0
+        self.serve_policy: Optional[str] = None
+        self.serve_sessions = 0
+        self.serve_conns: Dict[str, int] = {}
+        self.serve_evictions: Dict[str, int] = {}
+        self.serve_cmds: Dict[Tuple[str, str], int] = {}
+        self.serve_cmd_errors: Dict[str, int] = {}
+        self.serve_publishes = 0
+        self.serve_version = 0
+        self.serve_edges_added = 0
+        self.serve_edges_removed = 0
+        self.serve_weight: Optional[float] = None
+        self.serve_admitted = 0
+        self.serve_rejected = 0
+        self.serve_digest: Optional[str] = None
         # lifecycle
         self.runs_started = 0
         self.runs_ended = 0
@@ -365,6 +384,49 @@ class MetricsRegistry:
         kind = str(event["kind"])
         self.pool_fallbacks[kind] = self.pool_fallbacks.get(kind, 0) + 1
 
+    def _on_serve_start(self, event: Dict[str, Any]) -> None:
+        self.serve_running = 1
+        self.serve_policy = str(event["policy"])
+
+    def _on_serve_conn(self, event: Dict[str, Any]) -> None:
+        action = str(event["action"])
+        self.serve_conns[action] = self.serve_conns.get(action, 0) + 1
+        sessions = event.get("sessions")
+        if isinstance(sessions, int):
+            self.serve_sessions = sessions
+        if action == "evict":
+            reason = str(event.get("reason", "?"))
+            self.serve_evictions[reason] = (
+                self.serve_evictions.get(reason, 0) + 1
+            )
+
+    def _on_serve_cmd(self, event: Dict[str, Any]) -> None:
+        key = (str(event["op"]), str(event["status"]))
+        self.serve_cmds[key] = self.serve_cmds.get(key, 0) + 1
+        code = event.get("code")
+        if code is not None:
+            self.serve_cmd_errors[str(code)] = (
+                self.serve_cmd_errors.get(str(code), 0) + 1
+            )
+
+    def _on_serve_publish(self, event: Dict[str, Any]) -> None:
+        self.serve_publishes += 1
+        self.serve_version = int(event["version"])
+        self.serve_edges_added += int(event["added"])
+        self.serve_edges_removed += int(event["removed"])
+        weight = event.get("weight")
+        if isinstance(weight, (int, float)):
+            self.serve_weight = float(weight)
+
+    def _on_serve_stop(self, event: Dict[str, Any]) -> None:
+        self.serve_running = 0
+        self.serve_sessions = 0
+        self.serve_admitted += int(event["admitted"])
+        self.serve_rejected += int(event["rejected"])
+        digest = event.get("digest")
+        if digest is not None:
+            self.serve_digest = str(digest)
+
     # ------------------------------------------------------------------
     # derived gauges
     # ------------------------------------------------------------------
@@ -544,6 +606,50 @@ class MetricsRegistry:
         for kind, count in sorted(self.pool_fallbacks.items()):
             fam.add(count, kind=kind)
 
+        gauge("repro_serve_up",
+              "Whether an MST serve daemon is live on this bus"
+              ).add(self.serve_running)
+        gauge("repro_serve_sessions",
+              "Currently connected serve sessions").add(self.serve_sessions)
+        fam = counter("repro_serve_connections_total",
+                      "Serve connection lifecycle events by action")
+        for action, count in sorted(self.serve_conns.items()):
+            fam.add(count, action=action)
+        fam = counter("repro_serve_commands_total",
+                      "Serve commands handled, by op and status")
+        for (op, status), count in sorted(self.serve_cmds.items()):
+            fam.add(count, op=op, status=status)
+        fam = counter("repro_serve_errors_total",
+                      "Serve command rejections by protocol error code")
+        for code, count in sorted(self.serve_cmd_errors.items()):
+            fam.add(count, code=code)
+        fam = counter("repro_serve_evictions_total",
+                      "Sessions force-closed by the daemon, by reason")
+        for reason, count in sorted(self.serve_evictions.items()):
+            fam.add(count, reason=reason)
+        counter("repro_serve_publishes_total",
+                "MSF-change publications pushed to subscribers"
+                ).add(self.serve_publishes)
+        gauge("repro_serve_forest_version",
+              "Version of the last published forest view"
+              ).add(self.serve_version)
+        counter("repro_serve_forest_edges_added_total",
+                "Forest edges gained across published views"
+                ).add(self.serve_edges_added)
+        counter("repro_serve_forest_edges_removed_total",
+                "Forest edges lost across published views"
+                ).add(self.serve_edges_removed)
+        if self.serve_weight is not None:
+            gauge("repro_serve_forest_weight",
+                  "Total weight of the last published forest"
+                  ).add(round(self.serve_weight, 6))
+        counter("repro_serve_admitted_total",
+                "Mutations admitted over finished daemon lifetimes"
+                ).add(self.serve_admitted)
+        counter("repro_serve_rejected_total",
+                "Mutations rejected at admission over finished lifetimes"
+                ).add(self.serve_rejected)
+
         counter("repro_bus_events_total",
                 "Telemetry-bus events folded into this registry"
                 ).add(self.events_seen)
@@ -623,6 +729,26 @@ class MetricsRegistry:
                 "tick": self.stream_tick,
                 "p50_ticks": self.stream_p50_ticks,
                 "p99_ticks": self.stream_p99_ticks,
+            },
+            "serve": {
+                "running": bool(self.serve_running),
+                "policy": self.serve_policy,
+                "sessions": self.serve_sessions,
+                "connections": dict(sorted(self.serve_conns.items())),
+                "commands": {
+                    f"{op}/{status}": count
+                    for (op, status), count in sorted(self.serve_cmds.items())
+                },
+                "errors": dict(sorted(self.serve_cmd_errors.items())),
+                "evictions": dict(sorted(self.serve_evictions.items())),
+                "publishes": self.serve_publishes,
+                "forest_version": self.serve_version,
+                "forest_weight": self.serve_weight,
+                "edges_added": self.serve_edges_added,
+                "edges_removed": self.serve_edges_removed,
+                "admitted": self.serve_admitted,
+                "rejected": self.serve_rejected,
+                "digest": self.serve_digest,
             },
             "pool": {
                 "workers": self.pool_workers,

@@ -1,0 +1,144 @@
+"""A small protocol client: request/response plus an event inbox.
+
+:class:`ServeClient` speaks ``repro-serve/1`` over any duplex transport
+(:class:`~repro.serve.transport.MemoryTransport` in-process,
+:class:`~repro.serve.transport.StreamTransport` over TCP).  Requests are
+id-stamped; :meth:`request` reads until the matching response arrives,
+parking any server-pushed events in :attr:`events` along the way — which
+is exactly how a pipelining client is supposed to consume the wire.
+
+The load generator and the whole serve test harness drive the daemon
+through this class.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional
+
+from repro.serve.parser import FrameSplitter, MAX_FRAME_BYTES
+
+
+class ServeClient:
+    """One connection's client half."""
+
+    def __init__(self, transport, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.transport = transport
+        self.events: List[Dict[str, object]] = []
+        self._splitter = FrameSplitter(max_frame)
+        self._inbox: List[Dict[str, object]] = []
+        self._backlog: List[Dict[str, object]] = []  # decoded, unexamined
+        self._next_id = 0
+        self._eof = False
+
+    # -- raw byte access (the fuzzer goes through these) --------------
+    async def send_bytes(self, raw: bytes) -> None:
+        self.transport.write(raw)
+        await self.transport.drain()
+
+    async def send(self, op: str, **fields: object) -> int:
+        """Send one command; returns the id to await with :meth:`response`."""
+        cid = self._next_id
+        self._next_id += 1
+        obj = {"op": op, "id": cid}
+        obj.update(fields)
+        await self.send_bytes(json.dumps(obj).encode() + b"\n")
+        return cid
+
+    # -- message pump -------------------------------------------------
+    async def read_message(self) -> Optional[Dict[str, object]]:
+        """Next decoded message (buffered or from the wire); None at EOF."""
+        if self._inbox:
+            return self._inbox.pop(0)
+        return await self._read_wire()
+
+    async def _read_wire(self) -> Optional[Dict[str, object]]:
+        """Next decoded message from the transport only — never the
+        inbox, so callers parking messages there cannot loop on them."""
+        while True:
+            if self._backlog:
+                return self._backlog.pop(0)
+            if self._eof:
+                return None
+            chunk = await self.transport.read(4096)
+            if not chunk:
+                self._eof = True
+                return None
+            for frame in self._splitter.feed(chunk):
+                if isinstance(frame, bytes):
+                    try:
+                        msg = json.loads(frame)
+                    except ValueError:
+                        continue
+                    if isinstance(msg, dict):
+                        self._backlog.append(msg)
+
+    async def response(self, cid: int) -> Optional[Dict[str, object]]:
+        """Read until the response carrying ``cid``; file events aside."""
+        kept: List[Dict[str, object]] = []
+        found: Optional[Dict[str, object]] = None
+        for msg in self._inbox:
+            if "event" in msg:
+                self.events.append(msg)
+            elif found is None and msg.get("id") == cid:
+                found = msg
+            else:
+                kept.append(msg)
+        self._inbox = kept
+        if found is not None:
+            return found
+        while True:
+            msg = await self._read_wire()
+            if msg is None:
+                return None
+            if "event" in msg:
+                self.events.append(msg)
+                continue
+            if msg.get("id") == cid:
+                return msg
+            self._inbox.append(msg)
+
+    async def request(self, op: str, **fields: object) -> Optional[Dict[str, object]]:
+        """Send one command and await its response."""
+        cid = await self.send(op, **fields)
+        return await self.response(cid)
+
+    async def drain_events(self) -> List[Dict[str, object]]:
+        """Pull every already-delivered message, keeping only events."""
+        while True:
+            got = False
+            for msg in list(self._inbox):
+                if "event" in msg:
+                    self.events.append(msg)
+                    self._inbox.remove(msg)
+                    got = True
+            task = asyncio.ensure_future(self.read_message())
+            done, _ = await asyncio.wait({task}, timeout=0.01)
+            if not done:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                if not got:
+                    return list(self.events)
+                continue
+            msg = task.result()
+            if msg is None:
+                return list(self.events)
+            if "event" in msg:
+                self.events.append(msg)
+            else:
+                self._inbox.append(msg)
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+async def connect_tcp(host: str, port: int) -> ServeClient:
+    """Open a TCP connection to a running daemon."""
+    from repro.serve.transport import StreamTransport
+
+    reader, writer = await asyncio.open_connection(host, port)
+    return ServeClient(StreamTransport(reader, writer))

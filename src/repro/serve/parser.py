@@ -1,0 +1,264 @@
+"""Framing and validation for the line-delimited JSON protocol.
+
+Two layers, both total functions over hostile input:
+
+* :class:`FrameSplitter` — incremental byte framing.  Feed it arbitrary
+  chunks; it yields complete frames and flags oversized frames (drained
+  to their terminating newline so the connection stays usable) and a
+  truncated trailing frame at EOF.  It never raises on input bytes.
+* :func:`decode_command` — one frame to one typed
+  :class:`~repro.serve.types.Command`, or :class:`ProtocolError` with a
+  typed code from :data:`~repro.serve.types.ERROR_CODES`.  The error
+  carries whatever ``id`` could be salvaged from the frame so pipelined
+  clients can correlate failures.
+
+The server turns every :class:`ProtocolError` into an
+:class:`~repro.serve.types.ErrorResponse`; nothing in this module (or
+beyond it) ever lets malformed bytes near the reducer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from repro.graphs.streams import Update
+from repro.serve.types import (
+    Bye,
+    Command,
+    ErrorResponse,
+    EventMessage,
+    Hello,
+    Mutate,
+    OkResponse,
+    Ping,
+    Query,
+    QUERY_KINDS,
+    Subscribe,
+    Unsubscribe,
+)
+
+#: Hard ceiling on one frame (bytes, including the newline).  A valid
+#: command is tiny; anything approaching this is hostile or corrupt.
+MAX_FRAME_BYTES = 64 * 1024
+
+
+class ProtocolError(Exception):
+    """A frame that cannot become a command; maps to one error response."""
+
+    def __init__(self, code: str, message: str, id: Optional[int] = None) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.id = id
+
+    def response(self) -> ErrorResponse:
+        return ErrorResponse(id=self.id, code=self.code, message=self.message)
+
+
+@dataclass(frozen=True)
+class Oversized:
+    """A frame that blew past the size limit; ``dropped`` bytes discarded."""
+
+    dropped: int
+
+
+@dataclass(frozen=True)
+class Truncated:
+    """A non-empty trailing frame with no newline when the stream ended."""
+
+    dropped: int
+
+
+Frame = Union[bytes, Oversized, Truncated]
+
+
+class FrameSplitter:
+    """Incremental newline framing with oversize containment.
+
+    While a frame is within budget its bytes accumulate; the moment the
+    pending bytes exceed :attr:`max_frame` without a newline, the
+    splitter switches to discard mode, counts what it drops, and emits
+    one :class:`Oversized` marker when the terminating newline finally
+    arrives — so a hostile megabyte line costs one error response and
+    bounded memory, not a dead connection.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        if max_frame <= 0:
+            raise ValueError("max_frame must be positive")
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        self._discarding = 0  # bytes dropped from the oversized frame so far
+
+    def feed(self, data: bytes) -> Iterator[Frame]:
+        """Absorb a chunk; yield every frame it completes."""
+        self._buf.extend(data)
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl < 0:
+                if self._discarding or len(self._buf) > self.max_frame:
+                    self._discarding += len(self._buf)
+                    self._buf.clear()
+                return
+            line = bytes(self._buf[:nl])
+            del self._buf[: nl + 1]
+            if self._discarding:
+                yield Oversized(dropped=self._discarding + len(line))
+                self._discarding = 0
+            elif len(line) + 1 > self.max_frame:
+                yield Oversized(dropped=len(line))
+            else:
+                yield line
+
+    def eof(self) -> Iterator[Frame]:
+        """Flush at end of stream; a partial trailing line is truncated."""
+        pending = self._discarding + len(self._buf)
+        self._buf.clear()
+        self._discarding = 0
+        if pending:
+            yield Truncated(dropped=pending)
+
+
+# ----------------------------------------------------------------------
+# field validation helpers
+# ----------------------------------------------------------------------
+
+def _salvage_id(obj: object) -> Optional[int]:
+    """Best-effort id extraction so error responses stay correlatable."""
+    if isinstance(obj, dict):
+        cid = obj.get("id")
+        if isinstance(cid, int) and not isinstance(cid, bool) and cid >= 0:
+            return cid
+    return None
+
+
+def _int_field(obj: dict, name: str, cid: Optional[int]) -> int:
+    val = obj.get(name)
+    if not isinstance(val, int) or isinstance(val, bool) or val < 0:
+        raise ProtocolError(
+            "bad-command", f"field {name!r} must be a non-negative integer", cid
+        )
+    return val
+
+
+def _weight_field(obj: dict, cid: Optional[int]) -> float:
+    val = obj.get("w")
+    if isinstance(val, bool) or not isinstance(val, (int, float)):
+        raise ProtocolError("bad-command", "field 'w' must be a number", cid)
+    w = float(val)
+    if not math.isfinite(w):
+        raise ProtocolError("bad-command", "field 'w' must be finite", cid)
+    return w
+
+
+def _endpoints(obj: dict, cid: Optional[int]) -> tuple:
+    u = _int_field(obj, "u", cid)
+    v = _int_field(obj, "v", cid)
+    if u == v:
+        raise ProtocolError("bad-command", "self-loops are not edges", cid)
+    return u, v
+
+
+def decode_command(frame: Frame) -> Command:
+    """One frame → one typed command, or :class:`ProtocolError`."""
+    if isinstance(frame, Oversized):
+        raise ProtocolError(
+            "oversized-frame",
+            f"frame exceeded {MAX_FRAME_BYTES} bytes ({frame.dropped} dropped)",
+        )
+    if isinstance(frame, Truncated):
+        raise ProtocolError(
+            "bad-frame", f"stream ended mid-frame ({frame.dropped} bytes unterminated)"
+        )
+    text = frame.strip(b" \t\r")
+    if not text:
+        raise ProtocolError("bad-frame", "empty frame")
+    try:
+        obj = json.loads(text)
+    except (ValueError, UnicodeDecodeError):
+        raise ProtocolError("bad-frame", "frame is not valid JSON") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-frame", "frame is not a JSON object")
+    cid = _salvage_id(obj)
+    if "id" in obj and cid is None:
+        raise ProtocolError(
+            "bad-command", "field 'id' must be a non-negative integer"
+        )
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-command", "missing 'op' string", cid)
+    if op == "hello":
+        return Hello(id=cid)
+    if op == "ping":
+        return Ping(id=cid)
+    if op == "add":
+        u, v = _endpoints(obj, cid)
+        w = _weight_field(obj, cid)
+        return Mutate(update=Update.add(u, v, w), id=cid)
+    if op == "delete":
+        u, v = _endpoints(obj, cid)
+        return Mutate(update=Update.delete(u, v), id=cid)
+    if op == "query":
+        q = obj.get("q")
+        if q not in QUERY_KINDS:
+            raise ProtocolError(
+                "bad-command", f"field 'q' must be one of {list(QUERY_KINDS)}", cid
+            )
+        u = v = None
+        if q == "in-forest":
+            u, v = _endpoints(obj, cid)
+        elif q == "component":
+            v = _int_field(obj, "v", cid)
+        return Query(q=q, u=u, v=v, id=cid)
+    if op == "subscribe":
+        return Subscribe(id=cid)
+    if op == "unsubscribe":
+        return Unsubscribe(id=cid)
+    if op == "bye":
+        return Bye(id=cid)
+    raise ProtocolError("unknown-op", f"unknown op {op!r}", cid)
+
+
+# ----------------------------------------------------------------------
+# response encoding
+# ----------------------------------------------------------------------
+
+def _frame(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def encode_result(response: OkResponse) -> bytes:
+    return _frame({"id": response.id, "ok": True, "result": dict(response.result)})
+
+
+def encode_error(response: ErrorResponse) -> bytes:
+    return _frame({
+        "id": response.id,
+        "ok": False,
+        "error": {"code": response.code, "message": response.message},
+    })
+
+
+def encode_event(event: EventMessage) -> bytes:
+    out = {"event": event.event}
+    out.update(event.fields)
+    return _frame(out)
+
+
+def encode(msg: Union[OkResponse, ErrorResponse, EventMessage]) -> bytes:
+    if isinstance(msg, OkResponse):
+        return encode_result(msg)
+    if isinstance(msg, ErrorResponse):
+        return encode_error(msg)
+    return encode_event(msg)
+
+
+def parse_frames(data: bytes, max_frame: int = MAX_FRAME_BYTES) -> List[Frame]:
+    """Split a complete byte string into frames (convenience for tests)."""
+    splitter = FrameSplitter(max_frame)
+    out = list(splitter.feed(data))
+    out.extend(splitter.eof())
+    return out

@@ -1,0 +1,126 @@
+"""Transports: the byte pipes between clients and the daemon.
+
+Two implementations of one tiny duplex interface:
+
+* :class:`MemoryTransport` — an in-process duplex pair with a *bounded*
+  chunk queue per direction, so writes exert real backpressure exactly
+  like a TCP socket buffer: ``write()`` stages bytes, ``drain()`` blocks
+  while the peer's receive queue is full.  This is what the test harness
+  and the in-process load generator run over — thousands of clients, no
+  sockets, deterministic scheduling.
+* :class:`StreamTransport` — a thin wrapper over an asyncio
+  ``(StreamReader, StreamWriter)`` pair for real TCP connections.
+
+Both ends speak raw bytes; framing lives in
+:class:`repro.serve.parser.FrameSplitter`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class MemoryTransport:
+    """One endpoint of an in-process duplex byte pipe."""
+
+    def __init__(self, queue_chunks: int = 16) -> None:
+        self._rx: asyncio.Queue = asyncio.Queue(maxsize=queue_chunks)
+        self._pending: Deque[bytes] = deque()
+        self._peer: Optional["MemoryTransport"] = None
+        self._closed = False
+        self._eof = False
+
+    # -- wiring -------------------------------------------------------
+    @classmethod
+    def pair(cls, queue_chunks: int = 16) -> Tuple["MemoryTransport", "MemoryTransport"]:
+        a, b = cls(queue_chunks), cls(queue_chunks)
+        a._peer, b._peer = b, a
+        return a, b
+
+    # -- reading ------------------------------------------------------
+    async def read(self, n: int = 4096) -> bytes:
+        """Next chunk (ignores ``n``); b"" at EOF, like a StreamReader."""
+        if self._eof:
+            return b""
+        if self._closed and self._rx.empty():
+            return b""
+        chunk = await self._rx.get()
+        if chunk is None:
+            self._eof = True
+            return b""
+        return chunk
+
+    # -- writing ------------------------------------------------------
+    def write(self, data: bytes) -> None:
+        if self._closed or not data:
+            return
+        self._pending.append(data)
+
+    async def drain(self) -> None:
+        """Push staged chunks to the peer, blocking while it is full."""
+        while self._pending:
+            if self._closed or self._peer is None or self._peer._closed:
+                self._pending.clear()
+                return
+            chunk = self._pending.popleft()
+            await self._peer._rx.put(chunk)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        peer = self._peer
+        if peer is not None and not peer._closed:
+            try:
+                peer._rx.put_nowait(None)
+            except asyncio.QueueFull:
+                # The peer is full and not reading; drop its backlog so
+                # EOF is the next thing it sees.
+                while not peer._rx.empty():
+                    peer._rx.get_nowait()
+                peer._rx.put_nowait(None)
+        # Unblock our own reader too.
+        if not self._eof:
+            try:
+                self._rx.put_nowait(None)
+            except asyncio.QueueFull:
+                pass
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+
+class StreamTransport:
+    """Adapter: asyncio stream pair → the duplex transport interface."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def read(self, n: int = 4096) -> bytes:
+        try:
+            return await self._reader.read(n)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return b""
+
+    def write(self, data: bytes) -> None:
+        if not self._writer.is_closing():
+            self._writer.write(data)
+
+    async def drain(self) -> None:
+        if self._writer.is_closing():
+            return
+        try:
+            await self._writer.drain()
+        except ConnectionError:
+            pass
+
+    def close(self) -> None:
+        if not self._writer.is_closing():
+            self._writer.close()
+
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()

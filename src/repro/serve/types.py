@@ -1,0 +1,130 @@
+"""Typed commands and responses for the ``repro-serve/1`` wire protocol.
+
+The daemon speaks line-delimited JSON: every frame is one JSON object
+terminated by ``\\n``, at most :data:`~repro.serve.parser.MAX_FRAME_BYTES`
+long.  A request carries an ``op`` string, an optional non-negative
+integer ``id`` (echoed verbatim on the response so clients may pipeline),
+and op-specific fields.  The parser (:mod:`repro.serve.parser`) turns
+frames into the frozen dataclasses below — nothing past the parser ever
+sees raw JSON, and nothing before the reducer ever sees graph state.
+
+Responses are ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``;
+server-pushed subscription events are ``{"event": ..., ...}`` and carry
+no ``id``.  Error codes are the closed set :data:`ERROR_CODES` — clients
+can switch on them, and the fuzz suite asserts hostile input always maps
+into this set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.graphs.streams import Update
+
+#: Schema tag reported by ``hello`` and stamped into loadgen reports.
+PROTOCOL_SCHEMA = "repro-serve/1"
+
+#: Every error code the protocol can return.  Framing and shape errors
+#: come from the parser; admission errors from the reducer's validation;
+#: ``rate-limited``/``shutting-down`` from the server front-end.
+ERROR_CODES: Tuple[str, ...] = (
+    "bad-frame",        # not a JSON object / truncated final frame
+    "oversized-frame",  # frame exceeded MAX_FRAME_BYTES before its newline
+    "bad-command",      # JSON object with missing/ill-typed fields
+    "unknown-op",       # op string outside the protocol
+    "unknown-vertex",   # mutation endpoint not in the graph
+    "edge-exists",      # add of an (effectively) present edge
+    "edge-missing",     # delete of an (effectively) absent edge
+    "rate-limited",     # client exceeded its token bucket
+    "shutting-down",    # daemon is draining; no new mutations
+)
+
+#: Query kinds answered from the replicated post-batch view (zero rounds).
+QUERY_KINDS: Tuple[str, ...] = (
+    "in-forest", "component", "weight", "components", "stats",
+)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Handshake: returns the daemon's model/config so clients (and the
+    load generator) can reconstruct the initial graph deterministically."""
+
+    id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Liveness probe; returns the reducer's current logical tick."""
+
+    id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Mutate:
+    """An edge insert or delete — the only op that can reach the core."""
+
+    update: Update
+    id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Query:
+    """A point query against the replicated forest view (zero rounds)."""
+
+    q: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+    id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    """Start receiving ``msf_change`` events on this connection."""
+
+    id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Graceful close: the server replies then drops the connection."""
+
+    id: Optional[int] = None
+
+
+Command = Union[Hello, Ping, Mutate, Query, Subscribe, Unsubscribe, Bye]
+
+
+@dataclass(frozen=True)
+class OkResponse:
+    id: Optional[int]
+    result: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    id: Optional[int]
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {self.code!r}")
+
+
+@dataclass(frozen=True)
+class EventMessage:
+    """A server-pushed subscription event (``msf_change`` today)."""
+
+    event: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+
+Response = Union[OkResponse, ErrorResponse]

@@ -1,0 +1,118 @@
+"""The replicated forest view: zero-round reads of post-batch state.
+
+After every applied cut the reducer captures a :class:`ForestView` — an
+immutable snapshot of the minimum spanning forest (edge set, total
+weight, connected-component labels) plus a monotone ``version`` and the
+logical ``tick`` it became current.  Point queries ("in forest?",
+"component of v?", "weight?") answer from this replica, exactly the
+ROADMAP item-1 contract: reads never touch the charged distributed query
+paths, so they cost zero rounds and cannot perturb the ledger digest the
+determinism gate compares.
+
+Successive views diff cheaply (:meth:`ForestView.diff`), which is what
+the ``msf_change`` subscription channel broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+Pair = Tuple[int, int]
+
+
+def _component_labels(
+    vertices: List[int], edges: Mapping[Pair, float]
+) -> Dict[int, int]:
+    """Union-find over the forest; each vertex labelled by its
+    component's minimum vertex id (a canonical, order-independent label)."""
+    parent: Dict[int, int] = {v: v for v in vertices}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for (u, v) in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            # Union by label so every root is its component's minimum.
+            if ru < rv:
+                parent[rv] = ru
+            else:
+                parent[ru] = rv
+    return {v: find(v) for v in vertices}
+
+
+@dataclass(frozen=True)
+class ForestView:
+    """One immutable replica of the forest, stamped with version + tick."""
+
+    version: int
+    tick: int
+    weight: float
+    edges: Mapping[Pair, float]
+    component: Mapping[int, int]
+    n_components: int
+    edge_set: FrozenSet[Pair] = field(default=frozenset())
+
+    @classmethod
+    def capture(cls, dm, version: int, tick: int) -> "ForestView":
+        """Snapshot ``dm``'s forest (host-side reads only; zero rounds)."""
+        edges = {(e.u, e.v): e.weight for e in dm.msf_edges()}
+        vertices = sorted(dm.shadow.vertices())
+        component = _component_labels(vertices, edges)
+        return cls(
+            version=version,
+            tick=tick,
+            weight=sum(edges.values()),
+            edges=edges,
+            component=component,
+            n_components=len(set(component.values())),
+            edge_set=frozenset(edges),
+        )
+
+    def in_forest(self, u: int, v: int) -> bool:
+        pair = (u, v) if u <= v else (v, u)
+        return pair in self.edges
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self.component
+
+    def component_of(self, v: int) -> int:
+        return self.component[v]
+
+    def same_component(self, u: int, v: int) -> bool:
+        return self.component[u] == self.component[v]
+
+    def diff(self, newer: "ForestView") -> Tuple[
+        List[Tuple[int, int, float]], List[Tuple[int, int]]
+    ]:
+        """``(added, removed)`` between self and a newer view, sorted.
+
+        A re-weighted forest edge appears in both lists (removed at the
+        old weight's pair, added with the new weight).
+        """
+        added = sorted(
+            (u, v, newer.edges[(u, v)])
+            for (u, v) in newer.edge_set
+            if (u, v) not in self.edges or self.edges[(u, v)] != newer.edges[(u, v)]
+        )
+        removed = sorted(
+            pair
+            for pair in self.edge_set
+            if pair not in newer.edges or newer.edges[pair] != self.edges[pair]
+        )
+        return [(u, v, w) for (u, v, w) in added], list(removed)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "tick": self.tick,
+            "weight": self.weight,
+            "forest_edges": len(self.edges),
+            "components": self.n_components,
+        }

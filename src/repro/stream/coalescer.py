@@ -82,6 +82,10 @@ class AdmissionBuffer:
     def oldest_tick(self) -> Optional[int]:
         return self._q[0][0] if self._q else None
 
+    def pending_pairs(self) -> set:
+        """Edge pairs with at least one queued update (validation overlay)."""
+        return {upd.endpoints for _, upd in self._q}
+
     def cut(self, limit: int, max_batch: int) -> CutResult:
         take = self._q[: max(limit, 1)]
         del self._q[: max(limit, 1)]
@@ -200,6 +204,10 @@ class CoalescingBuffer:
         if not self._entries:
             return None
         return next(iter(self._entries.values())).ticks[0]
+
+    def pending_pairs(self) -> set:
+        """Edge pairs with a live pending entry (validation overlay)."""
+        return set(self._entries)
 
     def cut(self, limit: int, max_batch: int) -> CutResult:
         take: List[Tuple[Pair, _Entry]] = []

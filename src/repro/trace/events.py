@@ -94,6 +94,27 @@ Event types (``repro-trace/1``):
     ``elapsed_ticks``; optionally applied ``batches``, arrivals
     ``absorbed`` by coalescing, and the ``p50_ticks``/``p99_ticks``
     staleness quantiles.
+``serve_start`` / ``serve_stop``
+    Lifecycle of the :mod:`repro.serve` daemon: cluster size ``k`` and
+    batch ``policy`` (plus ``host``/``port``/``backend`` and the graph
+    shape) when it comes up; sessions served, mutations ``admitted`` and
+    ``rejected`` (plus ``cuts``/``batches``/``evicted`` and the final
+    ledger ``digest``) when it drains.
+``serve_conn``
+    One connection transition: ``action`` (``"connect"``, ``"close"``
+    or ``"evict"``), optionally the ``client`` name, the eviction
+    ``reason`` (``"slow-consumer"``, ``"rate-limit"``) and the live
+    session count.
+``serve_cmd``
+    One protocol command handled: its ``op`` (``"?"`` when the frame
+    never parsed) and ``status`` (``"ok"``/``"error"``), optionally the
+    ``client`` and the error ``code``.  Host-side and never
+    charge-bearing — protocol handling costs zero rounds.
+``serve_publish``
+    The reducer published a new forest view after an applied cut:
+    ``version``, the count of ``added`` and ``removed`` forest edges,
+    the new total ``weight``; optionally the logical ``tick``, the
+    cut's ``batches``/``rounds`` and its ``reason``.
 ``trace_end``
     Totals: ``events``, ``charges``, ``rounds``, ``messages``,
     ``words``.
@@ -232,6 +253,31 @@ EVENT_SPECS: Tuple[EventSpec, ...] = (
         "stream_end",
         required=("admitted", "shipped", "cuts", "elapsed_ticks"),
         optional=("batches", "absorbed", "p50_ticks", "p99_ticks"),
+    ),
+    EventSpec(
+        "serve_start",
+        required=("k", "policy"),
+        optional=("host", "port", "backend", "n", "m", "coalesce"),
+    ),
+    EventSpec(
+        "serve_conn",
+        required=("action",),
+        optional=("client", "reason", "sessions"),
+    ),
+    EventSpec(
+        "serve_cmd",
+        required=("op", "status"),
+        optional=("client", "code"),
+    ),
+    EventSpec(
+        "serve_publish",
+        required=("version", "added", "removed", "weight"),
+        optional=("tick", "batches", "rounds", "reason"),
+    ),
+    EventSpec(
+        "serve_stop",
+        required=("sessions", "admitted", "rejected"),
+        optional=("cuts", "batches", "evicted", "digest"),
     ),
     EventSpec(
         "trace_end",

@@ -41,3 +41,21 @@ def scheduler_telemetry(recorder, age):
         elapsed_ticks=11, batches=4, absorbed=6,
         p50_ticks=1.0, p99_ticks=4.0,
     )
+
+
+def serve_telemetry(sink, port):
+    # The PR-10 daemon events: required + declared optionals.
+    sink.emit(
+        "serve_start", k=8, policy="adaptive",
+        host="127.0.0.1", port=port, backend="default",
+        n=64, m=128, coalesce=True,
+    )
+    sink.emit("serve_conn", action="evict", client=3,
+              reason="slow-consumer", sessions=11)
+    sink.emit("serve_cmd", op="add", status="ok", client=3)
+    sink.emit(
+        "serve_publish", version=4, added=1, removed=0, weight=12.5,
+        tick=9, batches=1, rounds=6, reason="size",
+    )
+    sink.emit("serve_stop", sessions=0, admitted=40, rejected=2,
+              cuts=5, batches=7, evicted=1, digest="ab" * 32)

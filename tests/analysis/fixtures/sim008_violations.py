@@ -24,3 +24,11 @@ def scheduler_telemetry(recorder):
     # stream_end does not declare a wall_s field.
     recorder.emit("stream_end", admitted=5, shipped=5, cuts=1,
                   elapsed_ticks=4, wall_s=0.2)
+
+
+def serve_telemetry(recorder):
+    # serve_cmd requires op/status; status missing.
+    recorder.emit("serve_cmd", op="add", client=1)
+    # serve_publish does not declare a clients field.
+    recorder.emit("serve_publish", version=2, added=1, removed=1,
+                  weight=3.5, clients=9)

@@ -1,0 +1,10 @@
+"""Fixtures for the serve suite; the harness lives in serve_harness.py."""
+
+import pytest
+
+from serve_harness import small_config
+
+
+@pytest.fixture
+def config():
+    return small_config()

@@ -1,0 +1,66 @@
+"""Harness plumbing for the serve test suite.
+
+The image has no pytest-asyncio, so every test drives its own event
+loop through :func:`run` (a thin ``asyncio.run``).  The helpers here
+keep the per-test boilerplate down to one line:
+
+* :func:`small_config` — a tiny seeded :class:`ServeConfig` so daemon
+  construction (core build + partition) stays in the millisecond range;
+* :func:`running_daemon` — an async context manager that starts an
+  in-process daemon over memory transports and guarantees a drained
+  shutdown on the way out;
+* :func:`open_client` — connect, optionally say hello, hand back a
+  :class:`ServeClient` whose transport pairs with a live session.
+
+Everything runs over :class:`repro.serve.transport.MemoryTransport`
+duplex pairs: thousands of clients, zero sockets, and the bounded
+queues exert the same backpressure a TCP buffer would.
+"""
+
+import asyncio
+import contextlib
+
+from repro.serve import MSTDaemon, ServeConfig
+
+
+def run(coro):
+    """Drive one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def small_config(**overrides) -> ServeConfig:
+    """A daemon config small enough to build in every test."""
+    base = dict(k=4, n=24, m=36, seed=3)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+@contextlib.asynccontextmanager
+async def running_daemon(config: ServeConfig = None, **overrides):
+    """Start an in-process daemon; drain + shut it down on exit."""
+    daemon = MSTDaemon(config if config is not None else small_config(**overrides))
+    await daemon.start()
+    try:
+        yield daemon
+    finally:
+        if not daemon.draining:
+            await daemon.shutdown(drain=True)
+
+
+async def open_client(daemon: MSTDaemon, hello: bool = False):
+    """A fresh memory-transport client attached to ``daemon``."""
+    client = daemon.connect_memory()
+    if hello:
+        resp = await client.request("hello")
+        assert resp is not None and resp["ok"]
+    return client
+
+
+def free_pair(reducer):
+    """Some (u, v) not in the reducer's current effective graph."""
+    n = reducer.config.n
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not reducer.effective_present(u, v):
+                return u, v
+    raise AssertionError("graph is complete")

@@ -1,0 +1,200 @@
+"""Unit tests for the wire layer: framing, decoding, encoding.
+
+Everything here is synchronous — the parser is a total function over
+hostile bytes and never touches the event loop.
+"""
+
+import json
+
+import pytest
+
+from repro.graphs.streams import Update
+from repro.serve.parser import (
+    FrameSplitter,
+    MAX_FRAME_BYTES,
+    Oversized,
+    ProtocolError,
+    Truncated,
+    decode_command,
+    encode,
+    encode_error,
+    encode_event,
+    encode_result,
+    parse_frames,
+)
+from repro.serve.types import (
+    Bye,
+    ERROR_CODES,
+    ErrorResponse,
+    EventMessage,
+    Hello,
+    Mutate,
+    OkResponse,
+    Ping,
+    Query,
+    Subscribe,
+    Unsubscribe,
+)
+
+
+class TestFrameSplitter:
+    def test_pipelined_frames_in_one_chunk(self):
+        frames = parse_frames(b"a\nbb\nccc\n")
+        assert frames == [b"a", b"bb", b"ccc"]
+
+    def test_frames_across_chunk_boundaries(self):
+        splitter = FrameSplitter()
+        out = []
+        for byte in b'{"op":"ping"}\n{"op":"bye"}\n':
+            out.extend(splitter.feed(bytes([byte])))
+        assert out == [b'{"op":"ping"}', b'{"op":"bye"}']
+
+    def test_empty_feed_yields_nothing(self):
+        splitter = FrameSplitter()
+        assert list(splitter.feed(b"")) == []
+        assert list(splitter.eof()) == []
+
+    def test_oversized_frame_is_contained(self):
+        splitter = FrameSplitter(max_frame=8)
+        # The hostile line arrives in pieces; memory stays bounded and the
+        # connection keeps working afterwards.
+        assert list(splitter.feed(b"x" * 100)) == []
+        assert list(splitter.feed(b"y" * 100)) == []
+        out = list(splitter.feed(b"z\nok\n"))
+        assert isinstance(out[0], Oversized)
+        assert out[0].dropped == 201
+        assert out[1] == b"ok"
+
+    def test_oversized_single_chunk(self):
+        frames = parse_frames(b"a" * 20 + b"\nping\n", max_frame=8)
+        assert isinstance(frames[0], Oversized)
+        assert frames[1] == b"ping"
+
+    def test_truncated_trailing_frame(self):
+        frames = parse_frames(b"done\npartial")
+        assert frames[0] == b"done"
+        assert frames[1] == Truncated(dropped=7)
+
+    def test_truncated_while_discarding(self):
+        splitter = FrameSplitter(max_frame=4)
+        assert list(splitter.feed(b"toolongnonewline")) == []
+        (marker,) = splitter.eof()
+        assert isinstance(marker, Truncated)
+        assert marker.dropped == 16
+
+    def test_max_frame_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrameSplitter(max_frame=0)
+
+
+class TestDecodeCommand:
+    def test_every_plain_op(self):
+        assert isinstance(decode_command(b'{"op":"hello"}'), Hello)
+        assert isinstance(decode_command(b'{"op":"ping"}'), Ping)
+        assert isinstance(decode_command(b'{"op":"subscribe"}'), Subscribe)
+        assert isinstance(decode_command(b'{"op":"unsubscribe"}'), Unsubscribe)
+        assert isinstance(decode_command(b'{"op":"bye"}'), Bye)
+
+    def test_add_and_delete(self):
+        cmd = decode_command(b'{"op":"add","u":3,"v":1,"w":0.5,"id":7}')
+        assert isinstance(cmd, Mutate)
+        assert cmd.id == 7
+        assert cmd.update == Update.add(3, 1, 0.5)
+        cmd = decode_command(b'{"op":"delete","u":1,"v":3}')
+        assert cmd.update == Update.delete(1, 3)
+        assert cmd.id is None
+
+    def test_query_kinds(self):
+        cmd = decode_command(b'{"op":"query","q":"in-forest","u":0,"v":1}')
+        assert isinstance(cmd, Query) and cmd.q == "in-forest"
+        cmd = decode_command(b'{"op":"query","q":"component","v":4}')
+        assert cmd.v == 4 and cmd.u is None
+        for q in ("weight", "components", "stats"):
+            assert decode_command(json.dumps({"op": "query", "q": q}).encode()).q == q
+
+    @pytest.mark.parametrize(
+        "frame,code",
+        [
+            (b"", "bad-frame"),
+            (b"   \t", "bad-frame"),
+            (b"not json", "bad-frame"),
+            (b"\xff\xfe\x00", "bad-frame"),
+            (b"[1,2,3]", "bad-frame"),
+            (b'"a string"', "bad-frame"),
+            (b"{}", "bad-command"),
+            (b'{"op":42}', "bad-command"),
+            (b'{"op":"add","u":1,"v":1,"w":1}', "bad-command"),
+            (b'{"op":"add","u":-1,"v":2,"w":1}', "bad-command"),
+            (b'{"op":"add","u":1,"v":2,"w":"x"}', "bad-command"),
+            (b'{"op":"add","u":1,"v":2,"w":true}', "bad-command"),
+            (b'{"op":"add","u":1,"v":2,"w":NaN}', "bad-command"),
+            (b'{"op":"add","u":1,"v":2,"w":Infinity}', "bad-command"),
+            (b'{"op":"add","u":true,"v":2,"w":1}', "bad-command"),
+            (b'{"op":"delete","v":2}', "bad-command"),
+            (b'{"op":"query","q":"nope"}', "bad-command"),
+            (b'{"op":"query"}', "bad-command"),
+            (b'{"op":"ping","id":-1}', "bad-command"),
+            (b'{"op":"ping","id":true}', "bad-command"),
+            (b'{"op":"ping","id":1.5}', "bad-command"),
+            (b'{"op":"warp"}', "unknown-op"),
+        ],
+    )
+    def test_rejections_carry_typed_codes(self, frame, code):
+        with pytest.raises(ProtocolError) as exc:
+            decode_command(frame)
+        assert exc.value.code == code
+        assert exc.value.code in ERROR_CODES
+
+    def test_id_salvaged_into_errors(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_command(b'{"op":"warp","id":9}')
+        assert exc.value.id == 9
+        resp = exc.value.response()
+        assert resp.id == 9 and resp.code == "unknown-op"
+
+    def test_marker_frames_decode_to_errors(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_command(Oversized(dropped=100))
+        assert exc.value.code == "oversized-frame"
+        with pytest.raises(ProtocolError) as exc:
+            decode_command(Truncated(dropped=3))
+        assert exc.value.code == "bad-frame"
+
+
+class TestEncoding:
+    def test_result_frame_shape(self):
+        raw = encode_result(OkResponse(id=3, result={"pong": True}))
+        assert raw.endswith(b"\n")
+        msg = json.loads(raw)
+        assert msg == {"id": 3, "ok": True, "result": {"pong": True}}
+
+    def test_error_frame_shape(self):
+        raw = encode_error(ErrorResponse(id=None, code="bad-frame", message="x"))
+        msg = json.loads(raw)
+        assert msg["ok"] is False
+        assert msg["error"] == {"code": "bad-frame", "message": "x"}
+
+    def test_event_frame_shape(self):
+        raw = encode_event(EventMessage("msf_change", {"version": 2}))
+        msg = json.loads(raw)
+        assert msg == {"event": "msf_change", "version": 2}
+
+    def test_encode_dispatches(self):
+        assert b'"ok":true' in encode(OkResponse(id=0, result={}))
+        assert b'"ok":false' in encode(
+            ErrorResponse(id=0, code="bad-frame", message="m")
+        )
+        assert b'"event"' in encode(EventMessage("msf_change", {}))
+
+    def test_frames_are_canonical(self):
+        # sorted keys + no whitespace: byte-stable wire output.
+        raw = encode_result(OkResponse(id=1, result={"b": 1, "a": 2}))
+        assert raw == b'{"id":1,"ok":true,"result":{"a":2,"b":1}}\n'
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ErrorResponse(id=None, code="not-a-code", message="x")
+
+    def test_encoded_frames_fit_the_limit(self):
+        raw = encode_result(OkResponse(id=10**9, result={"weight": 1.0 / 3}))
+        assert len(raw) < MAX_FRAME_BYTES

@@ -1,0 +1,97 @@
+"""Transport edge cases: EOF, abrupt closure, full-queue teardown."""
+
+import asyncio
+
+from repro.serve.transport import MemoryTransport, StreamTransport
+
+from serve_harness import run
+
+
+class TestMemoryTransport:
+    def test_read_after_close_is_eof(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            a.write(b"x")
+            await a.drain()
+            a.close()
+            assert a.is_closing()
+            assert await b.read() == b"x"
+            assert await b.read() == b""
+            assert await b.read() == b""  # EOF is sticky
+            assert await a.read() == b""  # our own side unblocks too
+
+        run(scenario())
+
+    def test_close_with_full_peer_queue_drops_backlog_for_eof(self):
+        async def scenario():
+            a, b = MemoryTransport.pair(queue_chunks=2)
+            a.write(b"1")
+            a.write(b"2")
+            await a.drain()
+            a.close()  # peer queue is full: backlog is dropped, EOF lands
+            assert await b.read() == b""
+
+        run(scenario())
+
+    def test_write_after_close_is_swallowed(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            a.close()
+            a.write(b"zombie")
+            await a.drain()
+            b.close()
+
+        run(scenario())
+
+    def test_drain_to_closed_peer_discards(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            b.close()
+            a.write(b"late")
+            await a.drain()  # must not hang or raise
+            assert await a.read() == b""
+
+        run(scenario())
+
+    def test_empty_write_is_a_no_op(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            a.write(b"")
+            await a.drain()
+            a.write(b"real")
+            await a.drain()
+            assert await b.read() == b"real"
+            a.close()
+            b.close()
+
+        run(scenario())
+
+
+class TestStreamTransport:
+    def test_abrupt_peer_close_reads_eof_and_swallows_writes(self):
+        async def scenario():
+            connected = asyncio.Event()
+            server_writer = []
+
+            async def on_conn(reader, writer):
+                server_writer.append(writer)
+                connected.set()
+
+            server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            transport = StreamTransport(reader, writer)
+            await connected.wait()
+            # server slams the connection
+            server_writer[0].close()
+            await server_writer[0].wait_closed()
+            assert await transport.read() == b""
+            transport.write(b"into the void")
+            await transport.drain()  # ConnectionError is tolerated
+            assert not transport.is_closing() or True
+            transport.close()
+            transport.close()  # idempotent
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())

@@ -29,6 +29,7 @@ import dataclasses
 import datetime
 import json
 import os
+import re
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -590,23 +591,52 @@ def run_stream_sweep(shapes: Sequence[str], k: int, seed: int, ticks: int,
 
 # ----------------------------------------------------------------------
 
+def stream_payload(sweep: Dict[str, Any], *, strict: bool,
+                   metadata: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``repro-bench-stream/1`` trajectory envelope.
+
+    Factored out of main() so the schema is pinned by a regression test
+    without running the sweep itself.
+    """
+    return {
+        "schema": "repro-bench-stream/1",
+        "date": datetime.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "strict": strict,
+        "metadata": metadata,
+        "stream": sweep,
+    }
+
+
 def _default_out_path(date: str, suffix: str) -> str:
     """``BENCH_<date><suffix>.json``, auto-suffixed if it already exists.
 
     Two runs on the same day used to silently clobber each other's
-    trajectory file; now the second run warns and writes ``..._2.json``
+    trajectory file; the second run warns and writes ``..._2.json``
     (an explicit ``--out`` still overwrites deliberately).
+
+    The counter is **per family**: ``BENCH_<date>.json``,
+    ``BENCH_<date>_init.json`` and ``BENCH_<date>_stream.json`` number
+    independently, so a same-day ``--stream`` run never perturbs the
+    plain trajectory's suffix (and vice versa).  The next index is
+    ``max + 1`` over the files that actually exist — deleting an
+    intermediate run can never hand its slot to a later run, so suffix
+    order always matches run order.
     """
     base = f"BENCH_{date}{suffix}"
-    path = f"{base}.json"
-    if not os.path.exists(path):
-        return path
-    i = 2
-    while os.path.exists(f"{base}_{i}.json"):
-        i += 1
-    fresh = f"{base}_{i}.json"
-    print(f"warning: {path} already exists; writing {fresh} instead "
-          f"(pass --out to overwrite deliberately)", file=sys.stderr)
+    family = re.compile(re.escape(base) + r"(?:_(\d+))?\.json\Z")
+    taken = [
+        int(m.group(1) or 1)
+        for m in (family.match(name) for name in os.listdir("."))
+        if m is not None
+    ]
+    if not taken:
+        return f"{base}.json"
+    fresh = f"{base}_{max(taken) + 1}.json"
+    print(f"warning: the {base} family already has {len(taken)} run(s) "
+          f"today; writing {fresh} instead (pass --out to overwrite "
+          f"deliberately)", file=sys.stderr)
     return fresh
 
 
@@ -732,13 +762,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         sweep = run_stream_sweep(shapes, args.stream_k, args.stream_seed,
                                  args.stream_ticks, args.stream_rate,
                                  args.repeats)
-        payload = {
-            "schema": "repro-bench-stream/1",
-            "date": datetime.date.today().isoformat(),
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "strict": bool(args.strict),
-            "metadata": {
+        payload = stream_payload(
+            sweep,
+            strict=bool(args.strict),
+            metadata={
                 "cpu_count": os.cpu_count(),
                 "oversubscribed": oversubscribed,
                 "k": args.stream_k,
@@ -747,8 +774,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "rate": args.stream_rate,
                 "repeats": args.repeats,
             },
-            "stream": sweep,
-        }
+        )
         out_path = args.out or _default_out_path(payload["date"], "_stream")
         with open(out_path, "w") as f:
             json.dump(payload, f, indent=2)
